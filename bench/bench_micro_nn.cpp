@@ -1,0 +1,128 @@
+/// \file bench_micro_nn.cpp
+/// Micro-benchmarks of the neural-network substrate (ablation A4): GEMM
+/// throughput, dense and conv layer forward/backward, and end-to-end MLP
+/// inference latency at ci and paper scales.
+
+#include <benchmark/benchmark.h>
+
+#include "math/linalg.hpp"
+#include "math/rng.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/model_zoo.hpp"
+
+namespace {
+
+using namespace dlpic;
+
+nn::Tensor random_tensor(std::vector<size_t> shape, uint64_t seed) {
+  math::Rng rng(seed);
+  nn::Tensor t(std::move(shape));
+  for (size_t i = 0; i < t.size(); ++i) t[i] = rng.uniform(-1, 1);
+  return t;
+}
+
+void bench_gemm(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  math::Rng rng(888);
+  std::vector<double> A(n * n), B(n * n), C(n * n);
+  for (auto& v : A) v = rng.uniform(-1, 1);
+  for (auto& v : B) v = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    math::gemm(false, false, n, n, n, 1.0, A.data(), n, B.data(), n, 0.0, C.data(), n);
+    benchmark::DoNotOptimize(C.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * n * n * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::OneK::kIs1000);
+}
+
+void bench_dense_forward(benchmark::State& state) {
+  const size_t width = static_cast<size_t>(state.range(0));
+  math::Rng rng(889);
+  nn::Dense layer(width, width, rng);
+  auto x = random_tensor({64, width}, 1);
+  for (auto _ : state) {
+    auto y = layer.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+
+void bench_dense_backward(benchmark::State& state) {
+  const size_t width = static_cast<size_t>(state.range(0));
+  math::Rng rng(890);
+  nn::Dense layer(width, width, rng);
+  auto x = random_tensor({64, width}, 2);
+  auto y = layer.forward(x, true);
+  auto g = random_tensor(y.shape(), 3);
+  for (auto _ : state) {
+    layer.zero_grad();
+    auto gin = layer.backward(g);
+    benchmark::DoNotOptimize(gin.data());
+  }
+}
+
+void bench_conv_forward(benchmark::State& state) {
+  const size_t hw = static_cast<size_t>(state.range(0));
+  math::Rng rng(891);
+  nn::Conv2DConfig cfg;
+  cfg.in_channels = 8;
+  cfg.out_channels = 8;
+  nn::Conv2D layer(cfg, rng);
+  auto x = random_tensor({8, 8, hw, hw}, 4);
+  for (auto _ : state) {
+    auto y = layer.forward(x, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+
+void bench_mlp_inference_ci(benchmark::State& state) {
+  nn::MlpSpec spec;
+  spec.input_dim = 32 * 32;
+  spec.output_dim = 64;
+  spec.hidden = 128;
+  auto model = nn::build_mlp(spec);
+  auto x = random_tensor({1, spec.input_dim}, 5);
+  for (auto _ : state) {
+    auto y = model.predict(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+
+void bench_mlp_inference_paper(benchmark::State& state) {
+  nn::MlpSpec spec;  // paper scale: 4096 -> 3x1024 -> 64
+  auto model = nn::build_mlp(spec);
+  auto x = random_tensor({1, spec.input_dim}, 6);
+  for (auto _ : state) {
+    auto y = model.predict(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+
+void bench_cnn_inference_ci(benchmark::State& state) {
+  nn::CnnSpec spec;
+  spec.input_h = 32;
+  spec.input_w = 32;
+  spec.output_dim = 64;
+  spec.channels1 = 4;
+  spec.channels2 = 8;
+  spec.hidden = 64;
+  auto model = nn::build_cnn(spec);
+  auto x = random_tensor({1, spec.input_h * spec.input_w}, 7);
+  for (auto _ : state) {
+    auto y = model.predict(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(bench_gemm)->Arg(64)->Arg(256)->Arg(512);
+BENCHMARK(bench_dense_forward)->Arg(128)->Arg(1024);
+BENCHMARK(bench_dense_backward)->Arg(128)->Arg(1024);
+BENCHMARK(bench_conv_forward)->Arg(16)->Arg(32);
+BENCHMARK(bench_mlp_inference_ci);
+BENCHMARK(bench_mlp_inference_paper);
+BENCHMARK(bench_cnn_inference_ci);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+/// \file bench_micro_pic.cpp
+/// Micro-benchmarks of the PIC substrate kernels (ablation A3): charge
+/// deposition and field gather per shape order, leap-frog push, Poisson
+/// solvers across grid sizes, and phase-space binning per order.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "math/rng.hpp"
+#include "phase_space/binner.hpp"
+#include "pic/deposit.hpp"
+#include "pic/gather.hpp"
+#include "pic/loader.hpp"
+#include "pic/mover.hpp"
+#include "pic/poisson.hpp"
+
+namespace {
+
+using namespace dlpic;
+
+constexpr double kBoxLength = 2.0534;  // 2*pi/3.06
+
+pic::Species make_species(const pic::Grid1D& grid, size_t count) {
+  math::Rng rng(777);
+  pic::TwoStreamParams p;
+  p.v0 = 0.2;
+  p.vth = 0.01;
+  return pic::load_two_stream(grid, count, p, rng);
+}
+
+void bench_deposit(benchmark::State& state, pic::Shape shape) {
+  pic::Grid1D grid(64, kBoxLength);
+  auto species = make_species(grid, static_cast<size_t>(state.range(0)));
+  auto rho = grid.make_field();
+  for (auto _ : state) {
+    rho.assign(rho.size(), 0.0);
+    pic::deposit_charge(grid, shape, species, rho);
+    benchmark::DoNotOptimize(rho.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+
+void bench_deposit_ngp(benchmark::State& s) { bench_deposit(s, pic::Shape::NGP); }
+void bench_deposit_cic(benchmark::State& s) { bench_deposit(s, pic::Shape::CIC); }
+void bench_deposit_tsc(benchmark::State& s) { bench_deposit(s, pic::Shape::TSC); }
+
+void bench_gather(benchmark::State& state, pic::Shape shape) {
+  pic::Grid1D grid(64, kBoxLength);
+  auto species = make_species(grid, static_cast<size_t>(state.range(0)));
+  std::vector<double> E(64, 0.01), Ep;
+  for (auto _ : state) {
+    pic::gather_to_particles(grid, shape, E, species, Ep);
+    benchmark::DoNotOptimize(Ep.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+
+void bench_gather_ngp(benchmark::State& s) { bench_gather(s, pic::Shape::NGP); }
+void bench_gather_cic(benchmark::State& s) { bench_gather(s, pic::Shape::CIC); }
+void bench_gather_tsc(benchmark::State& s) { bench_gather(s, pic::Shape::TSC); }
+
+void bench_leapfrog(benchmark::State& state) {
+  pic::Grid1D grid(64, kBoxLength);
+  auto species = make_species(grid, static_cast<size_t>(state.range(0)));
+  std::vector<double> E(64, 0.01);
+  for (auto _ : state) {
+    pic::leapfrog_step(grid, pic::Shape::CIC, E, species, 0.2);
+    benchmark::DoNotOptimize(species.x().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+
+void bench_poisson(benchmark::State& state, const std::string& name) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  pic::Grid1D grid(n, kBoxLength);
+  auto solver = pic::make_poisson_solver(name);
+  std::vector<double> rho(n), phi;
+  for (size_t i = 0; i < n; ++i)
+    rho[i] = std::sin(grid.mode_wavenumber(1) * grid.node_position(i)) +
+             0.2 * std::sin(grid.mode_wavenumber(5) * grid.node_position(i));
+  for (auto _ : state) {
+    solver->solve(grid, rho, phi);
+    benchmark::DoNotOptimize(phi.data());
+  }
+}
+
+void bench_poisson_spectral(benchmark::State& s) { bench_poisson(s, "spectral"); }
+void bench_poisson_tridiag(benchmark::State& s) { bench_poisson(s, "tridiag"); }
+void bench_poisson_cg(benchmark::State& s) { bench_poisson(s, "cg"); }
+
+void bench_binner(benchmark::State& state, phase_space::BinningOrder order) {
+  pic::Grid1D grid(64, kBoxLength);
+  auto species = make_species(grid, static_cast<size_t>(state.range(0)));
+  phase_space::BinnerConfig bc;
+  bc.nx = 64;
+  bc.nv = 64;
+  bc.order = order;
+  phase_space::PhaseSpaceBinner binner(bc);
+  for (auto _ : state) {
+    auto hist = binner.bin(species);
+    benchmark::DoNotOptimize(hist.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+
+void bench_binner_ngp(benchmark::State& s) {
+  bench_binner(s, phase_space::BinningOrder::NGP);
+}
+void bench_binner_cic(benchmark::State& s) {
+  bench_binner(s, phase_space::BinningOrder::CIC);
+}
+
+}  // namespace
+
+BENCHMARK(bench_deposit_ngp)->Arg(64000);
+BENCHMARK(bench_deposit_cic)->Arg(64000);
+BENCHMARK(bench_deposit_tsc)->Arg(64000);
+BENCHMARK(bench_gather_ngp)->Arg(64000);
+BENCHMARK(bench_gather_cic)->Arg(64000);
+BENCHMARK(bench_gather_tsc)->Arg(64000);
+BENCHMARK(bench_leapfrog)->Arg(64000);
+BENCHMARK(bench_poisson_spectral)->Arg(64)->Arg(1024);
+BENCHMARK(bench_poisson_tridiag)->Arg(64)->Arg(1024);
+BENCHMARK(bench_poisson_cg)->Arg(64)->Arg(1024);
+BENCHMARK(bench_binner_ngp)->Arg(64000);
+BENCHMARK(bench_binner_cic)->Arg(64000);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+/// \file bench_perf_fieldsolver.cpp
+/// Quantifies the paper's §VII performance discussion: the DL electric-field
+/// solver is a single inference (a few GEMVs) while the traditional field
+/// solve is deposition + a linear solve. Compares wall time of:
+///   - full traditional field stage (deposit + Poisson + gradient) per solver
+///   - DL field stage (phase-space binning + MLP inference)
+/// across grid sizes, using google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/dl_field_solver.hpp"
+#include "data/normalizer.hpp"
+#include "math/rng.hpp"
+#include "nn/model_zoo.hpp"
+#include "pic/deposit.hpp"
+#include "pic/efield.hpp"
+#include "pic/loader.hpp"
+#include "pic/poisson.hpp"
+
+namespace {
+
+using namespace dlpic;
+
+pic::Species make_particles(const pic::Grid1D& grid, size_t ppc) {
+  math::Rng rng(555);
+  pic::TwoStreamParams p;
+  p.v0 = 0.2;
+  p.vth = 0.01;
+  return pic::load_two_stream(grid, grid.ncells() * ppc, p, rng);
+}
+
+/// Traditional field stage: deposit + Poisson + E = -grad(phi).
+void bench_traditional_stage(benchmark::State& state, const std::string& solver_name) {
+  const size_t ncells = static_cast<size_t>(state.range(0));
+  const size_t ppc = 200;
+  pic::Grid1D grid(ncells, 2.0 * 3.14159265358979323846 / 3.06);
+  auto species = make_particles(grid, ppc);
+  auto solver = pic::make_poisson_solver(solver_name);
+  std::vector<double> rho, phi, E;
+  for (auto _ : state) {
+    rho.assign(ncells, 1.0);  // neutralizing background
+    pic::deposit_charge(grid, pic::Shape::CIC, species, rho);
+    solver->solve(grid, rho, phi);
+    pic::efield_from_phi(grid, phi, E);
+    benchmark::DoNotOptimize(E.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(species.size()));
+}
+
+/// DL field stage: phase-space binning + one MLP inference.
+void bench_dl_stage(benchmark::State& state) {
+  const size_t ncells = static_cast<size_t>(state.range(0));
+  const size_t ppc = 200;
+  pic::Grid1D grid(ncells, 2.0 * 3.14159265358979323846 / 3.06);
+  auto species = make_particles(grid, ppc);
+
+  phase_space::BinnerConfig bc;
+  bc.nx = 32;
+  bc.nv = 32;
+  nn::MlpSpec spec;
+  spec.input_dim = bc.nx * bc.nv;
+  spec.output_dim = ncells;
+  spec.hidden = 128;
+  core::DlFieldSolver solver(nn::build_mlp(spec), data::MinMaxNormalizer(0.0, 1000.0), bc);
+
+  for (auto _ : state) {
+    auto E = solver.solve(species);
+    benchmark::DoNotOptimize(E.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(species.size()));
+}
+
+/// Paper-scale DL stage: 64x64 histogram, 1024-wide MLP.
+void bench_dl_stage_paper_scale(benchmark::State& state) {
+  const size_t ncells = 64;
+  pic::Grid1D grid(ncells, 2.0 * 3.14159265358979323846 / 3.06);
+  auto species = make_particles(grid, 1000);
+
+  phase_space::BinnerConfig bc;  // 64x64 default
+  nn::MlpSpec spec;              // paper defaults: 4096 -> 3x1024 -> 64
+  core::DlFieldSolver solver(nn::build_mlp(spec), data::MinMaxNormalizer(0.0, 5000.0), bc);
+
+  for (auto _ : state) {
+    auto E = solver.solve(species);
+    benchmark::DoNotOptimize(E.data());
+  }
+}
+
+void bench_spectral(benchmark::State& s) { bench_traditional_stage(s, "spectral"); }
+void bench_tridiag(benchmark::State& s) { bench_traditional_stage(s, "tridiag"); }
+void bench_cg(benchmark::State& s) { bench_traditional_stage(s, "cg"); }
+
+}  // namespace
+
+BENCHMARK(bench_spectral)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(bench_tridiag)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(bench_cg)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(bench_dl_stage)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(bench_dl_stage_paper_scale);
+
+BENCHMARK_MAIN();

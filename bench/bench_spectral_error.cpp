@@ -1,0 +1,85 @@
+/// \file bench_spectral_error.cpp
+/// Extension implementing the paper's stated future work (§VII): "More
+/// studies, such as spectral analysis of errors in the electric field
+/// values, are needed to gain more insight into the DL-based PIC methods."
+///
+/// For every sample of Test Set I and II, computes the Fourier spectrum of
+/// the true and predicted fields and reports, per mode k:
+///   - mean amplitude of the true field  <|E_k|>
+///   - mean amplitude of the error       <|E_pred,k - E_k|>
+///   - their ratio (relative spectral error)
+/// This shows where the surrogate loses fidelity: the physically dominant
+/// low-k modes vs the noise-dominated high-k tail.
+///
+/// Usage: bench_spectral_error [--preset=ci|paper]
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "math/fft.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dlpic;
+  auto cfg = util::Config::from_args(argc, argv);
+  auto preset = benchutil::resolve_preset(cfg);
+
+  benchutil::banner("Extension — spectral analysis of DL field-solver errors (§VII)",
+                    preset.name);
+
+  core::Pipeline pipeline(preset, benchutil::resolve_artifacts(cfg));
+  auto splits = pipeline.load_or_generate_data();
+  auto mlp = pipeline.train_mlp(splits);
+  auto& solver = *mlp.solver;
+
+  const size_t ncells = splits.test1.target_dim();
+  const size_t nmodes = ncells / 2;
+
+  auto analyze = [&](const nn::Dataset& set, const char* name,
+                     util::CsvWriter& csv) {
+    std::vector<double> true_amp(nmodes, 0.0), err_amp(nmodes, 0.0);
+    for (size_t r = 0; r < set.size(); ++r) {
+      const double* hist = set.input_row(r);
+      const double* target = set.target_row(r);
+      auto pred =
+          solver.solve_histogram({hist, hist + set.input_dim()});
+      std::vector<double> truth(target, target + ncells), error(ncells);
+      for (size_t i = 0; i < ncells; ++i) error[i] = pred[i] - truth[i];
+      for (size_t m = 0; m < nmodes; ++m) {
+        true_amp[m] += math::mode_amplitude(truth, m);
+        err_amp[m] += math::mode_amplitude(error, m);
+      }
+    }
+    const double inv_n = 1.0 / static_cast<double>(set.size());
+    std::printf("\nTest Set %s (%zu samples): per-mode mean amplitudes\n", name,
+                set.size());
+    std::printf("%-6s %-14s %-14s %-10s\n", "mode", "<|E_k|>", "<|err_k|>", "ratio");
+    benchutil::hrule(48);
+    for (size_t m = 0; m < std::min<size_t>(nmodes, 12); ++m) {
+      const double t = true_amp[m] * inv_n;
+      const double e = err_amp[m] * inv_n;
+      // The mean field (mode 0) is ~0 by the periodic gauge: no meaningful ratio.
+      if (t > 1e-12)
+        std::printf("%-6zu %-14.4e %-14.4e %-10.3f\n", m, t, e, e / t);
+      else
+        std::printf("%-6zu %-14.4e %-14.4e %-10s\n", m, t, e, "-");
+    }
+    for (size_t m = 0; m < nmodes; ++m)
+      csv.row_strings({name, std::to_string(m), std::to_string(true_amp[m] * inv_n),
+                       std::to_string(err_amp[m] * inv_n)});
+  };
+
+  const std::string out = pipeline.artifacts_dir() + "/spectral_error_" + preset.name +
+                          ".csv";
+  util::CsvWriter csv(out, {"set", "mode", "true_amplitude", "error_amplitude"});
+  analyze(splits.test1, "I", csv);
+  analyze(splits.test2, "II", csv);
+  benchutil::hrule(48);
+  std::printf("expected shape: the unstable low-k modes carry the field energy and are\n"
+              "predicted with small relative error; the high-k tail is noise-dominated\n"
+              "and the surrogate filters it (ratio -> ~1 where truth is pure noise).\n");
+  std::printf("rows written to %s\n", out.c_str());
+  return 0;
+}

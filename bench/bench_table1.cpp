@@ -1,0 +1,65 @@
+/// \file bench_table1.cpp
+/// Regenerates paper Table I: MAE and maximum error of the MLP and CNN
+/// electric-field solvers on Test Set I (parameters inside the training
+/// grid) and Test Set II (held-out parameters).
+///
+/// Paper reference values (TensorFlow/Keras, 40k samples, 150/100 epochs):
+///   MAE  I: MLP 0.0019, CNN 0.0020      Max I: MLP 0.0690, CNN 0.0463
+///   MAE II: MLP 0.0015, CNN 0.0032      Max II: MLP 0.0286, CNN 0.0730
+/// Shape expectation: MAE << max|E| ~ 0.1; the CNN degrades on Set II while
+/// the MLP does not.
+///
+/// Usage: bench_table1 [--preset=ci|paper] [--artifacts=DIR] [--retrain=1]
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dlpic;
+  auto cfg = util::Config::from_args(argc, argv);
+  auto preset = benchutil::resolve_preset(cfg);
+  const bool retrain = cfg.get_bool_or("retrain", false);
+
+  benchutil::banner("Table I — MAE and maximum error of the DL field solvers",
+                    preset.name);
+
+  core::Pipeline pipeline(preset, benchutil::resolve_artifacts(cfg));
+  auto splits = pipeline.load_or_generate_data();
+  std::printf("dataset: %zu train / %zu val / %zu test-I / %zu test-II samples\n",
+              splits.train.size(), splits.val.size(), splits.test1.size(),
+              splits.test2.size());
+
+  auto mlp = pipeline.train_mlp(splits, retrain);
+  auto cnn = pipeline.train_cnn(splits, retrain);
+
+  std::printf("\n%-22s %-10s %-12s %-12s\n", "Metric", "Test Set", "MLP", "CNN");
+  benchutil::hrule(58);
+  std::printf("%-22s %-10s %-12.4f %-12.4f\n", "Mean Absolute Error", "I",
+              mlp.test1.mae, cnn.test1.mae);
+  std::printf("%-22s %-10s %-12.5f %-12.5f\n", "Max Error", "I", mlp.test1.max_error,
+              cnn.test1.max_error);
+  std::printf("%-22s %-10s %-12.4f %-12.4f\n", "Mean Absolute Error", "II",
+              mlp.test2.mae, cnn.test2.mae);
+  std::printf("%-22s %-10s %-12.5f %-12.5f\n", "Max Error", "II", mlp.test2.max_error,
+              cnn.test2.max_error);
+  benchutil::hrule(58);
+  std::printf("paper reference: MAE I  0.0019/0.0020, Max I  0.0690/0.0463\n");
+  std::printf("                 MAE II 0.0015/0.0032, Max II 0.0286/0.0730\n");
+  std::printf("MLP: %zu params, trained in %.1fs; CNN: %zu params, %.1fs\n",
+              mlp.parameters, mlp.train_seconds, cnn.parameters, cnn.train_seconds);
+
+  const std::string out = pipeline.artifacts_dir() + "/table1_" + preset.name + ".csv";
+  util::CsvWriter csv(out, {"arch", "set", "mae", "max_error"});
+  csv.row_strings({"mlp", "I", std::to_string(mlp.test1.mae),
+                   std::to_string(mlp.test1.max_error)});
+  csv.row_strings({"cnn", "I", std::to_string(cnn.test1.mae),
+                   std::to_string(cnn.test1.max_error)});
+  csv.row_strings({"mlp", "II", std::to_string(mlp.test2.mae),
+                   std::to_string(mlp.test2.max_error)});
+  csv.row_strings({"cnn", "II", std::to_string(cnn.test2.mae),
+                   std::to_string(cnn.test2.max_error)});
+  std::printf("rows written to %s\n", out.c_str());
+  return 0;
+}

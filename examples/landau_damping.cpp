@@ -1,0 +1,77 @@
+/// \file landau_damping.cpp
+/// Domain example beyond the paper's two-stream focus: Landau damping of a
+/// Langmuir wave, the other canonical electrostatic kinetic benchmark. A
+/// single Maxwellian plasma is seeded with a mode-1 density perturbation;
+/// kinetic resonance damps the field at a rate no fluid model captures.
+/// Exercises the quiet-start loader, the mode-seeding perturbation and the
+/// E1 diagnostic on a non-two-stream workload.
+///
+///   ./landau_damping [--vth=0.25] [--amp=0.05] [--ppc=500] [--steps=400]
+
+#include <cmath>
+#include <cstdio>
+
+#include "math/stats.hpp"
+#include "pic/diagnostics.hpp"
+#include "pic/loader.hpp"
+#include "pic/simulation.hpp"
+#include "util/config.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dlpic;
+  auto args = util::Config::from_args(argc, argv);
+
+  pic::SimulationConfig cfg;  // paper box: 64 cells, L = 2*pi/3.06
+  cfg.particles_per_cell = static_cast<size_t>(args.get_int_or("ppc", 500));
+  cfg.nsteps = static_cast<size_t>(args.get_int_or("steps", 400));
+  cfg.dt = 0.1;  // resolve the plasma oscillation cleanly
+  // Single Maxwellian: model as "two beams" with v0 = 0, thermal spread vth,
+  // quiet start, and an explicit mode-1 seed.
+  cfg.beams.v0 = 0.0;
+  cfg.beams.vth = args.get_double_or("vth", 0.25);
+  cfg.beams.quiet_start = true;
+  cfg.beams.perturb_amp = args.get_double_or("amp", 0.05);
+  cfg.beams.perturb_mode = 1;
+
+  const double k = 3.06;
+  const double k_lambda_d = k * cfg.beams.vth;  // k * Debye length (wp = 1)
+  std::printf("Landau damping: vth = %.3f, k = %.2f, k*lambda_D = %.3f\n", cfg.beams.vth,
+              k, k_lambda_d);
+  std::printf("(damping is strong for k*lambda_D ~ 0.5, weak below ~0.3)\n\n");
+
+  pic::TraditionalPic sim(cfg);
+  sim.run();
+
+  const auto& h = sim.history();
+  std::printf("%-8s %-14s %-14s\n", "time", "E1", "field energy");
+  for (size_t i = 0; i < h.size(); i += h.size() / 16) {
+    const auto& d = h.entries()[i];
+    std::printf("%-8.1f %-14.4e %-14.6e\n", d.time, d.e1_amplitude, d.field_energy);
+  }
+
+  // Damping-rate estimate from the decay of the peak envelope of E1.
+  const auto e1 = h.e1_amplitude();
+  const auto t = h.times();
+  std::vector<double> peak_t, peak_log;
+  for (size_t i = 1; i + 1 < e1.size(); ++i) {
+    if (e1[i] > e1[i - 1] && e1[i] > e1[i + 1] && e1[i] > 1e-8) {
+      peak_t.push_back(t[i]);
+      peak_log.push_back(std::log(e1[i]));
+    }
+  }
+  if (peak_t.size() >= 3) {
+    // Fit only the initial linear-damping phase (before recurrence /
+    // nonlinear saturation): use the first half of the peaks.
+    const size_t half = std::max<size_t>(3, peak_t.size() / 2);
+    std::vector<double> pt(peak_t.begin(), peak_t.begin() + half);
+    std::vector<double> pl(peak_log.begin(), peak_log.begin() + half);
+    auto fit = math::linear_fit(pt, pl);
+    std::printf("\nmeasured damping rate gamma = %.4f (R² = %.3f, %zu peaks)\n",
+                fit.slope, fit.r2, half);
+    std::printf("expected: gamma < 0 (field decays), |gamma| rising with k*lambda_D\n");
+  } else {
+    std::printf("\ntoo few oscillation peaks for a damping fit — increase steps\n");
+  }
+  std::printf("total momentum drift: %.2e (conserved)\n", h.max_momentum_drift());
+  return 0;
+}

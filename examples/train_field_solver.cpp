@@ -1,0 +1,99 @@
+/// \file train_field_solver.cpp
+/// Trains a DL electric-field solver (MLP or CNN, §IV-A) on a dataset file
+/// produced by generate_dataset, and saves a deployable solver bundle
+/// (network + normalizer + binner geometry).
+///
+///   ./train_field_solver data.bin solver.bin [--arch=mlp|cnn]
+///        [--preset=ci|paper] [--epochs=N] [--lr=X] [--batch=N]
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/dl_field_solver.hpp"
+#include "core/presets.hpp"
+#include "data/dataset_io.hpp"
+#include "data/normalizer.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/trainer.hpp"
+#include "util/config.hpp"
+#include "util/env.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dlpic;
+  auto args = util::Config::from_args(argc, argv);
+  if (args.positional().size() < 2 || args.get_bool_or("help", false)) {
+    std::printf("usage: train_field_solver DATA.bin SOLVER.bin [--arch=mlp|cnn]\n"
+                "       [--preset=ci|paper] [--epochs=N] [--lr=X] [--batch=N]\n");
+    return args.positional().size() < 2 ? 1 : 0;
+  }
+  const std::string data_path = args.positional()[0];
+  const std::string solver_path = args.positional()[1];
+  const std::string arch = args.get_or("arch", "mlp");
+
+  auto preset = core::preset_by_name(
+      args.get_or("preset", util::env_string_or("DLPIC_PRESET", "ci")));
+
+  std::printf("loading %s ...\n", data_path.c_str());
+  auto dataset = data::load_dataset(data_path);
+  std::printf("%zu samples, input dim %zu, target dim %zu\n", dataset.size(),
+              dataset.input_dim(), dataset.target_dim());
+
+  // 90/10 train/validation split.
+  math::Rng rng(4321);
+  const size_t n_val = std::max<size_t>(1, dataset.size() / 10);
+  auto parts = dataset.split({dataset.size() - n_val, n_val}, rng);
+  auto normalizer = data::MinMaxNormalizer::fit(parts[0]);
+  auto train_n = normalizer.apply_dataset(parts[0]);
+  auto val_n = normalizer.apply_dataset(parts[1]);
+
+  // Recover the phase-space grid geometry: prefer the preset's binner when
+  // it matches the dataset, otherwise assume a square nv x nx histogram.
+  auto binner = preset.generator.binner;
+  if (binner.nx * binner.nv != dataset.input_dim()) {
+    const auto side = static_cast<size_t>(std::lround(std::sqrt(
+        static_cast<double>(dataset.input_dim()))));
+    if (side * side != dataset.input_dim()) {
+      std::fprintf(stderr, "cannot infer phase-space grid from input dim %zu\n",
+                   dataset.input_dim());
+      return 1;
+    }
+    binner.nx = side;
+    binner.nv = side;
+  }
+
+  nn::Sequential model = [&] {
+    if (arch == "mlp") {
+      auto spec = preset.mlp;
+      spec.input_dim = dataset.input_dim();
+      spec.output_dim = dataset.target_dim();
+      return nn::build_mlp(spec);
+    }
+    auto spec = preset.cnn;
+    spec.input_h = binner.nv;
+    spec.input_w = binner.nx;
+    spec.output_dim = dataset.target_dim();
+    return nn::build_cnn(spec);
+  }();
+
+  nn::TrainConfig tc = (arch == "mlp") ? preset.train_mlp : preset.train_cnn;
+  tc.epochs = static_cast<size_t>(args.get_int_or("epochs", tc.epochs));
+  tc.batch_size = static_cast<size_t>(args.get_int_or("batch", tc.batch_size));
+  tc.verbose = true;
+  const double lr = args.get_double_or(
+      "lr", arch == "mlp" ? preset.learning_rate_mlp : preset.learning_rate_cnn);
+
+  std::printf("training %s: %zu parameters, %zu epochs, batch %zu, lr %.1e\n",
+              arch.c_str(), model.parameter_count(), tc.epochs, tc.batch_size, lr);
+  nn::Adam adam(lr);
+  nn::Trainer trainer(tc);
+  util::Timer t;
+  auto history = trainer.fit(model, adam, train_n, &val_n);
+  std::printf("trained in %.1fs; final val MAE %.5f, max err %.5f\n", t.seconds(),
+              history.back().validation.mae, history.back().validation.max_error);
+
+  core::DlFieldSolver solver(std::move(model), normalizer, binner);
+  solver.save(solver_path);
+  std::printf("solver bundle written to %s (+ .model)\n", solver_path.c_str());
+  return 0;
+}

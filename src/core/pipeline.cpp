@@ -1,0 +1,120 @@
+#include "core/pipeline.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+
+#include "data/dataset_io.hpp"
+#include "data/generator.hpp"
+#include "nn/optimizer.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace dlpic::core {
+
+namespace fs = std::filesystem;
+
+Pipeline::Pipeline(Preset preset, std::string artifacts_dir)
+    : preset_(std::move(preset)), artifacts_dir_(std::move(artifacts_dir)) {
+  fs::create_directories(artifacts_dir_);
+}
+
+std::string Pipeline::dataset_path() const {
+  return artifacts_dir_ + "/dataset_" + preset_.name + ".bin";
+}
+
+std::string Pipeline::test2_path() const {
+  return artifacts_dir_ + "/test2_" + preset_.name + ".bin";
+}
+
+std::string Pipeline::solver_path(const std::string& arch) const {
+  return artifacts_dir_ + "/solver_" + arch + "_" + preset_.name + ".bin";
+}
+
+DataSplits Pipeline::load_or_generate_data() {
+  nn::Dataset full(1, 1), test2(1, 1);
+
+  if (fs::exists(dataset_path())) {
+    DLPIC_LOG_INFO("loading cached dataset %s", dataset_path().c_str());
+    full = data::load_dataset(dataset_path());
+  } else {
+    DLPIC_LOG_INFO("generating dataset (%zu samples) ...",
+                   preset_.generator.total_samples());
+    util::Timer t;
+    full = data::DatasetGenerator(preset_.generator).generate();
+    DLPIC_LOG_INFO("dataset generated in %.1fs", t.seconds());
+    data::save_dataset(full, dataset_path());
+  }
+
+  if (fs::exists(test2_path())) {
+    test2 = data::load_dataset(test2_path());
+  } else {
+    DLPIC_LOG_INFO("generating Test Set II (%zu samples) ...",
+                   preset_.test2.total_samples());
+    test2 = data::DatasetGenerator(preset_.test2).generate();
+    data::save_dataset(test2, test2_path());
+  }
+
+  const size_t want = preset_.train_samples + preset_.val_samples + preset_.test_samples;
+  if (full.size() < want)
+    throw std::runtime_error("Pipeline: dataset smaller than requested splits");
+
+  math::Rng rng(4242);
+  auto parts =
+      full.split({preset_.train_samples, preset_.val_samples, preset_.test_samples}, rng);
+
+  DataSplits splits{std::move(parts[0]), std::move(parts[1]), std::move(parts[2]),
+                    std::move(test2)};
+  return splits;
+}
+
+TrainedSolver Pipeline::train_arch(const std::string& arch, const DataSplits& splits,
+                                   bool force_retrain) {
+  const std::string path = solver_path(arch);
+  TrainedSolver out;
+
+  if (!force_retrain && fs::exists(path)) {
+    DLPIC_LOG_INFO("loading cached %s solver from %s", arch.c_str(), path.c_str());
+    out.solver = std::make_shared<DlFieldSolver>(DlFieldSolver::load(path));
+  } else {
+    auto normalizer = data::MinMaxNormalizer::fit(splits.train);
+    nn::Dataset train_n = normalizer.apply_dataset(splits.train);
+    nn::Dataset val_n = normalizer.apply_dataset(splits.val);
+
+    nn::Sequential model =
+        (arch == "mlp") ? nn::build_mlp(preset_.mlp) : nn::build_cnn(preset_.cnn);
+    const auto& tc = (arch == "mlp") ? preset_.train_mlp : preset_.train_cnn;
+    const double lr =
+        (arch == "mlp") ? preset_.learning_rate_mlp : preset_.learning_rate_cnn;
+
+    DLPIC_LOG_INFO("training %s (%zu params, %zu epochs, lr %.1e) ...", arch.c_str(),
+                   model.parameter_count(), tc.epochs, lr);
+    nn::Adam adam(lr);
+    nn::Trainer trainer(tc);
+    util::Timer t;
+    trainer.fit(model, adam, train_n, &val_n);
+    out.train_seconds = t.seconds();
+    DLPIC_LOG_INFO("%s trained in %.1fs", arch.c_str(), out.train_seconds);
+
+    out.solver = std::make_shared<DlFieldSolver>(std::move(model), normalizer,
+                                                 preset_.generator.binner);
+    out.solver->save(path);
+  }
+
+  out.parameters = out.solver->model().parameter_count();
+  const auto& nrm = out.solver->normalizer();
+  nn::Dataset test1_n = nrm.apply_dataset(splits.test1);
+  nn::Dataset test2_n = nrm.apply_dataset(splits.test2);
+  out.test1 = nn::Trainer::evaluate(out.solver->model(), test1_n);
+  out.test2 = nn::Trainer::evaluate(out.solver->model(), test2_n);
+  return out;
+}
+
+TrainedSolver Pipeline::train_mlp(const DataSplits& splits, bool force_retrain) {
+  return train_arch("mlp", splits, force_retrain);
+}
+
+TrainedSolver Pipeline::train_cnn(const DataSplits& splits, bool force_retrain) {
+  return train_arch("cnn", splits, force_retrain);
+}
+
+}  // namespace dlpic::core

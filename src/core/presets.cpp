@@ -1,0 +1,121 @@
+#include "core/presets.hpp"
+
+#include <stdexcept>
+
+#include "util/env.hpp"
+
+namespace dlpic::core {
+
+namespace {
+
+/// Test Set II parameters (outside the training grid, §IV-A1): includes the
+/// paper's validation configuration v0 = 0.2, vth = 0.025.
+void set_test2_params(data::GeneratorConfig& g) {
+  g.v0_values = {0.2, 0.25};
+  g.vth_values = {0.0025, 0.025};
+}
+
+}  // namespace
+
+Preset ci_preset() {
+  Preset p;
+  p.name = "ci";
+
+  // Physics identical to the paper; fewer particles keep runs fast while
+  // preserving the instability physics (tests verify growth rates at this
+  // particle count).
+  p.generator.base.particles_per_cell = 500;
+  p.generator.binner.nx = 32;
+  p.generator.binner.nv = 32;
+  p.generator.runs_per_combination = 2;
+  // Full 200-step runs as in the paper: the saturated vortex populates the
+  // high-|v| phase-space bins, which is what keeps the DL solver sane on
+  // the out-of-distribution cold beams of Fig. 6.
+  p.generator.steps_per_run = 200;
+  p.generator.seed = 9000;
+
+  p.test2 = p.generator;
+  set_test2_params(p.test2);
+  p.test2.runs_per_combination = 1;
+  p.test2.steps_per_run = 125;
+  p.test2.seed = 9500;
+
+  // 20 combinations x 2 runs x 200 steps = 8000 samples.
+  p.train_samples = 7600;
+  p.val_samples = 200;
+  p.test_samples = 200;
+
+  p.mlp.input_dim = 32 * 32;
+  p.mlp.output_dim = 64;
+  p.mlp.hidden = 128;
+
+  p.cnn.input_h = 32;
+  p.cnn.input_w = 32;
+  p.cnn.output_dim = 64;
+  p.cnn.channels1 = 4;
+  p.cnn.channels2 = 8;
+  p.cnn.hidden = 64;
+
+  p.train_mlp.epochs = 50;
+  p.train_mlp.batch_size = 64;
+  p.train_cnn.epochs = 10;
+  p.train_cnn.batch_size = 64;
+  // The paper's lr 1e-4 assumes 38k samples x 150 epochs of Adam steps; at
+  // ci scale we raise lr so the optimizer sees a comparable schedule.
+  p.learning_rate_mlp = 1e-3;
+  p.learning_rate_cnn = 1e-3;
+  return p;
+}
+
+Preset paper_preset() {
+  Preset p;
+  p.name = "paper";
+
+  p.generator.base.particles_per_cell = 1000;  // paper §III
+  p.generator.binner.nx = 64;
+  p.generator.binner.nv = 64;
+  p.generator.runs_per_combination = 10;  // paper §IV-A1
+  p.generator.steps_per_run = 200;
+  p.generator.seed = 9000;
+
+  p.test2 = p.generator;
+  set_test2_params(p.test2);
+  p.test2.runs_per_combination = 2;
+  p.test2.steps_per_run = 125;  // 2 x 125 x 4 = 1000 samples (paper: 1000)
+  p.test2.seed = 9500;
+
+  p.train_samples = 38000;
+  p.val_samples = 1000;
+  p.test_samples = 1000;
+
+  p.mlp.input_dim = 64 * 64;
+  p.mlp.output_dim = 64;
+  p.mlp.hidden = 1024;  // paper §IV-A
+
+  p.cnn.input_h = 64;
+  p.cnn.input_w = 64;
+  p.cnn.output_dim = 64;
+  p.cnn.channels1 = 16;
+  p.cnn.channels2 = 32;
+  p.cnn.hidden = 1024;
+
+  p.train_mlp.epochs = 150;  // paper §IV-A1
+  p.train_mlp.batch_size = 64;
+  p.train_cnn.epochs = 100;
+  p.train_cnn.batch_size = 64;
+  p.learning_rate_mlp = 1e-4;  // paper §IV-A
+  p.learning_rate_cnn = 1e-4;
+  return p;
+}
+
+Preset preset_by_name(const std::string& name) {
+  if (name == "ci") return ci_preset();
+  if (name == "paper") return paper_preset();
+  throw std::invalid_argument("preset_by_name: unknown preset '" + name + "'");
+}
+
+Preset preset_from_env() {
+  return preset_by_name(util::env_string_or("DLPIC_PRESET", "ci"));
+}
+
+}  // namespace dlpic::core

@@ -1,0 +1,50 @@
+#pragma once
+/// \file presets.hpp
+/// Experiment presets. The `paper` preset reproduces the configuration of
+/// §III–IV exactly (64 cells, 1000 electrons/cell, 64x64 phase-space grid,
+/// 1024-wide layers, 40k samples, 150/100 epochs, Adam lr 1e-4). The `ci`
+/// preset shrinks the data volume and network width so the full Table I +
+/// Figs. 4–6 harness finishes in minutes on one CPU core, while keeping the
+/// architecture topology and all physics parameters identical.
+///
+/// Selection: DLPIC_PRESET environment variable ("ci" default, "paper"),
+/// overridable per binary with --preset=..., plus fine-grained --key=value
+/// overrides documented in each bench.
+
+#include <string>
+
+#include "data/generator.hpp"
+#include "nn/model_zoo.hpp"
+#include "nn/trainer.hpp"
+
+namespace dlpic::core {
+
+/// All knobs of one end-to-end experiment configuration.
+struct Preset {
+  std::string name;                  ///< "ci" or "paper"
+  data::GeneratorConfig generator;   ///< PIC sweep for the training set
+  data::GeneratorConfig test2;       ///< held-out sweep for Test Set II
+  size_t train_samples = 0;          ///< split sizes (paper: 38000/1000/1000)
+  size_t val_samples = 0;
+  size_t test_samples = 0;
+  nn::MlpSpec mlp;
+  nn::CnnSpec cnn;
+  nn::TrainConfig train_mlp;
+  nn::TrainConfig train_cnn;
+  double learning_rate_mlp = 1e-4;
+  double learning_rate_cnn = 1e-4;
+};
+
+/// The reduced single-core preset (default).
+Preset ci_preset();
+
+/// The full-fidelity paper preset.
+Preset paper_preset();
+
+/// Resolves by name ("ci" | "paper"); throws on unknown names.
+Preset preset_by_name(const std::string& name);
+
+/// Reads DLPIC_PRESET (default "ci").
+Preset preset_from_env();
+
+}  // namespace dlpic::core

@@ -1,0 +1,99 @@
+#include "core/theory.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "math/polyroots.hpp"
+
+namespace dlpic::core {
+
+namespace {
+/// omega² roots of the symmetric quartic: u² - 2(A+B²)u + (B⁴ - 2AB²) = 0.
+struct SymmetricRoots {
+  double u_plus;
+  double u_minus;
+};
+
+SymmetricRoots symmetric_usq(double k, double v0, double wp) {
+  if (k < 0.0 || v0 < 0.0 || wp <= 0.0)
+    throw std::invalid_argument("two_stream theory: k, v0 must be >= 0 and wp > 0");
+  const double A = 0.5 * wp * wp;  // omega_b² of each beam
+  const double B = k * v0;
+  const double disc = std::sqrt(A * A + 4.0 * A * B * B);
+  return {A + B * B + disc, A + B * B - disc};
+}
+}  // namespace
+
+double two_stream_growth_rate(double k, double v0, double wp) {
+  const auto u = symmetric_usq(k, v0, wp);
+  return u.u_minus < 0.0 ? std::sqrt(-u.u_minus) : 0.0;
+}
+
+double two_stream_real_frequency(double k, double v0, double wp) {
+  const auto u = symmetric_usq(k, v0, wp);
+  return std::sqrt(u.u_plus);
+}
+
+bool two_stream_unstable(double k, double v0, double wp) {
+  return symmetric_usq(k, v0, wp).u_minus < 0.0;
+}
+
+double two_stream_threshold_kv0(double wp) {
+  // u_minus < 0  <=>  B⁴ - 2AB² < 0  <=>  B² < 2A = wp²  <=>  k v0 < wp.
+  return wp;
+}
+
+std::vector<std::complex<double>> multibeam_dispersion_roots(
+    double k, const std::vector<double>& wb, const std::vector<double>& vb) {
+  if (wb.size() != vb.size() || wb.empty())
+    throw std::invalid_argument("multibeam_dispersion_roots: bad beam arrays");
+  using C = std::complex<double>;
+
+  // 1 = sum_i wb_i² / (omega - k v_i)²  ->  P(omega) = prod_j (omega-kv_j)²
+  //   - sum_i wb_i² prod_{j != i} (omega-kv_j)² = 0.
+  const size_t n = wb.size();
+  std::vector<std::vector<C>> factor(n);
+  for (size_t j = 0; j < n; ++j) {
+    // (omega - k v_j)² = omega² - 2 k v_j omega + (k v_j)².
+    const double kv = k * vb[j];
+    factor[j] = {C(kv * kv), C(-2.0 * kv), C(1.0)};
+  }
+
+  std::vector<C> poly = {C(1.0)};
+  for (size_t j = 0; j < n; ++j) poly = math::poly_mul(poly, factor[j]);
+
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<C> term = {C(wb[i] * wb[i])};
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      term = math::poly_mul(term, factor[j]);
+    }
+    // Subtract, aligning lengths (term has degree 2(n-1) < 2n).
+    for (size_t c = 0; c < term.size(); ++c) poly[c] -= term[c];
+  }
+  return math::polynomial_roots(poly);
+}
+
+double max_growth_rate(const std::vector<std::complex<double>>& roots) {
+  double g = 0.0;
+  for (const auto& r : roots) g = std::max(g, r.imag());
+  return g;
+}
+
+size_t most_unstable_mode(double box_length, double v0, size_t mmax, double wp) {
+  if (box_length <= 0.0) throw std::invalid_argument("most_unstable_mode: bad box length");
+  size_t best = 0;
+  double best_gamma = 0.0;
+  for (size_t m = 1; m <= mmax; ++m) {
+    const double k = 2.0 * std::numbers::pi * static_cast<double>(m) / box_length;
+    const double gamma = two_stream_growth_rate(k, v0, wp);
+    if (gamma > best_gamma) {
+      best_gamma = gamma;
+      best = m;
+    }
+  }
+  return best;
+}
+
+}  // namespace dlpic::core

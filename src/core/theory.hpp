@@ -1,0 +1,50 @@
+#pragma once
+/// \file theory.hpp
+/// Linear theory of the two-stream instability, used as the analytic
+/// reference in Fig. 4 (bottom): the cold-beam dispersion relation
+///
+///   1 = (omega_b² ) / (omega - k v0)²  +  (omega_b²) / (omega + k v0)²,
+///
+/// with omega_b² = omega_p²/2 for two symmetric beams. Clearing denominators
+/// gives a quartic whose complex roots carry the growth rate Im(omega) > 0.
+/// The module provides the closed-form symmetric solution, a general
+/// multi-beam polynomial solver, and grid-level helpers (most unstable
+/// mode, stability threshold).
+
+#include <complex>
+#include <vector>
+
+namespace dlpic::core {
+
+/// Growth rate (Im omega, >= 0) of the symmetric cold two-stream mode with
+/// wavenumber k, beam speed v0 and total plasma frequency wp.
+/// Closed form: omega² = (A + B²) ± sqrt(A² + 4AB²), A = wp²/2, B = k v0;
+/// the minus branch goes negative (unstable) for B < sqrt(2A... threshold).
+double two_stream_growth_rate(double k, double v0, double wp = 1.0);
+
+/// Real oscillation frequency of the stable branch (for completeness).
+double two_stream_real_frequency(double k, double v0, double wp = 1.0);
+
+/// True when mode k is unstable: k v0 < sqrt(2)·omega_b = omega_p/... —
+/// evaluated from the exact discriminant rather than a memorized formula.
+bool two_stream_unstable(double k, double v0, double wp = 1.0);
+
+/// The k v0 value below which the symmetric cold two-stream mode is
+/// unstable: k v0 < sqrt(2) * omega_b  (omega_b = wp/sqrt(2)), i.e. wp.
+double two_stream_threshold_kv0(double wp = 1.0);
+
+/// General cold multi-beam dispersion: beams with plasma frequencies wb[i]
+/// and drift velocities vb[i]. Returns all complex roots omega of
+///   1 = sum_i wb[i]² / (omega - k vb[i])².
+std::vector<std::complex<double>> multibeam_dispersion_roots(
+    double k, const std::vector<double>& wb, const std::vector<double>& vb);
+
+/// Maximum growth rate over the returned dispersion roots.
+double max_growth_rate(const std::vector<std::complex<double>>& roots);
+
+/// Scan of grid modes m = 1..mmax for a periodic box of length L: returns
+/// the mode index with the largest cold two-stream growth rate (0 if all
+/// modes are stable).
+size_t most_unstable_mode(double box_length, double v0, size_t mmax, double wp = 1.0);
+
+}  // namespace dlpic::core

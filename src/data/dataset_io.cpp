@@ -1,0 +1,47 @@
+#include "data/dataset_io.hpp"
+
+#include <stdexcept>
+
+#include "util/binary_io.hpp"
+
+namespace dlpic::data {
+
+namespace {
+constexpr uint32_t kDatasetMagic = 0x44535443;  // "DSTC"
+constexpr uint32_t kDatasetVersion = 1;
+}  // namespace
+
+void save_dataset(const nn::Dataset& data, const std::string& path) {
+  util::BinaryWriter w(path);
+  w.write_u32(kDatasetMagic);
+  w.write_u32(kDatasetVersion);
+  w.write_u64(data.size());
+  w.write_u64(data.input_dim());
+  w.write_u64(data.target_dim());
+  for (size_t r = 0; r < data.size(); ++r) {
+    w.write_f64_array(data.input_row(r), data.input_dim());
+    w.write_f64_array(data.target_row(r), data.target_dim());
+  }
+  w.flush();
+}
+
+nn::Dataset load_dataset(const std::string& path) {
+  util::BinaryReader r(path);
+  if (r.read_u32() != kDatasetMagic)
+    throw std::runtime_error("load_dataset: bad magic in " + path);
+  if (r.read_u32() != kDatasetVersion)
+    throw std::runtime_error("load_dataset: unsupported version in " + path);
+  const uint64_t count = r.read_u64();
+  const uint64_t in_dim = r.read_u64();
+  const uint64_t out_dim = r.read_u64();
+  nn::Dataset data(in_dim, out_dim);
+  std::vector<double> input(in_dim), target(out_dim);
+  for (uint64_t i = 0; i < count; ++i) {
+    r.read_f64_array(input.data(), in_dim);
+    r.read_f64_array(target.data(), out_dim);
+    data.add(input, target);
+  }
+  return data;
+}
+
+}  // namespace dlpic::data

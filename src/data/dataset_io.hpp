@@ -1,0 +1,18 @@
+#pragma once
+/// \file dataset_io.hpp
+/// Binary on-disk format for generated datasets so the expensive PIC sweep
+/// runs once and training experiments iterate on the cached file.
+
+#include <string>
+
+#include "nn/dataset.hpp"
+
+namespace dlpic::data {
+
+/// Writes a dataset (inputs + targets) to `path`.
+void save_dataset(const nn::Dataset& data, const std::string& path);
+
+/// Reads a dataset written by save_dataset. Throws on format errors.
+nn::Dataset load_dataset(const std::string& path);
+
+}  // namespace dlpic::data

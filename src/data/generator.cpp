@@ -1,0 +1,56 @@
+#include "data/generator.hpp"
+
+#include <stdexcept>
+
+#include "math/rng.hpp"
+#include "util/log.hpp"
+
+namespace dlpic::data {
+
+DatasetGenerator::DatasetGenerator(const GeneratorConfig& config) : config_(config) {
+  if (config_.v0_values.empty() || config_.vth_values.empty())
+    throw std::invalid_argument("DatasetGenerator: empty parameter lists");
+  if (config_.runs_per_combination == 0 || config_.steps_per_run == 0)
+    throw std::invalid_argument("DatasetGenerator: zero runs or steps");
+  if (config_.binner.length != config_.base.length)
+    throw std::invalid_argument(
+        "DatasetGenerator: binner length must match the simulation box");
+}
+
+void DatasetGenerator::generate_run(double v0, double vth, uint64_t run_seed, size_t steps,
+                                    nn::Dataset& out) const {
+  pic::SimulationConfig cfg = config_.base;
+  cfg.beams.v0 = v0;
+  cfg.beams.vth = vth;
+  cfg.seed = run_seed;
+  cfg.nsteps = steps;
+
+  phase_space::PhaseSpaceBinner binner(config_.binner);
+  pic::TraditionalPic sim(cfg);
+  sim.set_observer([&](const pic::TraditionalPic& s) {
+    // One sample per completed PIC cycle: the phase space (x^{n+1}, v^{n+1/2})
+    // and the field E^{n+1} the solver produced from it.
+    auto hist = binner.bin(s.electrons());
+    out.add(hist, s.efield());
+  });
+  sim.run();
+}
+
+nn::Dataset DatasetGenerator::generate() const {
+  nn::Dataset out(config_.binner.nx * config_.binner.nv, config_.base.ncells);
+  uint64_t stream = 0;
+  for (double v0 : config_.v0_values) {
+    for (double vth : config_.vth_values) {
+      for (size_t run = 0; run < config_.runs_per_combination; ++run, ++stream) {
+        // Derive a decorrelated seed per run via the RNG stream mechanism.
+        math::Rng seeder = math::Rng::stream(config_.seed, stream);
+        generate_run(v0, vth, seeder.next_u64(), config_.steps_per_run, out);
+      }
+      DLPIC_LOG_DEBUG("generated v0=%.3f vth=%.4f (%zu samples so far)", v0, vth,
+                      out.size());
+    }
+  }
+  return out;
+}
+
+}  // namespace dlpic::data

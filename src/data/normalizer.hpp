@@ -1,0 +1,49 @@
+#pragma once
+/// \file normalizer.hpp
+/// Min–max input normalization (paper §IV-A1, Eq. 5): inputs are mapped
+/// from their dataset-wide [min, max] range to [0, 1] before entering the
+/// network. Statistics are fitted on the training split only and reused
+/// verbatim at inference time inside the DL-PIC cycle.
+
+#include <string>
+
+#include "nn/dataset.hpp"
+#include "util/binary_io.hpp"
+
+namespace dlpic::data {
+
+/// Global (scalar) min–max normalizer: y = (x - min) / (max - min).
+class MinMaxNormalizer {
+ public:
+  MinMaxNormalizer() = default;
+
+  /// Explicit statistics (used by deserialization and tests).
+  MinMaxNormalizer(double min, double max);
+
+  /// Fits min/max over every input element of `data`.
+  static MinMaxNormalizer fit(const nn::Dataset& data);
+
+  /// Normalizes one row/tensor in place.
+  void apply(double* values, size_t n) const;
+  void apply(std::vector<double>& values) const { apply(values.data(), values.size()); }
+
+  /// Returns a dataset with normalized inputs (targets untouched).
+  [[nodiscard]] nn::Dataset apply_dataset(const nn::Dataset& data) const;
+
+  /// Inverse map (diagnostics).
+  [[nodiscard]] double inverse(double y) const;
+
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] bool fitted() const { return fitted_; }
+
+  void save(util::BinaryWriter& w) const;
+  static MinMaxNormalizer load(util::BinaryReader& r);
+
+ private:
+  double min_ = 0.0;
+  double max_ = 1.0;
+  bool fitted_ = false;
+};
+
+}  // namespace dlpic::data

@@ -1,0 +1,89 @@
+#include "math/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace dlpic::math {
+
+bool is_pow2(size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+namespace {
+
+void fft_radix2(std::vector<cplx>& a, bool inverse) {
+  const size_t n = a.size();
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const cplx wlen(std::cos(ang), std::sin(ang));
+    for (size_t i = 0; i < n; i += len) {
+      cplx w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        const cplx u = a[i + k];
+        const cplx v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+void dft_direct(std::vector<cplx>& a, bool inverse) {
+  const size_t n = a.size();
+  std::vector<cplx> out(n, cplx(0.0, 0.0));
+  const double sign = inverse ? 2.0 : -2.0;
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t j = 0; j < n; ++j) {
+      const double ang =
+          sign * std::numbers::pi * static_cast<double>(k * j) / static_cast<double>(n);
+      out[k] += a[j] * cplx(std::cos(ang), std::sin(ang));
+    }
+  }
+  a = std::move(out);
+}
+
+}  // namespace
+
+void fft(std::vector<cplx>& data) {
+  if (data.empty()) throw std::invalid_argument("fft: empty input");
+  if (is_pow2(data.size()))
+    fft_radix2(data, /*inverse=*/false);
+  else
+    dft_direct(data, /*inverse=*/false);
+}
+
+void ifft(std::vector<cplx>& data) {
+  if (data.empty()) throw std::invalid_argument("ifft: empty input");
+  if (is_pow2(data.size()))
+    fft_radix2(data, /*inverse=*/true);
+  else
+    dft_direct(data, /*inverse=*/true);
+  const double inv_n = 1.0 / static_cast<double>(data.size());
+  for (auto& v : data) v *= inv_n;
+}
+
+std::vector<cplx> fft_real(const std::vector<double>& signal) {
+  std::vector<cplx> data(signal.size());
+  for (size_t i = 0; i < signal.size(); ++i) data[i] = cplx(signal[i], 0.0);
+  fft(data);
+  return data;
+}
+
+double mode_amplitude(const std::vector<double>& signal, size_t mode) {
+  const size_t n = signal.size();
+  if (mode >= n) throw std::invalid_argument("mode_amplitude: mode out of range");
+  auto spectrum = fft_real(signal);
+  const double mag = std::abs(spectrum[mode]);
+  // One-sided amplitude: DC and Nyquist are not doubled.
+  const bool two_sided = (mode != 0) && !(n % 2 == 0 && mode == n / 2);
+  return (two_sided ? 2.0 : 1.0) * mag / static_cast<double>(n);
+}
+
+}  // namespace dlpic::math

@@ -1,0 +1,35 @@
+#pragma once
+/// \file fft.hpp
+/// Complex FFT and real-signal helpers.
+///
+/// Used by (a) the spectral Poisson solver on the periodic PIC grid and
+/// (b) the per-mode electric-field amplitude diagnostic (|E_k|, the paper's
+/// Fig. 4 E1 series). Power-of-two sizes use an iterative radix-2
+/// Cooley–Tukey transform; other sizes fall back to a direct O(n^2) DFT
+/// (grids in this project are 64–4096 cells, so the fallback stays cheap).
+
+#include <complex>
+#include <vector>
+
+namespace dlpic::math {
+
+using cplx = std::complex<double>;
+
+/// In-place forward FFT (engineering sign convention, e^{-i 2π kn/N}).
+/// Any size is accepted; non powers of two use the DFT fallback.
+void fft(std::vector<cplx>& data);
+
+/// In-place inverse FFT including the 1/N normalization.
+void ifft(std::vector<cplx>& data);
+
+/// Forward transform of a real signal; returns the full complex spectrum.
+std::vector<cplx> fft_real(const std::vector<double>& signal);
+
+/// Amplitude of harmonic `mode` of a real signal, normalized so that
+/// x[n] = A cos(2π·mode·n/N + φ) gives amplitude(mode) == A.
+double mode_amplitude(const std::vector<double>& signal, size_t mode);
+
+/// True when n is a power of two (n >= 1).
+bool is_pow2(size_t n);
+
+}  // namespace dlpic::math

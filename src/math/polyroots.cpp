@@ -1,0 +1,65 @@
+#include "math/polyroots.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dlpic::math {
+
+std::vector<std::complex<double>> poly_mul(const std::vector<std::complex<double>>& a,
+                                           const std::vector<std::complex<double>>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<std::complex<double>> out(a.size() + b.size() - 1, {0.0, 0.0});
+  for (size_t i = 0; i < a.size(); ++i)
+    for (size_t j = 0; j < b.size(); ++j) out[i + j] += a[i] * b[j];
+  return out;
+}
+
+std::vector<std::complex<double>> polynomial_roots(
+    const std::vector<std::complex<double>>& coeffs, int max_iter, double tol) {
+  if (coeffs.size() < 2) throw std::invalid_argument("polynomial_roots: degree < 1");
+  const size_t deg = coeffs.size() - 1;
+  if (std::abs(coeffs[deg]) == 0.0)
+    throw std::invalid_argument("polynomial_roots: zero leading coefficient");
+
+  // Monic normalization.
+  std::vector<std::complex<double>> c(coeffs.size());
+  for (size_t i = 0; i <= deg; ++i) c[i] = coeffs[i] / coeffs[deg];
+
+  // Cauchy bound for root magnitudes -> radius of the starting circle.
+  double bound = 0.0;
+  for (size_t i = 0; i < deg; ++i) bound = std::max(bound, std::abs(c[i]));
+  const double radius = 1.0 + bound;
+
+  std::vector<std::complex<double>> z(deg);
+  for (size_t i = 0; i < deg; ++i) {
+    // Offset angle avoids symmetry traps (e.g. real-coefficient quartics).
+    const double ang =
+        2.0 * M_PI * static_cast<double>(i) / static_cast<double>(deg) + 0.4;
+    z[i] = std::polar(radius * 0.7, ang);
+  }
+
+  auto eval = [&](std::complex<double> x) {
+    std::complex<double> acc = c[deg];
+    for (size_t i = deg; i-- > 0;) acc = acc * x + c[i];
+    return acc;
+  };
+
+  for (int iter = 0; iter < max_iter; ++iter) {
+    double max_step = 0.0;
+    for (size_t i = 0; i < deg; ++i) {
+      std::complex<double> denom(1.0, 0.0);
+      for (size_t j = 0; j < deg; ++j) {
+        if (j == i) continue;
+        denom *= (z[i] - z[j]);
+      }
+      if (std::abs(denom) < 1e-300) denom = std::complex<double>(1e-300, 0.0);
+      const std::complex<double> step = eval(z[i]) / denom;
+      z[i] -= step;
+      max_step = std::max(max_step, std::abs(step));
+    }
+    if (max_step < tol) break;
+  }
+  return z;
+}
+
+}  // namespace dlpic::math

@@ -1,0 +1,89 @@
+#include "math/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace dlpic::math {
+
+uint64_t splitmix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // xoshiro must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9e3779b97f4a7c15ull;
+}
+
+Rng Rng::stream(uint64_t seed, uint64_t stream_id) {
+  uint64_t sm = seed;
+  (void)splitmix64(sm);
+  // Hash the stream id through splitmix so nearby ids give unrelated seeds.
+  uint64_t h = stream_id + 0x632be59bd9b4e019ull;
+  uint64_t mixed = splitmix64(h) ^ splitmix64(sm);
+  return Rng(mixed);
+}
+
+uint64_t Rng::next_u64() {
+  const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53-bit mantissa from the top bits.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+uint64_t Rng::uniform_index(uint64_t n) {
+  // Lemire-style rejection to remove modulo bias.
+  const uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::normal() {
+  if (have_cached_) {
+    have_cached_ = false;
+    return cached_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_ = r * std::sin(theta);
+  have_cached_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mu, double sigma) { return mu + sigma * normal(); }
+
+void Rng::shuffle(std::vector<size_t>& v) {
+  for (size_t i = v.size(); i > 1; --i) {
+    size_t j = uniform_index(i);
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace dlpic::math

@@ -1,0 +1,57 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic, seedable pseudo-random number generation.
+///
+/// PIC noise levels are physics: particle loading noise seeds the two-stream
+/// instability, so reproducible streams matter. We use xoshiro256** seeded
+/// via splitmix64 — fast, high quality, and trivially stream-splittable
+/// (one independent RNG per simulation run / per species).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dlpic::math {
+
+/// splitmix64 step; used for seeding and hashing seeds into streams.
+uint64_t splitmix64(uint64_t& state);
+
+/// xoshiro256** generator (Blackman & Vigna). Satisfies the needs of particle
+/// loading, dataset shuffling and weight initialization.
+class Rng {
+ public:
+  /// Seeds all 256 bits of state from a single 64-bit seed via splitmix64.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Derives an independent stream: same seed + different stream ids give
+  /// decorrelated generators (used for per-run seeds in the dataset sweep).
+  static Rng stream(uint64_t seed, uint64_t stream_id);
+
+  /// Next raw 64-bit value.
+  uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n) without modulo bias (n > 0).
+  uint64_t uniform_index(uint64_t n);
+
+  /// Standard normal via Box–Muller (cached second variate).
+  double normal();
+
+  /// Normal with mean mu and standard deviation sigma.
+  double normal(double mu, double sigma);
+
+  /// Fisher–Yates shuffle of an index vector.
+  void shuffle(std::vector<size_t>& v);
+
+ private:
+  uint64_t s_[4];
+  bool have_cached_ = false;
+  double cached_ = 0.0;
+};
+
+}  // namespace dlpic::math

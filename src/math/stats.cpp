@@ -1,0 +1,130 @@
+#include "math/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dlpic::math {
+
+Summary summarize(const std::vector<double>& x) {
+  Summary s;
+  s.n = x.size();
+  if (x.empty()) return s;
+  s.min = x[0];
+  s.max = x[0];
+  double sum = 0.0;
+  for (double v : x) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(x.size());
+  if (x.size() > 1) {
+    double ss = 0.0;
+    for (double v : x) ss += (v - s.mean) * (v - s.mean);
+    s.variance = ss / static_cast<double>(x.size() - 1);
+  }
+  return s;
+}
+
+double mean_absolute_error(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size() || a.empty())
+    throw std::invalid_argument("mean_absolute_error: size mismatch or empty");
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += std::abs(a[i] - b[i]);
+  return acc / static_cast<double>(a.size());
+}
+
+double max_absolute_error(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size() || a.empty())
+    throw std::invalid_argument("max_absolute_error: size mismatch or empty");
+  double m = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+double rmse(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size() || a.empty())
+    throw std::invalid_argument("rmse: size mismatch or empty");
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += (a[i] - b[i]) * (a[i] - b[i]);
+  return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+LinearFit linear_fit(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2)
+    throw std::invalid_argument("linear_fit: need >= 2 points of equal length");
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-300) throw std::runtime_error("linear_fit: degenerate x");
+  LinearFit f;
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  double ss_res = 0, ss_tot = 0;
+  const double ybar = sy / n;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double pred = f.slope * x[i] + f.intercept;
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - ybar) * (y[i] - ybar);
+  }
+  f.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return f;
+}
+
+GrowthFit fit_growth_rate(const std::vector<double>& t, const std::vector<double>& y,
+                          double lo_frac, double hi_frac) {
+  GrowthFit g;
+  if (t.size() != y.size() || t.size() < 4) return g;
+
+  const double peak = *std::max_element(y.begin(), y.end());
+  if (peak <= 0.0) return g;
+  const double lo = lo_frac * peak;
+  const double hi = hi_frac * peak;
+
+  // Find the last upward crossing of `lo` that is followed by reaching `hi`
+  // (skips initial noise-floor wiggles and picks the genuine growth phase).
+  size_t begin = t.size(), end = t.size();
+  for (size_t i = 0; i < y.size(); ++i) {
+    if (y[i] >= hi) {
+      end = i;
+      break;
+    }
+  }
+  if (end == t.size() || end == 0) return g;
+  for (size_t i = end; i-- > 0;) {
+    if (y[i] <= lo) {
+      begin = i + 1;
+      break;
+    }
+  }
+  if (begin == t.size()) begin = 0;
+  if (end - begin < 3) return g;
+
+  std::vector<double> tw, lw;
+  tw.reserve(end - begin);
+  lw.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    if (y[i] <= 0.0) continue;
+    tw.push_back(t[i]);
+    lw.push_back(std::log(y[i]));
+  }
+  if (tw.size() < 3) return g;
+
+  const LinearFit f = linear_fit(tw, lw);
+  g.gamma = f.slope;
+  g.intercept = f.intercept;
+  g.r2 = f.r2;
+  g.window_begin = begin;
+  g.window_end = end;
+  g.valid = true;
+  return g;
+}
+
+}  // namespace dlpic::math

@@ -1,0 +1,57 @@
+#pragma once
+/// \file stats.hpp
+/// Statistics helpers: summary statistics, least-squares fits, and the
+/// growth-rate extraction used to compare simulated E1(t) against linear
+/// theory (paper Fig. 4, bottom panel).
+
+#include <cstddef>
+#include <vector>
+
+namespace dlpic::math {
+
+/// Summary of a sample.
+struct Summary {
+  double mean = 0.0;
+  double variance = 0.0;  // unbiased (n-1) when n > 1, else 0
+  double min = 0.0;
+  double max = 0.0;
+  size_t n = 0;
+};
+
+Summary summarize(const std::vector<double>& x);
+
+/// Mean absolute error between two equal-length vectors (paper Eq. 6).
+double mean_absolute_error(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Maximum absolute elementwise error (paper Table I "Max Error").
+double max_absolute_error(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Root-mean-square error.
+double rmse(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Ordinary least squares fit y = slope*x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  // coefficient of determination
+};
+
+LinearFit linear_fit(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Exponential-growth-rate fit. Fits log(y) = gamma*t + c over the window
+/// where y grows from `lo_frac`·max(y) to `hi_frac`·max(y) — i.e. the linear
+/// phase of an instability, after the noise floor and before saturation.
+/// Returns the fitted gamma along with the window and fit quality.
+struct GrowthFit {
+  double gamma = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+  size_t window_begin = 0;  // index range [begin, end) used for the fit
+  size_t window_end = 0;
+  bool valid = false;  // false when no adequate window exists
+};
+
+GrowthFit fit_growth_rate(const std::vector<double>& t, const std::vector<double>& y,
+                          double lo_frac = 0.01, double hi_frac = 0.5);
+
+}  // namespace dlpic::math

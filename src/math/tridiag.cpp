@@ -1,0 +1,70 @@
+#include "math/tridiag.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dlpic::math {
+
+std::vector<double> solve_tridiagonal(const std::vector<double>& a,
+                                      const std::vector<double>& b,
+                                      const std::vector<double>& c,
+                                      const std::vector<double>& d) {
+  const size_t n = b.size();
+  if (a.size() != n || c.size() != n || d.size() != n)
+    throw std::invalid_argument("solve_tridiagonal: size mismatch");
+  if (n == 0) return {};
+
+  std::vector<double> cp(n), dp(n);
+  double pivot = b[0];
+  if (std::abs(pivot) < 1e-300) throw std::runtime_error("solve_tridiagonal: zero pivot");
+  cp[0] = c[0] / pivot;
+  dp[0] = d[0] / pivot;
+  for (size_t i = 1; i < n; ++i) {
+    pivot = b[i] - a[i] * cp[i - 1];
+    if (std::abs(pivot) < 1e-300) throw std::runtime_error("solve_tridiagonal: zero pivot");
+    cp[i] = c[i] / pivot;
+    dp[i] = (d[i] - a[i] * dp[i - 1]) / pivot;
+  }
+  std::vector<double> x(n);
+  x[n - 1] = dp[n - 1];
+  for (size_t i = n - 1; i-- > 0;) x[i] = dp[i] - cp[i] * x[i + 1];
+  return x;
+}
+
+std::vector<double> solve_cyclic_tridiagonal(const std::vector<double>& a,
+                                             const std::vector<double>& b,
+                                             const std::vector<double>& c,
+                                             double alpha, double beta,
+                                             const std::vector<double>& d) {
+  const size_t n = b.size();
+  if (n < 3) throw std::invalid_argument("solve_cyclic_tridiagonal: n must be >= 3");
+  if (a.size() != n || c.size() != n || d.size() != n)
+    throw std::invalid_argument("solve_cyclic_tridiagonal: size mismatch");
+
+  // Sherman–Morrison: write A = A' + u v^T with
+  //   u = (gamma, 0, ..., 0, beta)^T, v = (1, 0, ..., 0, alpha/gamma)^T,
+  // where A' is tridiagonal with modified corners. gamma is a free scale;
+  // -b[0] is the customary robust choice.
+  const double gamma = -b[0];
+  std::vector<double> bb = b;
+  bb[0] = b[0] - gamma;
+  bb[n - 1] = b[n - 1] - alpha * beta / gamma;
+
+  std::vector<double> x = solve_tridiagonal(a, bb, c, d);
+
+  std::vector<double> u(n, 0.0);
+  u[0] = gamma;
+  u[n - 1] = beta;
+  std::vector<double> z = solve_tridiagonal(a, bb, c, u);
+
+  const double vx = x[0] + alpha / gamma * x[n - 1];
+  const double vz = z[0] + alpha / gamma * z[n - 1];
+  const double denom = 1.0 + vz;
+  if (std::abs(denom) < 1e-300)
+    throw std::runtime_error("solve_cyclic_tridiagonal: singular correction");
+  const double factor = vx / denom;
+  for (size_t i = 0; i < n; ++i) x[i] -= factor * z[i];
+  return x;
+}
+
+}  // namespace dlpic::math

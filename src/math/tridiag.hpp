@@ -1,0 +1,31 @@
+#pragma once
+/// \file tridiag.hpp
+/// Tridiagonal linear solvers for the finite-difference Poisson field solver.
+///
+/// The 1D Poisson equation on a periodic grid discretizes to a cyclic
+/// tridiagonal system; on a Dirichlet grid it is plainly tridiagonal. We
+/// provide the Thomas algorithm and the Sherman–Morrison cyclic reduction
+/// on top of it.
+
+#include <vector>
+
+namespace dlpic::math {
+
+/// Solves a tridiagonal system  a[i]·x[i-1] + b[i]·x[i] + c[i]·x[i+1] = d[i]
+/// (a[0] and c[n-1] are ignored) with the Thomas algorithm.
+/// Requires non-singular pivots; throws std::runtime_error on zero pivot.
+std::vector<double> solve_tridiagonal(const std::vector<double>& a,
+                                      const std::vector<double>& b,
+                                      const std::vector<double>& c,
+                                      const std::vector<double>& d);
+
+/// Solves the cyclic tridiagonal system where additionally the corner terms
+/// alpha = A[0][n-1] and beta = A[n-1][0] couple the ends (periodic BCs),
+/// using the Sherman–Morrison formula. n must be >= 3.
+std::vector<double> solve_cyclic_tridiagonal(const std::vector<double>& a,
+                                             const std::vector<double>& b,
+                                             const std::vector<double>& c,
+                                             double alpha, double beta,
+                                             const std::vector<double>& d);
+
+}  // namespace dlpic::math

@@ -1,0 +1,85 @@
+#include "nn/activation.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+namespace dlpic::nn {
+
+Tensor ReLU::forward(const Tensor& input, bool /*training*/) {
+  input_cache_ = input;
+  Tensor out = input;
+  double* p = out.data();
+  for (size_t i = 0; i < out.size(); ++i)
+    if (p[i] < 0.0) p[i] = 0.0;
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  if (!grad_output.same_shape(input_cache_))
+    throw std::invalid_argument("ReLU::backward: grad shape mismatch");
+  Tensor grad_in = grad_output;
+  double* g = grad_in.data();
+  const double* x = input_cache_.data();
+  for (size_t i = 0; i < grad_in.size(); ++i)
+    if (x[i] <= 0.0) g[i] = 0.0;
+  return grad_in;
+}
+
+void ReLU::save(util::BinaryWriter& /*w*/) const {}
+
+std::unique_ptr<ReLU> ReLU::load(util::BinaryReader& /*r*/) {
+  return std::make_unique<ReLU>();
+}
+
+Tensor LeakyReLU::forward(const Tensor& input, bool /*training*/) {
+  input_cache_ = input;
+  Tensor out = input;
+  double* p = out.data();
+  for (size_t i = 0; i < out.size(); ++i)
+    if (p[i] < 0.0) p[i] *= alpha_;
+  return out;
+}
+
+Tensor LeakyReLU::backward(const Tensor& grad_output) {
+  if (!grad_output.same_shape(input_cache_))
+    throw std::invalid_argument("LeakyReLU::backward: grad shape mismatch");
+  Tensor grad_in = grad_output;
+  double* g = grad_in.data();
+  const double* x = input_cache_.data();
+  for (size_t i = 0; i < grad_in.size(); ++i)
+    if (x[i] <= 0.0) g[i] *= alpha_;
+  return grad_in;
+}
+
+void LeakyReLU::save(util::BinaryWriter& w) const { w.write_f64(alpha_); }
+
+std::unique_ptr<LeakyReLU> LeakyReLU::load(util::BinaryReader& r) {
+  return std::make_unique<LeakyReLU>(r.read_f64());
+}
+
+Tensor Tanh::forward(const Tensor& input, bool /*training*/) {
+  Tensor out = input;
+  double* p = out.data();
+  for (size_t i = 0; i < out.size(); ++i) p[i] = std::tanh(p[i]);
+  output_cache_ = out;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  if (!grad_output.same_shape(output_cache_))
+    throw std::invalid_argument("Tanh::backward: grad shape mismatch");
+  Tensor grad_in = grad_output;
+  double* g = grad_in.data();
+  const double* y = output_cache_.data();
+  for (size_t i = 0; i < grad_in.size(); ++i) g[i] *= (1.0 - y[i] * y[i]);
+  return grad_in;
+}
+
+void Tanh::save(util::BinaryWriter& /*w*/) const {}
+
+std::unique_ptr<Tanh> Tanh::load(util::BinaryReader& /*r*/) {
+  return std::make_unique<Tanh>();
+}
+
+}  // namespace dlpic::nn

@@ -1,0 +1,194 @@
+#include "nn/conv2d.hpp"
+
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+#include "math/linalg.hpp"
+#include "nn/init.hpp"
+
+namespace dlpic::nn {
+
+void im2col(const double* img, size_t channels, size_t h, size_t w, size_t kh, size_t kw,
+            size_t stride, size_t pad, double* cols) {
+  const size_t out_h = (h + 2 * pad - kh) / stride + 1;
+  const size_t out_w = (w + 2 * pad - kw) / stride + 1;
+  const size_t plane = out_h * out_w;
+  size_t row = 0;
+  for (size_t c = 0; c < channels; ++c) {
+    for (size_t ki = 0; ki < kh; ++ki) {
+      for (size_t kj = 0; kj < kw; ++kj, ++row) {
+        double* dst = cols + row * plane;
+        for (size_t oi = 0; oi < out_h; ++oi) {
+          const long ii = static_cast<long>(oi * stride + ki) - static_cast<long>(pad);
+          if (ii < 0 || ii >= static_cast<long>(h)) {
+            std::memset(dst + oi * out_w, 0, out_w * sizeof(double));
+            continue;
+          }
+          const double* src_row = img + (c * h + static_cast<size_t>(ii)) * w;
+          for (size_t oj = 0; oj < out_w; ++oj) {
+            const long jj = static_cast<long>(oj * stride + kj) - static_cast<long>(pad);
+            dst[oi * out_w + oj] =
+                (jj < 0 || jj >= static_cast<long>(w)) ? 0.0 : src_row[jj];
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const double* cols, size_t channels, size_t h, size_t w, size_t kh, size_t kw,
+            size_t stride, size_t pad, double* img) {
+  const size_t out_h = (h + 2 * pad - kh) / stride + 1;
+  const size_t out_w = (w + 2 * pad - kw) / stride + 1;
+  const size_t plane = out_h * out_w;
+  size_t row = 0;
+  for (size_t c = 0; c < channels; ++c) {
+    for (size_t ki = 0; ki < kh; ++ki) {
+      for (size_t kj = 0; kj < kw; ++kj, ++row) {
+        const double* src = cols + row * plane;
+        for (size_t oi = 0; oi < out_h; ++oi) {
+          const long ii = static_cast<long>(oi * stride + ki) - static_cast<long>(pad);
+          if (ii < 0 || ii >= static_cast<long>(h)) continue;
+          double* dst_row = img + (c * h + static_cast<size_t>(ii)) * w;
+          for (size_t oj = 0; oj < out_w; ++oj) {
+            const long jj = static_cast<long>(oj * stride + kj) - static_cast<long>(pad);
+            if (jj < 0 || jj >= static_cast<long>(w)) continue;
+            dst_row[jj] += src[oi * out_w + oj];
+          }
+        }
+      }
+    }
+  }
+}
+
+Conv2D::Conv2D(const Conv2DConfig& config)
+    : cfg_(config),
+      weight_({config.out_channels, config.in_channels * config.kernel_h * config.kernel_w}),
+      weight_grad_(weight_.shape()),
+      bias_({config.out_channels}),
+      bias_grad_({config.out_channels}) {
+  if (cfg_.in_channels == 0 || cfg_.out_channels == 0 || cfg_.kernel_h == 0 ||
+      cfg_.kernel_w == 0 || cfg_.stride == 0)
+    throw std::invalid_argument("Conv2D: zero-sized configuration");
+}
+
+Conv2D::Conv2D(const Conv2DConfig& config, math::Rng& rng) : Conv2D(config) {
+  init_he_normal(weight_, cfg_.in_channels * cfg_.kernel_h * cfg_.kernel_w, rng);
+  init_constant(bias_, 0.0);
+}
+
+std::pair<size_t, size_t> Conv2D::out_dims(size_t h, size_t w) const {
+  if (h + 2 * cfg_.pad < cfg_.kernel_h || w + 2 * cfg_.pad < cfg_.kernel_w)
+    throw std::invalid_argument("Conv2D: input smaller than kernel");
+  return {(h + 2 * cfg_.pad - cfg_.kernel_h) / cfg_.stride + 1,
+          (w + 2 * cfg_.pad - cfg_.kernel_w) / cfg_.stride + 1};
+}
+
+Tensor Conv2D::forward(const Tensor& input, bool /*training*/) {
+  if (input.rank() != 4 || input.dim(1) != cfg_.in_channels)
+    throw std::invalid_argument("Conv2D::forward: expected [n, " +
+                                std::to_string(cfg_.in_channels) + ", h, w], got " +
+                                input.shape_string());
+  input_cache_ = input;
+  const size_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  const auto [oh, ow] = out_dims(h, w);
+  const size_t krows = cfg_.in_channels * cfg_.kernel_h * cfg_.kernel_w;
+  const size_t plane = oh * ow;
+
+  Tensor out({n, cfg_.out_channels, oh, ow});
+  std::vector<double> cols(krows * plane);
+  for (size_t b = 0; b < n; ++b) {
+    im2col(input.data() + b * cfg_.in_channels * h * w, cfg_.in_channels, h, w,
+           cfg_.kernel_h, cfg_.kernel_w, cfg_.stride, cfg_.pad, cols.data());
+    // out[b] = W (oc x krows) * cols (krows x plane).
+    math::gemm(false, false, cfg_.out_channels, plane, krows, 1.0, weight_.data(), krows,
+               cols.data(), plane, 0.0, out.data() + b * cfg_.out_channels * plane, plane);
+    for (size_t oc = 0; oc < cfg_.out_channels; ++oc) {
+      double* dst = out.data() + (b * cfg_.out_channels + oc) * plane;
+      const double bv = bias_[oc];
+      for (size_t i = 0; i < plane; ++i) dst[i] += bv;
+    }
+  }
+  return out;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_output) {
+  const size_t n = input_cache_.dim(0), h = input_cache_.dim(2), w = input_cache_.dim(3);
+  const auto [oh, ow] = out_dims(h, w);
+  if (grad_output.rank() != 4 || grad_output.dim(0) != n ||
+      grad_output.dim(1) != cfg_.out_channels || grad_output.dim(2) != oh ||
+      grad_output.dim(3) != ow)
+    throw std::invalid_argument("Conv2D::backward: grad shape mismatch " +
+                                grad_output.shape_string());
+
+  const size_t krows = cfg_.in_channels * cfg_.kernel_h * cfg_.kernel_w;
+  const size_t plane = oh * ow;
+  Tensor grad_in(input_cache_.shape());
+  std::vector<double> cols(krows * plane);
+  std::vector<double> dcols(krows * plane);
+
+  for (size_t b = 0; b < n; ++b) {
+    const double* gout = grad_output.data() + b * cfg_.out_channels * plane;
+    // dW += gout (oc x plane) * cols^T (plane x krows).
+    im2col(input_cache_.data() + b * cfg_.in_channels * h * w, cfg_.in_channels, h, w,
+           cfg_.kernel_h, cfg_.kernel_w, cfg_.stride, cfg_.pad, cols.data());
+    math::gemm(false, true, cfg_.out_channels, krows, plane, 1.0, gout, plane, cols.data(),
+               plane, 1.0, weight_grad_.data(), krows);
+    // db += row sums of gout.
+    for (size_t oc = 0; oc < cfg_.out_channels; ++oc) {
+      double acc = 0.0;
+      const double* src = gout + oc * plane;
+      for (size_t i = 0; i < plane; ++i) acc += src[i];
+      bias_grad_[oc] += acc;
+    }
+    // dcols = W^T (krows x oc) * gout (oc x plane); scatter back with col2im.
+    math::gemm(true, false, krows, plane, cfg_.out_channels, 1.0, weight_.data(), krows,
+               gout, plane, 0.0, dcols.data(), plane);
+    col2im(dcols.data(), cfg_.in_channels, h, w, cfg_.kernel_h, cfg_.kernel_w, cfg_.stride,
+           cfg_.pad, grad_in.data() + b * cfg_.in_channels * h * w);
+  }
+  return grad_in;
+}
+
+std::vector<Param> Conv2D::params() {
+  return {{&weight_, &weight_grad_, "weight"}, {&bias_, &bias_grad_, "bias"}};
+}
+
+std::vector<size_t> Conv2D::output_shape(const std::vector<size_t>& input_shape) const {
+  if (input_shape.size() != 4 || input_shape[1] != cfg_.in_channels)
+    throw std::invalid_argument("Conv2D::output_shape: incompatible input shape");
+  const auto [oh, ow] = out_dims(input_shape[2], input_shape[3]);
+  return {input_shape[0], cfg_.out_channels, oh, ow};
+}
+
+void Conv2D::save(util::BinaryWriter& w) const {
+  w.write_u64(cfg_.in_channels);
+  w.write_u64(cfg_.out_channels);
+  w.write_u64(cfg_.kernel_h);
+  w.write_u64(cfg_.kernel_w);
+  w.write_u64(cfg_.stride);
+  w.write_u64(cfg_.pad);
+  w.write_f64_vector(weight_.vec());
+  w.write_f64_vector(bias_.vec());
+}
+
+std::unique_ptr<Conv2D> Conv2D::load(util::BinaryReader& r) {
+  Conv2DConfig cfg;
+  cfg.in_channels = r.read_u64();
+  cfg.out_channels = r.read_u64();
+  cfg.kernel_h = r.read_u64();
+  cfg.kernel_w = r.read_u64();
+  cfg.stride = r.read_u64();
+  cfg.pad = r.read_u64();
+  auto layer = std::make_unique<Conv2D>(cfg);
+  auto wv = r.read_f64_vector();
+  auto bv = r.read_f64_vector();
+  if (wv.size() != layer->weight_.size() || bv.size() != layer->bias_.size())
+    throw std::runtime_error("Conv2D::load: parameter size mismatch");
+  layer->weight_.vec() = std::move(wv);
+  layer->bias_.vec() = std::move(bv);
+  return layer;
+}
+
+}  // namespace dlpic::nn

@@ -1,0 +1,60 @@
+#pragma once
+/// \file conv2d.hpp
+/// 2D convolution over [batch, channels, height, width] tensors,
+/// implemented as im2col + GEMM (the standard CPU-efficient lowering).
+/// Used by the paper's CNN field solver: blocks of two 3x3 same-padding
+/// convolutions followed by max pooling.
+
+#include "math/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace dlpic::nn {
+
+/// Convolution hyperparameters.
+struct Conv2DConfig {
+  size_t in_channels = 1;
+  size_t out_channels = 1;
+  size_t kernel_h = 3;
+  size_t kernel_w = 3;
+  size_t stride = 1;
+  size_t pad = 1;  ///< symmetric zero padding (pad=1 with 3x3 = "same")
+};
+
+/// 2D convolution layer with bias.
+class Conv2D final : public Layer {
+ public:
+  Conv2D(const Conv2DConfig& config, math::Rng& rng);
+  explicit Conv2D(const Conv2DConfig& config);  // deserialization path
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param> params() override;
+  [[nodiscard]] std::string type() const override { return "conv2d"; }
+  [[nodiscard]] std::vector<size_t> output_shape(
+      const std::vector<size_t>& input_shape) const override;
+  void save(util::BinaryWriter& w) const override;
+  static std::unique_ptr<Conv2D> load(util::BinaryReader& r);
+
+  [[nodiscard]] const Conv2DConfig& config() const { return cfg_; }
+  [[nodiscard]] Tensor& weight() { return weight_; }
+  [[nodiscard]] Tensor& bias() { return bias_; }
+
+ private:
+  /// Output spatial dims for an input of h x w.
+  [[nodiscard]] std::pair<size_t, size_t> out_dims(size_t h, size_t w) const;
+
+  Conv2DConfig cfg_;
+  Tensor weight_, weight_grad_;  // [oc, ic*kh*kw]
+  Tensor bias_, bias_grad_;      // [oc]
+  Tensor input_cache_;           // [n, ic, h, w]
+};
+
+/// Lowers one image [C,H,W] into columns [C*kh*kw, out_h*out_w].
+void im2col(const double* img, size_t channels, size_t h, size_t w, size_t kh, size_t kw,
+            size_t stride, size_t pad, double* cols);
+
+/// Adjoint of im2col: scatters columns back into an image (accumulating).
+void col2im(const double* cols, size_t channels, size_t h, size_t w, size_t kh, size_t kw,
+            size_t stride, size_t pad, double* img);
+
+}  // namespace dlpic::nn

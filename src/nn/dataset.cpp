@@ -1,0 +1,112 @@
+#include "nn/dataset.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace dlpic::nn {
+
+Dataset::Dataset(size_t input_dim, size_t target_dim)
+    : input_dim_(input_dim), target_dim_(target_dim) {
+  if (input_dim == 0 || target_dim == 0)
+    throw std::invalid_argument("Dataset: dims must be positive");
+}
+
+void Dataset::add(const std::vector<double>& input, const std::vector<double>& target) {
+  if (input.size() != input_dim_ || target.size() != target_dim_)
+    throw std::invalid_argument("Dataset::add: row size mismatch");
+  inputs_.insert(inputs_.end(), input.begin(), input.end());
+  targets_.insert(targets_.end(), target.begin(), target.end());
+  ++count_;
+}
+
+const double* Dataset::input_row(size_t i) const {
+  if (i >= count_) throw std::out_of_range("Dataset::input_row");
+  return inputs_.data() + i * input_dim_;
+}
+
+const double* Dataset::target_row(size_t i) const {
+  if (i >= count_) throw std::out_of_range("Dataset::target_row");
+  return targets_.data() + i * target_dim_;
+}
+
+std::pair<Tensor, Tensor> Dataset::gather(const std::vector<size_t>& indices) const {
+  Tensor x({indices.size(), input_dim_});
+  Tensor y({indices.size(), target_dim_});
+  for (size_t r = 0; r < indices.size(); ++r) {
+    const double* in = input_row(indices[r]);
+    const double* tg = target_row(indices[r]);
+    std::copy(in, in + input_dim_, x.data() + r * input_dim_);
+    std::copy(tg, tg + target_dim_, y.data() + r * target_dim_);
+  }
+  return {std::move(x), std::move(y)};
+}
+
+std::pair<Tensor, Tensor> Dataset::all() const {
+  std::vector<size_t> idx(count_);
+  std::iota(idx.begin(), idx.end(), 0);
+  return gather(idx);
+}
+
+std::vector<Dataset> Dataset::split(const std::vector<size_t>& sizes, math::Rng& rng) const {
+  size_t total = 0;
+  for (size_t s : sizes) total += s;
+  if (total > count_)
+    throw std::invalid_argument("Dataset::split: requested more rows than available");
+
+  std::vector<size_t> order(count_);
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+
+  std::vector<Dataset> out;
+  out.reserve(sizes.size());
+  size_t cursor = 0;
+  for (size_t s : sizes) {
+    Dataset part(input_dim_, target_dim_);
+    for (size_t i = 0; i < s; ++i) {
+      const size_t row = order[cursor++];
+      part.add({input_row(row), input_row(row) + input_dim_},
+               {target_row(row), target_row(row) + target_dim_});
+    }
+    out.push_back(std::move(part));
+  }
+  return out;
+}
+
+DataLoader::DataLoader(const Dataset& dataset, size_t batch_size, math::Rng& rng,
+                       bool shuffle, bool drop_last)
+    : dataset_(dataset),
+      batch_size_(batch_size),
+      rng_(rng),
+      shuffle_(shuffle),
+      drop_last_(drop_last) {
+  if (batch_size == 0) throw std::invalid_argument("DataLoader: batch_size must be > 0");
+  order_.resize(dataset.size());
+  std::iota(order_.begin(), order_.end(), 0);
+  reset();
+}
+
+size_t DataLoader::batches() const {
+  if (drop_last_) return dataset_.size() / batch_size_;
+  return (dataset_.size() + batch_size_ - 1) / batch_size_;
+}
+
+void DataLoader::reset() {
+  cursor_ = 0;
+  if (shuffle_) rng_.shuffle(order_);
+}
+
+bool DataLoader::next(Tensor& inputs, Tensor& targets) {
+  const size_t remaining = order_.size() - cursor_;
+  if (remaining == 0) return false;
+  size_t take = std::min(batch_size_, remaining);
+  if (drop_last_ && take < batch_size_) return false;
+  std::vector<size_t> idx(order_.begin() + static_cast<long>(cursor_),
+                          order_.begin() + static_cast<long>(cursor_ + take));
+  cursor_ += take;
+  auto [x, y] = dataset_.gather(idx);
+  inputs = std::move(x);
+  targets = std::move(y);
+  return true;
+}
+
+}  // namespace dlpic::nn

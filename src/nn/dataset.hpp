@@ -1,0 +1,75 @@
+#pragma once
+/// \file dataset.hpp
+/// In-memory supervised dataset and mini-batch loader. The dataset holds
+/// flat (input, target) rows; conv models reshape batches to [n, c, h, w]
+/// at the model boundary.
+
+#include <cstdint>
+#include <vector>
+
+#include "math/rng.hpp"
+#include "nn/tensor.hpp"
+
+namespace dlpic::nn {
+
+/// Paired inputs [n, in_dim] and targets [n, out_dim].
+class Dataset {
+ public:
+  Dataset(size_t input_dim, size_t target_dim);
+
+  /// Appends one sample (sizes must match the dataset dims).
+  void add(const std::vector<double>& input, const std::vector<double>& target);
+
+  [[nodiscard]] size_t size() const { return count_; }
+  [[nodiscard]] size_t input_dim() const { return input_dim_; }
+  [[nodiscard]] size_t target_dim() const { return target_dim_; }
+
+  /// Materializes rows `indices` as a pair of 2D tensors.
+  [[nodiscard]] std::pair<Tensor, Tensor> gather(const std::vector<size_t>& indices) const;
+
+  /// The whole dataset as two tensors.
+  [[nodiscard]] std::pair<Tensor, Tensor> all() const;
+
+  /// Row accessors (spans into internal storage).
+  [[nodiscard]] const double* input_row(size_t i) const;
+  [[nodiscard]] const double* target_row(size_t i) const;
+
+  /// Splits into shuffled disjoint subsets of the given sizes (must sum to
+  /// <= size()); remaining rows are dropped. Used for the paper's
+  /// 38k/1k/1k train/val/test split.
+  [[nodiscard]] std::vector<Dataset> split(const std::vector<size_t>& sizes,
+                                           math::Rng& rng) const;
+
+ private:
+  size_t input_dim_, target_dim_, count_ = 0;
+  std::vector<double> inputs_;   // row-major [count, input_dim]
+  std::vector<double> targets_;  // row-major [count, target_dim]
+};
+
+/// Iterates a dataset in shuffled mini-batches.
+class DataLoader {
+ public:
+  /// `drop_last` drops a trailing partial batch (keeps GEMM shapes uniform).
+  DataLoader(const Dataset& dataset, size_t batch_size, math::Rng& rng,
+             bool shuffle = true, bool drop_last = false);
+
+  /// Number of batches per epoch.
+  [[nodiscard]] size_t batches() const;
+
+  /// Reshuffles and restarts iteration (call once per epoch).
+  void reset();
+
+  /// Fetches the next batch; returns false at epoch end.
+  bool next(Tensor& inputs, Tensor& targets);
+
+ private:
+  const Dataset& dataset_;
+  size_t batch_size_;
+  math::Rng& rng_;
+  bool shuffle_;
+  bool drop_last_;
+  std::vector<size_t> order_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace dlpic::nn

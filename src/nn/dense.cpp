@@ -1,0 +1,100 @@
+#include "nn/dense.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "math/linalg.hpp"
+#include "nn/init.hpp"
+
+namespace dlpic::nn {
+
+Dense::Dense(size_t in_features, size_t out_features, math::Rng& rng, bool linear_output)
+    : Dense(in_features, out_features) {
+  if (linear_output)
+    init_glorot_uniform(weight_, in_, out_, rng);
+  else
+    init_he_normal(weight_, in_, rng);
+  init_constant(bias_, 0.0);
+}
+
+Dense::Dense(size_t in_features, size_t out_features)
+    : in_(in_features),
+      out_(out_features),
+      weight_({out_features, in_features}),
+      weight_grad_({out_features, in_features}),
+      bias_({out_features}),
+      bias_grad_({out_features}) {
+  if (in_ == 0 || out_ == 0) throw std::invalid_argument("Dense: zero-sized layer");
+}
+
+Tensor Dense::forward(const Tensor& input, bool /*training*/) {
+  if (input.rank() != 2 || input.dim(1) != in_)
+    throw std::invalid_argument("Dense::forward: expected [batch, " + std::to_string(in_) +
+                                "], got " + input.shape_string());
+  input_cache_ = input;
+  const size_t batch = input.dim(0);
+  Tensor out({batch, out_});
+  // out[b,o] = sum_i x[b,i] W[o,i]  ->  X (batch x in) * W^T (in x out).
+  math::gemm(false, true, batch, out_, in_, 1.0, input.data(), in_, weight_.data(), in_,
+             0.0, out.data(), out_);
+  for (size_t b = 0; b < batch; ++b) {
+    double* row = out.data() + b * out_;
+    const double* bias = bias_.data();
+    for (size_t o = 0; o < out_; ++o) row[o] += bias[o];
+  }
+  return out;
+}
+
+Tensor Dense::backward(const Tensor& grad_output) {
+  const size_t batch = input_cache_.dim(0);
+  if (grad_output.rank() != 2 || grad_output.dim(0) != batch || grad_output.dim(1) != out_)
+    throw std::invalid_argument("Dense::backward: grad shape mismatch " +
+                                grad_output.shape_string());
+
+  // dW[o,i] += sum_b dY[b,o] X[b,i]  ->  dY^T (out x batch) * X (batch x in).
+  math::gemm(true, false, out_, in_, batch, 1.0, grad_output.data(), out_,
+             input_cache_.data(), in_, 1.0, weight_grad_.data(), in_);
+  // db[o] += sum_b dY[b,o].
+  for (size_t b = 0; b < batch; ++b) {
+    const double* row = grad_output.data() + b * out_;
+    double* bg = bias_grad_.data();
+    for (size_t o = 0; o < out_; ++o) bg[o] += row[o];
+  }
+  // dX = dY (batch x out) * W (out x in).
+  Tensor grad_in({batch, in_});
+  math::gemm(false, false, batch, in_, out_, 1.0, grad_output.data(), out_, weight_.data(),
+             in_, 0.0, grad_in.data(), in_);
+  return grad_in;
+}
+
+std::vector<Param> Dense::params() {
+  return {{&weight_, &weight_grad_, "weight"}, {&bias_, &bias_grad_, "bias"}};
+}
+
+std::vector<size_t> Dense::output_shape(const std::vector<size_t>& input_shape) const {
+  if (input_shape.size() != 2 || input_shape[1] != in_)
+    throw std::invalid_argument("Dense::output_shape: incompatible input shape");
+  return {input_shape[0], out_};
+}
+
+void Dense::save(util::BinaryWriter& w) const {
+  w.write_u64(in_);
+  w.write_u64(out_);
+  w.write_f64_vector(weight_.vec());
+  w.write_f64_vector(bias_.vec());
+}
+
+std::unique_ptr<Dense> Dense::load(util::BinaryReader& r) {
+  const size_t in = r.read_u64();
+  const size_t out = r.read_u64();
+  auto layer = std::make_unique<Dense>(in, out);
+  auto wv = r.read_f64_vector();
+  auto bv = r.read_f64_vector();
+  if (wv.size() != in * out || bv.size() != out)
+    throw std::runtime_error("Dense::load: parameter size mismatch");
+  layer->weight_ = Tensor({out, in}, std::move(wv));
+  layer->bias_ = Tensor({out}, std::move(bv));
+  return layer;
+}
+
+}  // namespace dlpic::nn

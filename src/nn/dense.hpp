@@ -1,0 +1,43 @@
+#pragma once
+/// \file dense.hpp
+/// Fully connected layer: y = x W^T + b with W [out, in], b [out].
+/// Forward/backward are GEMMs over the batch — the hot path of MLP training.
+
+#include "math/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace dlpic::nn {
+
+/// Dense (fully connected) layer.
+class Dense final : public Layer {
+ public:
+  /// He-initialized weights (suitable for the ReLU nets of the paper);
+  /// pass `linear_output = true` for Glorot init on regression heads.
+  Dense(size_t in_features, size_t out_features, math::Rng& rng,
+        bool linear_output = false);
+
+  /// Uninitialized-weight constructor used by deserialization.
+  Dense(size_t in_features, size_t out_features);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Param> params() override;
+  [[nodiscard]] std::string type() const override { return "dense"; }
+  [[nodiscard]] std::vector<size_t> output_shape(
+      const std::vector<size_t>& input_shape) const override;
+  void save(util::BinaryWriter& w) const override;
+  static std::unique_ptr<Dense> load(util::BinaryReader& r);
+
+  [[nodiscard]] size_t in_features() const { return in_; }
+  [[nodiscard]] size_t out_features() const { return out_; }
+  [[nodiscard]] Tensor& weight() { return weight_; }
+  [[nodiscard]] Tensor& bias() { return bias_; }
+
+ private:
+  size_t in_, out_;
+  Tensor weight_, weight_grad_;  // [out, in]
+  Tensor bias_, bias_grad_;      // [out]
+  Tensor input_cache_;           // [batch, in]
+};
+
+}  // namespace dlpic::nn

@@ -1,0 +1,80 @@
+#include "nn/flatten.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace dlpic::nn {
+
+Tensor Flatten::forward(const Tensor& input, bool /*training*/) {
+  if (input.rank() < 2)
+    throw std::invalid_argument("Flatten::forward: rank must be >= 2");
+  input_shape_ = input.shape();
+  Tensor out = input;
+  size_t features = 1;
+  for (size_t i = 1; i < input_shape_.size(); ++i) features *= input_shape_[i];
+  out.reshape({input_shape_[0], features});
+  return out;
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  Tensor grad_in = grad_output;
+  grad_in.reshape(input_shape_);
+  return grad_in;
+}
+
+std::vector<size_t> Flatten::output_shape(const std::vector<size_t>& input_shape) const {
+  if (input_shape.size() < 2)
+    throw std::invalid_argument("Flatten::output_shape: rank must be >= 2");
+  size_t features = 1;
+  for (size_t i = 1; i < input_shape.size(); ++i) features *= input_shape[i];
+  return {input_shape[0], features};
+}
+
+void Flatten::save(util::BinaryWriter& /*w*/) const {}
+
+std::unique_ptr<Flatten> Flatten::load(util::BinaryReader& /*r*/) {
+  return std::make_unique<Flatten>();
+}
+
+Reshape4::Reshape4(size_t channels, size_t height, size_t width)
+    : c_(channels), h_(height), w_(width) {
+  if (c_ == 0 || h_ == 0 || w_ == 0)
+    throw std::invalid_argument("Reshape4: zero-sized target shape");
+}
+
+Tensor Reshape4::forward(const Tensor& input, bool /*training*/) {
+  if (input.rank() != 2 || input.dim(1) != c_ * h_ * w_)
+    throw std::invalid_argument("Reshape4::forward: expected [batch, " +
+                                std::to_string(c_ * h_ * w_) + "], got " +
+                                input.shape_string());
+  Tensor out = input;
+  out.reshape({input.dim(0), c_, h_, w_});
+  return out;
+}
+
+Tensor Reshape4::backward(const Tensor& grad_output) {
+  Tensor grad_in = grad_output;
+  grad_in.reshape({grad_output.dim(0), c_ * h_ * w_});
+  return grad_in;
+}
+
+std::vector<size_t> Reshape4::output_shape(const std::vector<size_t>& input_shape) const {
+  if (input_shape.size() != 2 || input_shape[1] != c_ * h_ * w_)
+    throw std::invalid_argument("Reshape4::output_shape: incompatible input shape");
+  return {input_shape[0], c_, h_, w_};
+}
+
+void Reshape4::save(util::BinaryWriter& w) const {
+  w.write_u64(c_);
+  w.write_u64(h_);
+  w.write_u64(w_);
+}
+
+std::unique_ptr<Reshape4> Reshape4::load(util::BinaryReader& r) {
+  const size_t c = r.read_u64();
+  const size_t h = r.read_u64();
+  const size_t w = r.read_u64();
+  return std::make_unique<Reshape4>(c, h, w);
+}
+
+}  // namespace dlpic::nn

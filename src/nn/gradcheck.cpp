@@ -1,0 +1,65 @@
+#include "nn/gradcheck.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/loss.hpp"
+
+namespace dlpic::nn {
+
+GradCheckResult check_gradients(Sequential& model, const Tensor& x, const Tensor& y,
+                                double eps, double tol, double floor_denom) {
+  GradCheckResult result;
+
+  // Analytic gradients.
+  MSELoss loss;
+  Tensor pred = model.forward(x, /*training=*/true);
+  loss.forward(pred, y);
+  model.zero_grad();
+  Tensor input_grad = model.backward(loss.backward());
+
+  auto loss_at = [&](const Tensor& input) {
+    MSELoss l;
+    Tensor p = model.forward(input, /*training=*/true);
+    return l.forward(p, y);
+  };
+
+  // Parameter gradients via central differences.
+  for (auto& p : model.params()) {
+    for (size_t i = 0; i < p.value->size(); ++i) {
+      const double saved = (*p.value)[i];
+      (*p.value)[i] = saved + eps;
+      const double lp = loss_at(x);
+      (*p.value)[i] = saved - eps;
+      const double lm = loss_at(x);
+      (*p.value)[i] = saved;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      const double analytic = (*p.grad)[i];
+      const double denom = std::max({std::abs(numeric), std::abs(analytic), floor_denom});
+      result.max_param_rel_error =
+          std::max(result.max_param_rel_error, std::abs(numeric - analytic) / denom);
+      ++result.checked_params;
+    }
+  }
+
+  // Input gradients.
+  Tensor xmut = x;
+  for (size_t i = 0; i < xmut.size(); ++i) {
+    const double saved = xmut[i];
+    xmut[i] = saved + eps;
+    const double lp = loss_at(xmut);
+    xmut[i] = saved - eps;
+    const double lm = loss_at(xmut);
+    xmut[i] = saved;
+    const double numeric = (lp - lm) / (2.0 * eps);
+    const double analytic = input_grad[i];
+    const double denom = std::max({std::abs(numeric), std::abs(analytic), floor_denom});
+    result.max_input_rel_error =
+        std::max(result.max_input_rel_error, std::abs(numeric - analytic) / denom);
+  }
+
+  result.ok = result.max_param_rel_error < tol && result.max_input_rel_error < tol;
+  return result;
+}
+
+}  // namespace dlpic::nn

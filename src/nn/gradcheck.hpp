@@ -1,0 +1,28 @@
+#pragma once
+/// \file gradcheck.hpp
+/// Finite-difference gradient verification used by the test suite: compares
+/// backprop gradients of every parameter and of the input against central
+/// differences of the MSE loss. Double precision makes 1e-6-level agreement
+/// achievable on small nets.
+
+#include "nn/sequential.hpp"
+#include "nn/tensor.hpp"
+
+namespace dlpic::nn {
+
+/// Result of a gradient check.
+struct GradCheckResult {
+  double max_param_rel_error = 0.0;  ///< worst relative error over parameters
+  double max_input_rel_error = 0.0;  ///< worst relative error over input grads
+  size_t checked_params = 0;
+  bool ok = false;
+};
+
+/// Verifies d(MSE(model(x), y))/dtheta via central differences with step
+/// `eps`. `tol` is the relative-error acceptance threshold (denominator
+/// floored at `floor_denom` to avoid 0/0 blowups on tiny gradients).
+GradCheckResult check_gradients(Sequential& model, const Tensor& x, const Tensor& y,
+                                double eps = 1e-5, double tol = 1e-5,
+                                double floor_denom = 1e-7);
+
+}  // namespace dlpic::nn

@@ -1,0 +1,23 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dlpic::nn {
+
+void init_he_normal(Tensor& w, size_t fan_in, math::Rng& rng) {
+  if (fan_in == 0) throw std::invalid_argument("init_he_normal: fan_in must be > 0");
+  const double sigma = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (size_t i = 0; i < w.size(); ++i) w[i] = rng.normal(0.0, sigma);
+}
+
+void init_glorot_uniform(Tensor& w, size_t fan_in, size_t fan_out, math::Rng& rng) {
+  if (fan_in + fan_out == 0)
+    throw std::invalid_argument("init_glorot_uniform: fan sizes must be > 0");
+  const double a = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (size_t i = 0; i < w.size(); ++i) w[i] = rng.uniform(-a, a);
+}
+
+void init_constant(Tensor& w, double value) { w.fill(value); }
+
+}  // namespace dlpic::nn

@@ -1,0 +1,20 @@
+#pragma once
+/// \file init.hpp
+/// Weight initialization schemes. He initialization pairs with ReLU hidden
+/// layers (the paper's MLP/CNN); Glorot with linear/tanh outputs.
+
+#include "math/rng.hpp"
+#include "nn/tensor.hpp"
+
+namespace dlpic::nn {
+
+/// He (Kaiming) normal: N(0, sqrt(2/fan_in)).
+void init_he_normal(Tensor& w, size_t fan_in, math::Rng& rng);
+
+/// Glorot (Xavier) uniform: U(-a, a), a = sqrt(6/(fan_in+fan_out)).
+void init_glorot_uniform(Tensor& w, size_t fan_in, size_t fan_out, math::Rng& rng);
+
+/// Constant fill (biases default to zero).
+void init_constant(Tensor& w, double value);
+
+}  // namespace dlpic::nn

@@ -1,0 +1,59 @@
+#pragma once
+/// \file layer.hpp
+/// Abstract layer interface for the backprop engine.
+///
+/// Contract: forward() caches whatever backward() needs; backward() consumes
+/// the gradient w.r.t. the layer output and returns the gradient w.r.t. the
+/// layer input while accumulating parameter gradients (call zero_grad()
+/// between optimizer steps). Layers are stateful and not thread-safe across
+/// concurrent forward calls — one model instance per thread.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "util/binary_io.hpp"
+
+namespace dlpic::nn {
+
+/// A learnable parameter: value and accumulated gradient (same shape).
+struct Param {
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+  std::string name;  ///< e.g. "dense0.weight" (set by Sequential)
+};
+
+/// Base class of every network layer.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output. `training` toggles train-only behavior
+  /// (e.g. dropout); inference passes false.
+  virtual Tensor forward(const Tensor& input, bool training) = 0;
+
+  /// Backpropagates: grad w.r.t. output -> grad w.r.t. input, accumulating
+  /// parameter gradients. Must be called after forward() on the same input.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Learnable parameters (empty for activations/pooling).
+  virtual std::vector<Param> params() { return {}; }
+
+  /// Layer type tag used by serialization ("dense", "relu", ...).
+  [[nodiscard]] virtual std::string type() const = 0;
+
+  /// Output shape for a given input shape (throws on incompatible input).
+  [[nodiscard]] virtual std::vector<size_t> output_shape(
+      const std::vector<size_t>& input_shape) const = 0;
+
+  /// Serializes layer hyperparameters + parameters.
+  virtual void save(util::BinaryWriter& w) const = 0;
+
+  /// Zeroes accumulated parameter gradients.
+  void zero_grad() {
+    for (auto& p : params()) p.grad->zero();
+  }
+};
+
+}  // namespace dlpic::nn

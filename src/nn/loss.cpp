@@ -1,0 +1,62 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dlpic::nn {
+
+namespace {
+void require_same_shape(const Tensor& a, const Tensor& b, const char* who) {
+  if (!a.same_shape(b))
+    throw std::invalid_argument(std::string(who) + ": shape mismatch " + a.shape_string() +
+                                " vs " + b.shape_string());
+  if (a.empty()) throw std::invalid_argument(std::string(who) + ": empty tensors");
+}
+}  // namespace
+
+double MSELoss::forward(const Tensor& pred, const Tensor& target) {
+  require_same_shape(pred, target, "MSELoss");
+  diff_ = pred;
+  double acc = 0.0;
+  double* d = diff_.data();
+  const double* t = target.data();
+  for (size_t i = 0; i < diff_.size(); ++i) {
+    d[i] -= t[i];
+    acc += d[i] * d[i];
+  }
+  return acc / static_cast<double>(diff_.size());
+}
+
+Tensor MSELoss::backward() const {
+  if (diff_.empty()) throw std::runtime_error("MSELoss::backward before forward");
+  Tensor grad = diff_;
+  const double scale = 2.0 / static_cast<double>(diff_.size());
+  scale_inplace(grad, scale);
+  return grad;
+}
+
+double mae_metric(const Tensor& pred, const Tensor& target) {
+  require_same_shape(pred, target, "mae_metric");
+  double acc = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) acc += std::abs(pred[i] - target[i]);
+  return acc / static_cast<double>(pred.size());
+}
+
+double max_error_metric(const Tensor& pred, const Tensor& target) {
+  require_same_shape(pred, target, "max_error_metric");
+  double m = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) m = std::max(m, std::abs(pred[i] - target[i]));
+  return m;
+}
+
+double mse_metric(const Tensor& pred, const Tensor& target) {
+  require_same_shape(pred, target, "mse_metric");
+  double acc = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred[i] - target[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(pred.size());
+}
+
+}  // namespace dlpic::nn

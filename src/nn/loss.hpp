@@ -1,0 +1,34 @@
+#pragma once
+/// \file loss.hpp
+/// Training loss and evaluation metrics. The networks are trained on MSE;
+/// the paper reports MAE (Eq. 6) and maximum error (Table I), provided here
+/// as metrics.
+
+#include "nn/tensor.hpp"
+
+namespace dlpic::nn {
+
+/// Mean squared error over all elements: mean((pred - target)^2).
+class MSELoss {
+ public:
+  /// Loss value; caches (pred - target) for backward.
+  double forward(const Tensor& pred, const Tensor& target);
+
+  /// Gradient of the loss w.r.t. pred: 2*(pred - target)/N.
+  [[nodiscard]] Tensor backward() const;
+
+ private:
+  Tensor diff_;
+};
+
+/// Mean absolute error over all elements (paper Eq. 6 generalizes per-sample
+/// MAE; averaging over elements and samples is equivalent for fixed width).
+double mae_metric(const Tensor& pred, const Tensor& target);
+
+/// Maximum absolute elementwise error (paper Table I "Max Error").
+double max_error_metric(const Tensor& pred, const Tensor& target);
+
+/// Mean squared error as a standalone metric.
+double mse_metric(const Tensor& pred, const Tensor& target);
+
+}  // namespace dlpic::nn

@@ -1,0 +1,75 @@
+#include "nn/maxpool2d.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace dlpic::nn {
+
+MaxPool2D::MaxPool2D(size_t pool) : pool_(pool) {
+  if (pool_ < 1) throw std::invalid_argument("MaxPool2D: pool must be >= 1");
+}
+
+Tensor MaxPool2D::forward(const Tensor& input, bool /*training*/) {
+  if (input.rank() != 4)
+    throw std::invalid_argument("MaxPool2D::forward: expected rank-4 input, got " +
+                                input.shape_string());
+  const size_t n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+  if (h % pool_ != 0 || w % pool_ != 0)
+    throw std::invalid_argument("MaxPool2D::forward: dims not divisible by pool size");
+  const size_t oh = h / pool_, ow = w / pool_;
+  input_shape_ = input.shape();
+
+  Tensor out({n, c, oh, ow});
+  argmax_.assign(out.size(), 0);
+  const double* src = input.data();
+  double* dst = out.data();
+  size_t oidx = 0;
+  for (size_t b = 0; b < n; ++b) {
+    for (size_t ch = 0; ch < c; ++ch) {
+      const size_t plane_off = (b * c + ch) * h * w;
+      for (size_t oi = 0; oi < oh; ++oi) {
+        for (size_t oj = 0; oj < ow; ++oj, ++oidx) {
+          double best = -1e300;
+          size_t best_idx = 0;
+          for (size_t pi = 0; pi < pool_; ++pi) {
+            const size_t row = oi * pool_ + pi;
+            for (size_t pj = 0; pj < pool_; ++pj) {
+              const size_t idx = plane_off + row * w + oj * pool_ + pj;
+              if (src[idx] > best) {
+                best = src[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          dst[oidx] = best;
+          argmax_[oidx] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2D::backward(const Tensor& grad_output) {
+  if (grad_output.size() != argmax_.size())
+    throw std::invalid_argument("MaxPool2D::backward: grad size mismatch");
+  Tensor grad_in(input_shape_);
+  double* g = grad_in.data();
+  const double* go = grad_output.data();
+  for (size_t i = 0; i < argmax_.size(); ++i) g[argmax_[i]] += go[i];
+  return grad_in;
+}
+
+std::vector<size_t> MaxPool2D::output_shape(const std::vector<size_t>& input_shape) const {
+  if (input_shape.size() != 4 || input_shape[2] % pool_ != 0 || input_shape[3] % pool_ != 0)
+    throw std::invalid_argument("MaxPool2D::output_shape: incompatible input shape");
+  return {input_shape[0], input_shape[1], input_shape[2] / pool_, input_shape[3] / pool_};
+}
+
+void MaxPool2D::save(util::BinaryWriter& w) const { w.write_u64(pool_); }
+
+std::unique_ptr<MaxPool2D> MaxPool2D::load(util::BinaryReader& r) {
+  return std::make_unique<MaxPool2D>(r.read_u64());
+}
+
+}  // namespace dlpic::nn

@@ -1,0 +1,87 @@
+#include "nn/model_zoo.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "math/rng.hpp"
+#include "nn/activation.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/flatten.hpp"
+#include "nn/maxpool2d.hpp"
+#include "nn/residual.hpp"
+
+namespace dlpic::nn {
+
+Sequential build_mlp(const MlpSpec& spec) {
+  if (spec.depth == 0) throw std::invalid_argument("build_mlp: depth must be >= 1");
+  math::Rng rng(spec.seed);
+  Sequential model;
+  size_t in = spec.input_dim;
+  for (size_t d = 0; d < spec.depth; ++d) {
+    model.add(std::make_unique<Dense>(in, spec.hidden, rng));
+    model.add(std::make_unique<ReLU>());
+    in = spec.hidden;
+  }
+  model.add(std::make_unique<Dense>(in, spec.output_dim, rng, /*linear_output=*/true));
+  return model;
+}
+
+Sequential build_cnn(const CnnSpec& spec) {
+  if (spec.input_h % 4 != 0 || spec.input_w % 4 != 0)
+    throw std::invalid_argument("build_cnn: input dims must be divisible by 4");
+  math::Rng rng(spec.seed);
+  Sequential model;
+  model.add(std::make_unique<Reshape4>(1, spec.input_h, spec.input_w));
+
+  auto conv = [&rng](size_t in_ch, size_t out_ch) {
+    Conv2DConfig cfg;
+    cfg.in_channels = in_ch;
+    cfg.out_channels = out_ch;
+    cfg.kernel_h = 3;
+    cfg.kernel_w = 3;
+    cfg.stride = 1;
+    cfg.pad = 1;  // "same" padding
+    return std::make_unique<Conv2D>(cfg, rng);
+  };
+
+  // Block 1: two convolutions + pool (paper: "two convolutional layers
+  // followed by a MaxPooling layer").
+  model.add(conv(1, spec.channels1));
+  model.add(std::make_unique<ReLU>());
+  model.add(conv(spec.channels1, spec.channels1));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<MaxPool2D>(2));
+  // Block 2.
+  model.add(conv(spec.channels1, spec.channels2));
+  model.add(std::make_unique<ReLU>());
+  model.add(conv(spec.channels2, spec.channels2));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<MaxPool2D>(2));
+
+  model.add(std::make_unique<Flatten>());
+  const size_t flat = spec.channels2 * (spec.input_h / 4) * (spec.input_w / 4);
+  size_t in = flat;
+  for (int d = 0; d < 3; ++d) {
+    model.add(std::make_unique<Dense>(in, spec.hidden, rng));
+    model.add(std::make_unique<ReLU>());
+    in = spec.hidden;
+  }
+  model.add(std::make_unique<Dense>(in, spec.output_dim, rng, /*linear_output=*/true));
+  return model;
+}
+
+Sequential build_resmlp(const ResMlpSpec& spec) {
+  if (spec.blocks == 0) throw std::invalid_argument("build_resmlp: blocks must be >= 1");
+  math::Rng rng(spec.seed);
+  Sequential model;
+  model.add(std::make_unique<Dense>(spec.input_dim, spec.width, rng));
+  model.add(std::make_unique<ReLU>());
+  for (size_t b = 0; b < spec.blocks; ++b)
+    model.add(std::make_unique<ResidualDense>(spec.width, spec.width, rng));
+  model.add(std::make_unique<Dense>(spec.width, spec.output_dim, rng,
+                                    /*linear_output=*/true));
+  return model;
+}
+
+}  // namespace dlpic::nn

@@ -1,0 +1,60 @@
+#pragma once
+/// \file model_zoo.hpp
+/// The paper's two field-solver architectures (§IV-A), parameterized so the
+/// `ci` preset can shrink widths while keeping the exact topology:
+///
+/// MLP:  input (nx*nv) -> 3 x [Dense(hidden) + ReLU] -> Dense(out), linear.
+///       Paper: hidden = 1024, out = 64.
+/// CNN:  input reshaped to [1, nv, nx] -> 2 blocks of
+///       [Conv3x3 + ReLU, Conv3x3 + ReLU, MaxPool2] -> flatten ->
+///       3 x [Dense(hidden) + ReLU] -> Dense(out), linear.
+///       Paper: three 1024-wide dense layers, 64 linear outputs; channel
+///       counts are not specified in the paper — we default to 16/32.
+
+#include <cstdint>
+
+#include "nn/sequential.hpp"
+
+namespace dlpic::nn {
+
+/// MLP field-solver hyperparameters.
+struct MlpSpec {
+  size_t input_dim = 64 * 64;  ///< phase-space bins nx*nv
+  size_t output_dim = 64;      ///< grid cells
+  size_t hidden = 1024;        ///< width of each of the 3 hidden layers
+  size_t depth = 3;            ///< number of hidden layers
+  uint64_t seed = 2024;
+};
+
+/// CNN field-solver hyperparameters.
+struct CnnSpec {
+  size_t input_h = 64;       ///< phase-space velocity bins (image height)
+  size_t input_w = 64;       ///< phase-space position bins (image width)
+  size_t output_dim = 64;    ///< grid cells
+  size_t channels1 = 16;     ///< channels of the first conv block
+  size_t channels2 = 32;     ///< channels of the second conv block
+  size_t hidden = 1024;      ///< width of the 3 dense layers
+  uint64_t seed = 2025;
+};
+
+/// Builds the paper's MLP (3 hidden ReLU layers + linear output).
+Sequential build_mlp(const MlpSpec& spec);
+
+/// Builds the paper's CNN (2 conv blocks + 3 dense ReLU layers + linear
+/// output). input_h and input_w must be divisible by 4 (two 2x2 pools).
+Sequential build_cnn(const CnnSpec& spec);
+
+/// Residual-MLP field-solver hyperparameters (§VII extension: "Residual
+/// networks (ResNet) might be a better fit to DL-based PIC methods").
+struct ResMlpSpec {
+  size_t input_dim = 64 * 64;
+  size_t output_dim = 64;
+  size_t width = 256;    ///< trunk width (input projected to this)
+  size_t blocks = 3;     ///< residual blocks
+  uint64_t seed = 2026;
+};
+
+/// Builds input -> Dense(width) -> `blocks` x ResidualDense -> Dense(out).
+Sequential build_resmlp(const ResMlpSpec& spec);
+
+}  // namespace dlpic::nn

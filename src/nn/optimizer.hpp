@@ -1,0 +1,57 @@
+#pragma once
+/// \file optimizer.hpp
+/// First-order optimizers. Adam with lr = 1e-4 and batch 64 is the paper's
+/// training configuration (§IV-A); SGD with momentum is kept as a baseline
+/// for ablations.
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace dlpic::nn {
+
+/// Optimizer interface over a fixed parameter list. The parameter list must
+/// be identical (same order and shapes) across step() calls, because state
+/// (momentum, Adam moments) is held per position.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the gradients accumulated in `params`.
+  virtual void step(const std::vector<Param>& params) = 0;
+
+  [[nodiscard]] virtual double learning_rate() const = 0;
+  virtual void set_learning_rate(double lr) = 0;
+};
+
+/// Plain SGD with optional momentum.
+class SGD final : public Optimizer {
+ public:
+  explicit SGD(double lr, double momentum = 0.0);
+  void step(const std::vector<Param>& params) override;
+  [[nodiscard]] double learning_rate() const override { return lr_; }
+  void set_learning_rate(double lr) override { lr_ = lr; }
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba 2015) with bias correction.
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double lr = 1e-4, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8);
+  void step(const std::vector<Param>& params) override;
+  [[nodiscard]] double learning_rate() const override { return lr_; }
+  void set_learning_rate(double lr) override { lr_ = lr; }
+  [[nodiscard]] long steps_taken() const { return t_; }
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  long t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace dlpic::nn

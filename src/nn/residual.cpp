@@ -1,0 +1,90 @@
+#include "nn/residual.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace dlpic::nn {
+
+ResidualDense::ResidualDense(size_t width, size_t hidden)
+    : width_(width), hidden_(hidden), inner_(width, hidden), outer_(hidden, width) {
+  if (width == 0 || hidden == 0)
+    throw std::invalid_argument("ResidualDense: zero-sized block");
+}
+
+ResidualDense::ResidualDense(size_t width, size_t hidden, math::Rng& rng)
+    : ResidualDense(width, hidden) {
+  // Reinitialize the sub-layers with the shared rng (He for the ReLU inner
+  // layer, Glorot for the linear outer layer so the block starts near
+  // identity-plus-small-perturbation).
+  inner_ = Dense(width, hidden, rng, /*linear_output=*/false);
+  outer_ = Dense(hidden, width, rng, /*linear_output=*/true);
+}
+
+Tensor ResidualDense::forward(const Tensor& input, bool training) {
+  if (input.rank() != 2 || input.dim(1) != width_)
+    throw std::invalid_argument("ResidualDense::forward: expected [batch, " +
+                                std::to_string(width_) + "], got " + input.shape_string());
+  Tensor h = inner_.forward(input, training);
+  hidden_cache_ = h;  // pre-activation, needed for the ReLU mask in backward
+  double* p = h.data();
+  for (size_t i = 0; i < h.size(); ++i)
+    if (p[i] < 0.0) p[i] = 0.0;
+  Tensor out = outer_.forward(h, training);
+  add_inplace(out, input);  // identity skip
+  return out;
+}
+
+Tensor ResidualDense::backward(const Tensor& grad_output) {
+  // d/dx [x + f(x)] = I + f'(x): the skip adds grad_output directly.
+  Tensor g_hidden = outer_.backward(grad_output);
+  double* g = g_hidden.data();
+  const double* pre = hidden_cache_.data();
+  for (size_t i = 0; i < g_hidden.size(); ++i)
+    if (pre[i] <= 0.0) g[i] = 0.0;
+  Tensor grad_in = inner_.backward(g_hidden);
+  add_inplace(grad_in, grad_output);
+  return grad_in;
+}
+
+std::vector<Param> ResidualDense::params() {
+  std::vector<Param> out;
+  for (auto& p : inner_.params()) {
+    p.name = "inner." + p.name;
+    out.push_back(p);
+  }
+  for (auto& p : outer_.params()) {
+    p.name = "outer." + p.name;
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<size_t> ResidualDense::output_shape(
+    const std::vector<size_t>& input_shape) const {
+  if (input_shape.size() != 2 || input_shape[1] != width_)
+    throw std::invalid_argument("ResidualDense::output_shape: incompatible input shape");
+  return input_shape;
+}
+
+void ResidualDense::save(util::BinaryWriter& w) const {
+  w.write_u64(width_);
+  w.write_u64(hidden_);
+  inner_.save(w);
+  outer_.save(w);
+}
+
+std::unique_ptr<ResidualDense> ResidualDense::load(util::BinaryReader& r) {
+  const size_t width = r.read_u64();
+  const size_t hidden = r.read_u64();
+  auto block = std::make_unique<ResidualDense>(width, hidden);
+  auto inner = Dense::load(r);
+  auto outer = Dense::load(r);
+  if (inner->in_features() != width || inner->out_features() != hidden ||
+      outer->in_features() != hidden || outer->out_features() != width)
+    throw std::runtime_error("ResidualDense::load: sub-layer shape mismatch");
+  block->inner_ = std::move(*inner);
+  block->outer_ = std::move(*outer);
+  return block;
+}
+
+}  // namespace dlpic::nn

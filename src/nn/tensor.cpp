@@ -1,0 +1,75 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace dlpic::nn {
+
+size_t Tensor::volume(const std::vector<size_t>& shape) {
+  size_t v = 1;
+  for (size_t d : shape) v *= d;
+  return shape.empty() ? 0 : v;
+}
+
+Tensor::Tensor(std::vector<size_t> shape)
+    : shape_(std::move(shape)), data_(volume(shape_), 0.0) {}
+
+Tensor::Tensor(std::vector<size_t> shape, std::vector<double> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (data_.size() != volume(shape_))
+    throw std::invalid_argument("Tensor: data size does not match shape volume");
+}
+
+size_t Tensor::dim(size_t i) const {
+  if (i >= shape_.size()) throw std::out_of_range("Tensor::dim: index out of range");
+  return shape_[i];
+}
+
+double& Tensor::at2(size_t i, size_t j) {
+  return data_[i * shape_[1] + j];
+}
+
+double Tensor::at2(size_t i, size_t j) const {
+  return data_[i * shape_[1] + j];
+}
+
+double& Tensor::at4(size_t n, size_t c, size_t h, size_t w) {
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+double Tensor::at4(size_t n, size_t c, size_t h, size_t w) const {
+  return data_[((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+}
+
+void Tensor::reshape(std::vector<size_t> new_shape) {
+  if (volume(new_shape) != data_.size())
+    throw std::invalid_argument("Tensor::reshape: volume mismatch");
+  shape_ = std::move(new_shape);
+}
+
+void Tensor::fill(double value) { std::fill(data_.begin(), data_.end(), value); }
+
+std::string Tensor::shape_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape_.size(); ++i) os << (i ? ", " : "") << shape_[i];
+  os << "]";
+  return os.str();
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  if (!a.same_shape(b))
+    throw std::invalid_argument("add_inplace: shape mismatch " + a.shape_string() + " vs " +
+                                b.shape_string());
+  double* pa = a.data();
+  const double* pb = b.data();
+  for (size_t i = 0; i < a.size(); ++i) pa[i] += pb[i];
+}
+
+void scale_inplace(Tensor& a, double s) {
+  double* pa = a.data();
+  for (size_t i = 0; i < a.size(); ++i) pa[i] *= s;
+}
+
+}  // namespace dlpic::nn

@@ -1,0 +1,82 @@
+#pragma once
+/// \file tensor.hpp
+/// Dense row-major N-dimensional tensor of doubles — the data type flowing
+/// through the neural-network library. Layouts used by the layers:
+///   dense activations  [batch, features]
+///   conv activations   [batch, channels, height, width]
+/// Double precision keeps finite-difference gradient checks meaningful; the
+/// networks in this project (MLP 3x1024, small CNN) train comfortably in
+/// double on CPU.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dlpic::nn {
+
+/// Row-major dense tensor with up to 4 dimensions (more are allowed; the
+/// library only uses 2 and 4).
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<size_t> shape);
+
+  /// Tensor with explicit contents (data.size() must match the shape volume).
+  Tensor(std::vector<size_t> shape, std::vector<double> data);
+
+  [[nodiscard]] const std::vector<size_t>& shape() const { return shape_; }
+  [[nodiscard]] size_t rank() const { return shape_.size(); }
+  [[nodiscard]] size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  /// Dimension i of the shape (bounds-checked).
+  [[nodiscard]] size_t dim(size_t i) const;
+
+  [[nodiscard]] double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+  [[nodiscard]] std::vector<double>& vec() { return data_; }
+  [[nodiscard]] const std::vector<double>& vec() const { return data_; }
+
+  double& operator[](size_t i) { return data_[i]; }
+  double operator[](size_t i) const { return data_[i]; }
+
+  /// 2D indexed access (rank must be 2).
+  double& at2(size_t i, size_t j);
+  double at2(size_t i, size_t j) const;
+
+  /// 4D indexed access (rank must be 4).
+  double& at4(size_t n, size_t c, size_t h, size_t w);
+  double at4(size_t n, size_t c, size_t h, size_t w) const;
+
+  /// Reinterprets the shape without touching data (volume must match).
+  void reshape(std::vector<size_t> new_shape);
+
+  /// Sets every element to `value`.
+  void fill(double value);
+
+  /// Sets every element to zero.
+  void zero() { fill(0.0); }
+
+  /// True when shapes are identical.
+  [[nodiscard]] bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// "[2, 64]"-style shape string for error messages.
+  [[nodiscard]] std::string shape_string() const;
+
+  /// Volume of a shape.
+  static size_t volume(const std::vector<size_t>& shape);
+
+ private:
+  std::vector<size_t> shape_;
+  std::vector<double> data_;
+};
+
+/// Elementwise a += b (same shape required).
+void add_inplace(Tensor& a, const Tensor& b);
+
+/// Elementwise a *= s.
+void scale_inplace(Tensor& a, double s);
+
+}  // namespace dlpic::nn

@@ -1,0 +1,66 @@
+#pragma once
+/// \file trainer.hpp
+/// Training loop: epochs of shuffled mini-batches with MSE loss, per-epoch
+/// validation metrics and optional early stopping. Reproduces the paper's
+/// training procedure (Adam, batch 64, lr 1e-4, fixed epoch budget).
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "math/rng.hpp"
+#include "nn/dataset.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+
+namespace dlpic::nn {
+
+/// Evaluation metrics on a dataset (paper Table I columns).
+struct Metrics {
+  double mse = 0.0;
+  double mae = 0.0;
+  double max_error = 0.0;
+  size_t samples = 0;
+};
+
+/// Per-epoch training record.
+struct EpochStats {
+  size_t epoch = 0;
+  double train_loss = 0.0;  ///< mean MSE over the epoch's batches
+  Metrics validation;       ///< empty when no validation set is given
+  double seconds = 0.0;
+};
+
+/// Training configuration.
+struct TrainConfig {
+  size_t epochs = 150;       ///< paper: 150 (MLP) / 100 (CNN)
+  size_t batch_size = 64;    ///< paper: 64
+  bool verbose = false;      ///< log per-epoch progress
+  size_t patience = 0;       ///< early stop after N non-improving epochs (0 = off)
+  double min_delta = 0.0;    ///< improvement threshold for early stopping
+  uint64_t shuffle_seed = 77;
+};
+
+/// Orchestrates training of a Sequential model.
+class Trainer {
+ public:
+  explicit Trainer(TrainConfig config = {});
+
+  using EpochCallback = std::function<void(const EpochStats&)>;
+
+  /// Trains `model` on `train` with `optimizer`; evaluates on `val` after
+  /// each epoch when provided. Returns per-epoch statistics.
+  std::vector<EpochStats> fit(Sequential& model, Optimizer& optimizer, const Dataset& train,
+                              const Dataset* val = nullptr,
+                              const EpochCallback& on_epoch = nullptr);
+
+  /// Computes MSE/MAE/max-error of `model` on `data` (batched inference).
+  static Metrics evaluate(Sequential& model, const Dataset& data, size_t batch_size = 256);
+
+  [[nodiscard]] const TrainConfig& config() const { return config_; }
+
+ private:
+  TrainConfig config_;
+};
+
+}  // namespace dlpic::nn

@@ -1,0 +1,33 @@
+#include "pic/deposit.hpp"
+
+#include <stdexcept>
+
+namespace dlpic::pic {
+
+void deposit_charge(const Grid1D& grid, Shape shape, const Species& species,
+                    std::vector<double>& rho) {
+  if (rho.size() != grid.ncells())
+    throw std::invalid_argument("deposit_charge: rho size mismatch");
+  const double q_over_dx = species.charge() / grid.dx();
+  const auto& xs = species.x();
+  for (double x : xs) {
+    const Stencil st = stencil_for(grid, shape, x);
+    for (size_t s = 0; s < st.count; ++s) rho[st.node[s]] += q_over_dx * st.weight[s];
+  }
+}
+
+std::vector<double> charge_density(const Grid1D& grid, Shape shape, const Species& species,
+                                   double background_density) {
+  auto rho = grid.make_field();
+  deposit_charge(grid, shape, species, rho);
+  for (auto& r : rho) r += background_density;
+  return rho;
+}
+
+double total_charge(const Grid1D& grid, const std::vector<double>& rho) {
+  double acc = 0.0;
+  for (double r : rho) acc += r;
+  return acc * grid.dx();
+}
+
+}  // namespace dlpic::pic

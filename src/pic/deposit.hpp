@@ -1,0 +1,29 @@
+#pragma once
+/// \file deposit.hpp
+/// Charge deposition (particles -> grid), the third PIC stage of paper §II.
+
+#include <vector>
+
+#include "pic/grid.hpp"
+#include "pic/shape.hpp"
+#include "pic/species.hpp"
+
+namespace dlpic::pic {
+
+/// Accumulates the charge density of `species` onto `rho` (size ncells):
+/// rho[i] += q * W(x_p - x_i) / dx. Does not zero `rho` first, so several
+/// species can be deposited in sequence.
+void deposit_charge(const Grid1D& grid, Shape shape, const Species& species,
+                    std::vector<double>& rho);
+
+/// Convenience: returns the charge density of a single species plus a
+/// uniform neutralizing background `background_density` (the motionless
+/// protons of paper §III).
+std::vector<double> charge_density(const Grid1D& grid, Shape shape, const Species& species,
+                                   double background_density);
+
+/// Total grid charge integral sum(rho)*dx — conserved by deposition and
+/// equal to q*N + background*L; exercised by the tests as an invariant.
+double total_charge(const Grid1D& grid, const std::vector<double>& rho);
+
+}  // namespace dlpic::pic

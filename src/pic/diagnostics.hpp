@@ -1,0 +1,56 @@
+#pragma once
+/// \file diagnostics.hpp
+/// Physics diagnostics recorded every PIC step: energies, momentum, mode
+/// amplitudes (the paper's Fig. 4 E1 series) and the cold-beam ripple
+/// metric used to detect the numerical instability of Fig. 6.
+
+#include <cstddef>
+#include <vector>
+
+#include "pic/grid.hpp"
+#include "pic/species.hpp"
+
+namespace dlpic::pic {
+
+/// Scalar diagnostics of one simulation state.
+struct StepDiagnostics {
+  double time = 0.0;
+  double field_energy = 0.0;
+  double kinetic_energy = 0.0;
+  double total_energy = 0.0;
+  double momentum = 0.0;
+  double e1_amplitude = 0.0;  ///< amplitude of grid mode 1 of E
+  double e_max = 0.0;         ///< max |E| on the grid
+};
+
+/// Computes all scalar diagnostics for the current state.
+StepDiagnostics compute_diagnostics(const Grid1D& grid, const Species& species,
+                                    const std::vector<double>& E, double time);
+
+/// Amplitude of Fourier mode m of a grid field (cosine amplitude).
+double field_mode_amplitude(const std::vector<double>& field, size_t mode);
+
+/// Velocity spread (standard deviation) of the beam moving in +v (v > 0) or
+/// -v direction. For a cold beam this is ~0; growth of the spread is the
+/// signature of the cold-beam numerical instability (paper Fig. 6).
+double beam_velocity_spread(const Species& species, bool positive_beam);
+
+/// Phase-space "hole" diagnostic for the saturated two-stream instability:
+/// the peak-to-peak spread of velocities, max(v) - min(v). The trapped
+/// vortex of Fig. 4 roughly doubles the initial 2*v0 separation.
+double velocity_extent(const Species& species);
+
+/// Coherent density-ripple diagnostic for the cold-beam instability
+/// (paper Fig. 6): the largest Fourier amplitude of the neutralized charge
+/// density over modes 1..ncells/2-1, and the mode where it peaks. Coherent
+/// phase-space ripples show up as a strong single density mode; incoherent
+/// noise heating does not concentrate.
+struct RippleDiagnostics {
+  double amplitude = 0.0;
+  size_t mode = 0;
+};
+
+RippleDiagnostics charge_ripple(const Grid1D& grid, const Species& species,
+                                double background_density = 1.0);
+
+}  // namespace dlpic::pic

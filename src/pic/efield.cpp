@@ -1,0 +1,53 @@
+#include "pic/efield.hpp"
+
+#include <numbers>
+#include <stdexcept>
+
+#include "math/fft.hpp"
+
+namespace dlpic::pic {
+
+void efield_from_phi(const Grid1D& grid, const std::vector<double>& phi,
+                     std::vector<double>& E) {
+  const size_t n = grid.ncells();
+  if (phi.size() != n) throw std::invalid_argument("efield_from_phi: phi size mismatch");
+  E.resize(n);
+  const double inv_2dx = 1.0 / (2.0 * grid.dx());
+  for (size_t i = 0; i < n; ++i) {
+    const size_t im = (i == 0) ? n - 1 : i - 1;
+    const size_t ip = (i + 1 == n) ? 0 : i + 1;
+    E[i] = (phi[im] - phi[ip]) * inv_2dx;
+  }
+}
+
+void efield_from_phi_spectral(const Grid1D& grid, const std::vector<double>& phi,
+                              std::vector<double>& E) {
+  const size_t n = grid.ncells();
+  if (phi.size() != n)
+    throw std::invalid_argument("efield_from_phi_spectral: phi size mismatch");
+  std::vector<math::cplx> spec(n);
+  for (size_t i = 0; i < n; ++i) spec[i] = math::cplx(phi[i], 0.0);
+  math::fft(spec);
+  for (size_t m = 0; m < n; ++m) {
+    const double mm = (m <= n / 2) ? static_cast<double>(m)
+                                   : static_cast<double>(m) - static_cast<double>(n);
+    // Zero the Nyquist mode: its derivative is not representable on the grid.
+    if (n % 2 == 0 && m == n / 2) {
+      spec[m] = math::cplx(0.0, 0.0);
+      continue;
+    }
+    const double k = 2.0 * std::numbers::pi * mm / grid.length();
+    spec[m] *= math::cplx(0.0, -k);  // E_k = -i k phi_k
+  }
+  math::ifft(spec);
+  E.resize(n);
+  for (size_t i = 0; i < n; ++i) E[i] = spec[i].real();
+}
+
+double field_energy(const Grid1D& grid, const std::vector<double>& E) {
+  double acc = 0.0;
+  for (double e : E) acc += e * e;
+  return 0.5 * acc * grid.dx();
+}
+
+}  // namespace dlpic::pic

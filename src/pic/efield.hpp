@@ -1,0 +1,24 @@
+#pragma once
+/// \file efield.hpp
+/// Electric field from the electrostatic potential, E = -dphi/dx
+/// (paper §II, Eq. 4), discretized with second-order central differences
+/// on the periodic grid, plus a spectral variant.
+
+#include <vector>
+
+#include "pic/grid.hpp"
+
+namespace dlpic::pic {
+
+/// E[i] = (phi[i-1] - phi[i+1]) / (2 dx), periodic indices.
+void efield_from_phi(const Grid1D& grid, const std::vector<double>& phi,
+                     std::vector<double>& E);
+
+/// Spectral derivative: E_k = -i k phi_k (exact for band-limited phi).
+void efield_from_phi_spectral(const Grid1D& grid, const std::vector<double>& phi,
+                              std::vector<double>& E);
+
+/// Electrostatic field energy: 0.5 * sum(E_i^2) * dx (eps0 = 1).
+double field_energy(const Grid1D& grid, const std::vector<double>& E);
+
+}  // namespace dlpic::pic

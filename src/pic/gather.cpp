@@ -1,0 +1,24 @@
+#include "pic/gather.hpp"
+
+#include <stdexcept>
+
+namespace dlpic::pic {
+
+double gather_field(const Grid1D& grid, Shape shape, const std::vector<double>& E, double x) {
+  const Stencil st = stencil_for(grid, shape, x);
+  double acc = 0.0;
+  for (size_t s = 0; s < st.count; ++s) acc += E[st.node[s]] * st.weight[s];
+  return acc;
+}
+
+void gather_to_particles(const Grid1D& grid, Shape shape, const std::vector<double>& E,
+                         const Species& species, std::vector<double>& E_particles) {
+  if (E.size() != grid.ncells())
+    throw std::invalid_argument("gather_to_particles: field size mismatch");
+  const auto& xs = species.x();
+  E_particles.resize(xs.size());
+  for (size_t p = 0; p < xs.size(); ++p)
+    E_particles[p] = gather_field(grid, shape, E, xs[p]);
+}
+
+}  // namespace dlpic::pic

@@ -1,0 +1,22 @@
+#pragma once
+/// \file gather.hpp
+/// Field interpolation (grid -> particles), the first PIC stage of paper §II.
+
+#include <vector>
+
+#include "pic/grid.hpp"
+#include "pic/shape.hpp"
+#include "pic/species.hpp"
+
+namespace dlpic::pic {
+
+/// Interpolates grid field `E` to one particle position using `shape`.
+double gather_field(const Grid1D& grid, Shape shape, const std::vector<double>& E, double x);
+
+/// Interpolates `E` to every particle of `species` into `E_particles`
+/// (resized to species.size()). Uses the same stencil as deposition so
+/// that gather/scatter are adjoint (momentum conservation).
+void gather_to_particles(const Grid1D& grid, Shape shape, const std::vector<double>& E,
+                         const Species& species, std::vector<double>& E_particles);
+
+}  // namespace dlpic::pic

@@ -1,0 +1,80 @@
+#include "pic/history.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace dlpic::pic {
+
+void History::record(const StepDiagnostics& d) { entries_.push_back(d); }
+
+std::vector<double> History::times() const {
+  std::vector<double> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.time);
+  return out;
+}
+
+std::vector<double> History::field_energy() const {
+  std::vector<double> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.field_energy);
+  return out;
+}
+
+std::vector<double> History::kinetic_energy() const {
+  std::vector<double> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.kinetic_energy);
+  return out;
+}
+
+std::vector<double> History::total_energy() const {
+  std::vector<double> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.total_energy);
+  return out;
+}
+
+std::vector<double> History::momentum() const {
+  std::vector<double> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.momentum);
+  return out;
+}
+
+std::vector<double> History::e1_amplitude() const {
+  std::vector<double> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.e1_amplitude);
+  return out;
+}
+
+double History::max_energy_variation() const {
+  if (entries_.empty()) return 0.0;
+  const double e0 = entries_.front().total_energy;
+  if (e0 == 0.0) throw std::runtime_error("History: zero initial energy");
+  double worst = 0.0;
+  for (const auto& e : entries_)
+    worst = std::max(worst, std::abs(e.total_energy - e0) / std::abs(e0));
+  return worst;
+}
+
+double History::max_momentum_drift() const {
+  if (entries_.empty()) return 0.0;
+  const double p0 = entries_.front().momentum;
+  double worst = 0.0;
+  for (const auto& e : entries_) worst = std::max(worst, std::abs(e.momentum - p0));
+  return worst;
+}
+
+void History::write_csv(const std::string& path) const {
+  util::CsvWriter csv(path, {"time", "field_energy", "kinetic_energy", "total_energy",
+                             "momentum", "e1_amplitude", "e_max"});
+  for (const auto& e : entries_)
+    csv.row({e.time, e.field_energy, e.kinetic_energy, e.total_energy, e.momentum,
+             e.e1_amplitude, e.e_max});
+}
+
+}  // namespace dlpic::pic

@@ -1,0 +1,43 @@
+#pragma once
+/// \file history.hpp
+/// Time-series container for per-step diagnostics with CSV export; the
+/// direct source of the paper's Figs. 4–6 data series.
+
+#include <string>
+#include <vector>
+
+#include "pic/diagnostics.hpp"
+
+namespace dlpic::pic {
+
+/// Accumulates StepDiagnostics and exposes them as column vectors.
+class History {
+ public:
+  void record(const StepDiagnostics& d);
+
+  [[nodiscard]] size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] const std::vector<StepDiagnostics>& entries() const { return entries_; }
+
+  [[nodiscard]] std::vector<double> times() const;
+  [[nodiscard]] std::vector<double> field_energy() const;
+  [[nodiscard]] std::vector<double> kinetic_energy() const;
+  [[nodiscard]] std::vector<double> total_energy() const;
+  [[nodiscard]] std::vector<double> momentum() const;
+  [[nodiscard]] std::vector<double> e1_amplitude() const;
+
+  /// Maximum relative excursion of total energy from its initial value
+  /// (the paper quotes ~2% for the two-stream run).
+  [[nodiscard]] double max_energy_variation() const;
+
+  /// Maximum absolute drift of momentum from its initial value.
+  [[nodiscard]] double max_momentum_drift() const;
+
+  /// Writes all columns to a CSV file.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<StepDiagnostics> entries_;
+};
+
+}  // namespace dlpic::pic

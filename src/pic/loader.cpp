@@ -1,0 +1,51 @@
+#include "pic/loader.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace dlpic::pic {
+
+Species load_two_stream(const Grid1D& grid, size_t count, const TwoStreamParams& params,
+                        math::Rng& rng) {
+  if (count == 0 || count % 2 != 0)
+    throw std::invalid_argument("load_two_stream: count must be even and > 0");
+
+  Species s = Species::electrons(count, grid.length());
+  const double L = grid.length();
+  const double k = grid.mode_wavenumber(params.perturb_mode);
+
+  for (size_t p = 0; p < count; ++p) {
+    double x = 0.0;
+    if (params.quiet_start) {
+      // Evenly space each beam separately so beams are individually uniform.
+      const size_t beam_index = p / 2;
+      const double nbeam = static_cast<double>(count / 2);
+      x = (static_cast<double>(beam_index) + 0.5) / nbeam * L;
+    } else {
+      x = rng.uniform(0.0, L);
+    }
+    if (params.perturb_amp != 0.0) x += params.perturb_amp * std::cos(k * x);
+    x = grid.wrap_position(x);
+
+    const double sign = (p % 2 == 0) ? 1.0 : -1.0;
+    double v = sign * params.v0;
+    if (params.vth > 0.0) v += rng.normal(0.0, params.vth);
+    s.add(x, v);
+  }
+  return s;
+}
+
+Species load_maxwellian(const Grid1D& grid, size_t count, double vdrift, double vth,
+                        math::Rng& rng) {
+  if (count == 0) throw std::invalid_argument("load_maxwellian: count must be > 0");
+  Species s = Species::electrons(count, grid.length());
+  for (size_t p = 0; p < count; ++p) {
+    const double x = rng.uniform(0.0, grid.length());
+    const double v = vth > 0.0 ? rng.normal(vdrift, vth) : vdrift;
+    s.add(x, v);
+  }
+  return s;
+}
+
+}  // namespace dlpic::pic

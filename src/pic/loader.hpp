@@ -1,0 +1,36 @@
+#pragma once
+/// \file loader.hpp
+/// Particle loading: two-stream and Maxwellian initial conditions
+/// (paper §III). Supports random loading (noise seeds the instability, as
+/// in the paper) and quiet-start loading with an explicit mode perturbation
+/// (used by tests that need a controlled growth-rate measurement).
+
+#include <cstdint>
+
+#include "math/rng.hpp"
+#include "pic/grid.hpp"
+#include "pic/species.hpp"
+
+namespace dlpic::pic {
+
+/// Two-stream loading parameters.
+struct TwoStreamParams {
+  double v0 = 0.2;            ///< beam drift speed; beams at +v0 and -v0
+  double vth = 0.0;           ///< thermal spread (Gaussian) within each beam
+  bool quiet_start = false;   ///< evenly spaced positions instead of random
+  double perturb_amp = 0.0;   ///< sinusoidal position displacement amplitude
+  size_t perturb_mode = 1;    ///< perturbed Fourier mode (k = 2*pi*m/L)
+};
+
+/// Loads `count` electrons as two counter-streaming beams. Even particle
+/// indices join the +v0 beam, odd the -v0 beam, so both beams have count/2
+/// particles (count must be even). Returns a normalized electron species
+/// (q/m = -1, omega_p = 1 for the neutralized box).
+Species load_two_stream(const Grid1D& grid, size_t count, const TwoStreamParams& params,
+                        math::Rng& rng);
+
+/// Loads a single drifting Maxwellian (used by substrate tests).
+Species load_maxwellian(const Grid1D& grid, size_t count, double vdrift, double vth,
+                        math::Rng& rng);
+
+}  // namespace dlpic::pic

@@ -1,0 +1,44 @@
+#include "pic/mover.hpp"
+
+#include <stdexcept>
+
+#include "pic/gather.hpp"
+
+namespace dlpic::pic {
+
+void push_velocities(Species& species, const std::vector<double>& E_particles, double dt) {
+  if (E_particles.size() != species.size())
+    throw std::invalid_argument("push_velocities: field array size mismatch");
+  const double qm_dt = species.charge_over_mass() * dt;
+  auto& v = species.v();
+  for (size_t p = 0; p < v.size(); ++p) v[p] += qm_dt * E_particles[p];
+}
+
+void push_positions(const Grid1D& grid, Species& species, double dt) {
+  auto& x = species.x();
+  const auto& v = species.v();
+  for (size_t p = 0; p < x.size(); ++p) x[p] = grid.wrap_position(x[p] + v[p] * dt);
+}
+
+void leapfrog_step(const Grid1D& grid, Shape shape, const std::vector<double>& E,
+                   Species& species, double dt) {
+  const double qm_dt = species.charge_over_mass() * dt;
+  auto& x = species.x();
+  auto& v = species.v();
+  for (size_t p = 0; p < x.size(); ++p) {
+    const double Ep = gather_field(grid, shape, E, x[p]);
+    v[p] += qm_dt * Ep;
+    x[p] = grid.wrap_position(x[p] + v[p] * dt);
+  }
+}
+
+void stagger_velocities_back(const Grid1D& grid, Shape shape, const std::vector<double>& E,
+                             Species& species, double dt) {
+  const double qm_half_dt = -0.5 * species.charge_over_mass() * dt;
+  auto& x = species.x();
+  auto& v = species.v();
+  for (size_t p = 0; p < x.size(); ++p)
+    v[p] += qm_half_dt * gather_field(grid, shape, E, x[p]);
+}
+
+}  // namespace dlpic::pic

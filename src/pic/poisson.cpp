@@ -1,0 +1,142 @@
+#include "pic/poisson.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "math/fft.hpp"
+#include "math/tridiag.hpp"
+
+namespace dlpic::pic {
+
+namespace {
+
+double mean_of(const std::vector<double>& v) {
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc / static_cast<double>(v.size());
+}
+
+void shift_to_zero_mean(std::vector<double>& v) {
+  const double m = mean_of(v);
+  for (double& x : v) x -= m;
+}
+
+}  // namespace
+
+void SpectralPoisson::solve(const Grid1D& grid, const std::vector<double>& rho,
+                            std::vector<double>& phi) const {
+  const size_t n = grid.ncells();
+  if (rho.size() != n) throw std::invalid_argument("SpectralPoisson: rho size mismatch");
+
+  std::vector<math::cplx> spec(n);
+  for (size_t i = 0; i < n; ++i) spec[i] = math::cplx(rho[i], 0.0);
+  math::fft(spec);
+
+  spec[0] = math::cplx(0.0, 0.0);  // gauge: drop the mean
+  const double dx = grid.dx();
+  for (size_t m = 1; m < n; ++m) {
+    // Aliased mode index: modes above n/2 are negative wavenumbers.
+    const double mm = (m <= n / 2) ? static_cast<double>(m)
+                                   : static_cast<double>(m) - static_cast<double>(n);
+    double k2 = 0.0;
+    if (discrete_k2_) {
+      const double theta = 2.0 * std::numbers::pi * mm / static_cast<double>(n);
+      k2 = (2.0 - 2.0 * std::cos(theta)) / (dx * dx);
+    } else {
+      const double k = 2.0 * std::numbers::pi * mm / grid.length();
+      k2 = k * k;
+    }
+    spec[m] /= k2;  // phi_k = rho_k / k²  (from -phi'' = rho)
+  }
+
+  math::ifft(spec);
+  phi.resize(n);
+  for (size_t i = 0; i < n; ++i) phi[i] = spec[i].real();
+  shift_to_zero_mean(phi);
+}
+
+void TridiagPoisson::solve(const Grid1D& grid, const std::vector<double>& rho,
+                           std::vector<double>& phi) const {
+  const size_t n = grid.ncells();
+  if (rho.size() != n) throw std::invalid_argument("TridiagPoisson: rho size mismatch");
+  if (n < 3) throw std::invalid_argument("TridiagPoisson: need at least 3 cells");
+
+  // Remove the mean so the singular periodic system becomes consistent,
+  // then pin phi[0] = 0 and solve the reduced system for phi[1..n-1]:
+  //   (phi[i-1] - 2 phi[i] + phi[i+1]) / dx² = -rho[i],  i = 1..n-1,
+  // with phi[0] = phi[n] = 0 entering the i=1 and i=n-1 rows as knowns.
+  const double dx2 = grid.dx() * grid.dx();
+  std::vector<double> rhs(n);
+  const double mean = mean_of(rho);
+  for (size_t i = 0; i < n; ++i) rhs[i] = -(rho[i] - mean) * dx2;
+
+  const size_t m = n - 1;
+  std::vector<double> a(m, 1.0), b(m, -2.0), c(m, 1.0), d(m);
+  for (size_t i = 0; i < m; ++i) d[i] = rhs[i + 1];
+  // phi[0] = 0 contributions are already zero on both boundary rows.
+  std::vector<double> interior = math::solve_tridiagonal(a, b, c, d);
+
+  phi.assign(n, 0.0);
+  for (size_t i = 0; i < m; ++i) phi[i + 1] = interior[i];
+  shift_to_zero_mean(phi);
+}
+
+void ConjugateGradientPoisson::solve(const Grid1D& grid, const std::vector<double>& rho,
+                                     std::vector<double>& phi) const {
+  const size_t n = grid.ncells();
+  if (rho.size() != n) throw std::invalid_argument("CGPoisson: rho size mismatch");
+
+  // Solve A phi = b with A = -Laplacian (SPD on the mean-free subspace),
+  // b = rho - mean(rho). Project iterates onto the mean-free subspace to
+  // keep the Krylov space orthogonal to the null vector.
+  const double inv_dx2 = 1.0 / (grid.dx() * grid.dx());
+  std::vector<double> b(n);
+  const double mean = mean_of(rho);
+  for (size_t i = 0; i < n; ++i) b[i] = rho[i] - mean;
+
+  auto apply_A = [&](const std::vector<double>& x, std::vector<double>& y) {
+    for (size_t i = 0; i < n; ++i) {
+      const size_t im = (i == 0) ? n - 1 : i - 1;
+      const size_t ip = (i + 1 == n) ? 0 : i + 1;
+      y[i] = -(x[im] - 2.0 * x[i] + x[ip]) * inv_dx2;
+    }
+  };
+
+  phi.assign(n, 0.0);
+  std::vector<double> r = b, p = b, Ap(n);
+  double rr = 0.0;
+  for (size_t i = 0; i < n; ++i) rr += r[i] * r[i];
+  const double b_norm2 = rr;
+  const double tol2 = tol_ * tol_ * (b_norm2 > 0 ? b_norm2 : 1.0);
+
+  size_t it = 0;
+  for (; it < max_iter_ && rr > tol2; ++it) {
+    apply_A(p, Ap);
+    double pAp = 0.0;
+    for (size_t i = 0; i < n; ++i) pAp += p[i] * Ap[i];
+    if (std::abs(pAp) < 1e-300) break;
+    const double alpha = rr / pAp;
+    for (size_t i = 0; i < n; ++i) {
+      phi[i] += alpha * p[i];
+      r[i] -= alpha * Ap[i];
+    }
+    double rr_new = 0.0;
+    for (size_t i = 0; i < n; ++i) rr_new += r[i] * r[i];
+    const double beta = rr_new / rr;
+    rr = rr_new;
+    for (size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+  }
+  last_iterations_ = it;
+  shift_to_zero_mean(phi);
+}
+
+std::unique_ptr<PoissonSolver> make_poisson_solver(const std::string& name) {
+  if (name == "spectral") return std::make_unique<SpectralPoisson>(false);
+  if (name == "spectral-discrete") return std::make_unique<SpectralPoisson>(true);
+  if (name == "tridiag") return std::make_unique<TridiagPoisson>();
+  if (name == "cg") return std::make_unique<ConjugateGradientPoisson>();
+  throw std::invalid_argument("make_poisson_solver: unknown solver '" + name + "'");
+}
+
+}  // namespace dlpic::pic

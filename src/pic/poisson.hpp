@@ -1,0 +1,88 @@
+#pragma once
+/// \file poisson.hpp
+/// Field-solver stage (paper §II, Eq. 3): solve  d²phi/dx² = -rho/eps0  on
+/// the periodic grid, with eps0 = 1 in normalized units.
+///
+/// The periodic Laplacian is singular (constant null space); all solvers
+/// therefore work with the mean-free part of rho and pin the gauge
+/// mean(phi) = 0. Three interchangeable implementations are provided:
+///
+///  * SpectralPoisson  — FFT diagonalization, phi_k = rho_k / k². Uses the
+///    exact continuum k² by default or the discrete-Laplacian eigenvalue
+///    (2-2cos(k dx))/dx² when `discrete_k2` is set (the latter matches the
+///    finite-difference solvers to round-off).
+///  * TridiagPoisson   — second-order central differences; gauge fixed by
+///    pinning phi[0] = 0 and solving the reduced (n-1) Thomas system, then
+///    shifting to mean zero.
+///  * ConjugateGradientPoisson — matrix-free CG on the periodic FD Laplacian
+///    with mean-projection; reference/teaching implementation and the
+///    baseline for the §VII "linear solve vs inference" performance claim.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pic/grid.hpp"
+
+namespace dlpic::pic {
+
+/// Interface for Poisson solvers: rho (size ncells) -> phi (size ncells).
+class PoissonSolver {
+ public:
+  virtual ~PoissonSolver() = default;
+
+  /// Solves for the electrostatic potential with gauge mean(phi) = 0.
+  /// `rho` may have nonzero mean; only its fluctuating part matters.
+  virtual void solve(const Grid1D& grid, const std::vector<double>& rho,
+                     std::vector<double>& phi) const = 0;
+
+  /// Identifier used in configs and benchmark labels.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// FFT-based spectral solver (default in simulations).
+class SpectralPoisson final : public PoissonSolver {
+ public:
+  /// When `discrete_k2` is true, divides by the eigenvalue of the discrete
+  /// 3-point Laplacian instead of the continuum k².
+  explicit SpectralPoisson(bool discrete_k2 = false) : discrete_k2_(discrete_k2) {}
+  void solve(const Grid1D& grid, const std::vector<double>& rho,
+             std::vector<double>& phi) const override;
+  [[nodiscard]] std::string name() const override {
+    return discrete_k2_ ? "spectral-discrete" : "spectral";
+  }
+
+ private:
+  bool discrete_k2_;
+};
+
+/// Second-order finite-difference solver via the Thomas algorithm.
+class TridiagPoisson final : public PoissonSolver {
+ public:
+  void solve(const Grid1D& grid, const std::vector<double>& rho,
+             std::vector<double>& phi) const override;
+  [[nodiscard]] std::string name() const override { return "tridiag"; }
+};
+
+/// Matrix-free conjugate-gradient solver on the periodic FD Laplacian.
+class ConjugateGradientPoisson final : public PoissonSolver {
+ public:
+  explicit ConjugateGradientPoisson(double tol = 1e-12, size_t max_iter = 10000)
+      : tol_(tol), max_iter_(max_iter) {}
+  void solve(const Grid1D& grid, const std::vector<double>& rho,
+             std::vector<double>& phi) const override;
+  [[nodiscard]] std::string name() const override { return "cg"; }
+
+  /// Iterations used by the most recent solve (diagnostic).
+  [[nodiscard]] size_t last_iterations() const { return last_iterations_; }
+
+ private:
+  double tol_;
+  size_t max_iter_;
+  mutable size_t last_iterations_ = 0;
+};
+
+/// Factory: "spectral" | "spectral-discrete" | "tridiag" | "cg".
+std::unique_ptr<PoissonSolver> make_poisson_solver(const std::string& name);
+
+}  // namespace dlpic::pic

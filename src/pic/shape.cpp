@@ -1,0 +1,70 @@
+#include "pic/shape.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace dlpic::pic {
+
+Shape parse_shape(const char* name) {
+  std::string s(name);
+  for (char& c : s)
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  if (s == "ngp") return Shape::NGP;
+  if (s == "cic") return Shape::CIC;
+  if (s == "tsc") return Shape::TSC;
+  throw std::invalid_argument("parse_shape: unknown shape '" + s + "'");
+}
+
+const char* shape_name(Shape s) {
+  switch (s) {
+    case Shape::NGP: return "ngp";
+    case Shape::CIC: return "cic";
+    case Shape::TSC: return "tsc";
+  }
+  return "?";
+}
+
+Stencil stencil_for(const Grid1D& grid, Shape shape, double x) {
+  Stencil st;
+  const double dx = grid.dx();
+  const double xi = x / dx;  // position in cell units
+
+  switch (shape) {
+    case Shape::NGP: {
+      // Nearest node.
+      const long i = static_cast<long>(std::floor(xi + 0.5));
+      st.node[0] = grid.wrap_node(i);
+      st.weight[0] = 1.0;
+      st.count = 1;
+      break;
+    }
+    case Shape::CIC: {
+      // Linear weights between the two neighboring nodes.
+      const long i = static_cast<long>(std::floor(xi));
+      const double frac = xi - static_cast<double>(i);
+      st.node[0] = grid.wrap_node(i);
+      st.node[1] = grid.wrap_node(i + 1);
+      st.weight[0] = 1.0 - frac;
+      st.weight[1] = frac;
+      st.count = 2;
+      break;
+    }
+    case Shape::TSC: {
+      // Quadratic spline centered on the nearest node.
+      const long i = static_cast<long>(std::floor(xi + 0.5));
+      const double d = xi - static_cast<double>(i);  // in [-0.5, 0.5]
+      st.node[0] = grid.wrap_node(i - 1);
+      st.node[1] = grid.wrap_node(i);
+      st.node[2] = grid.wrap_node(i + 1);
+      st.weight[0] = 0.5 * (0.5 - d) * (0.5 - d);
+      st.weight[1] = 0.75 - d * d;
+      st.weight[2] = 0.5 * (0.5 + d) * (0.5 + d);
+      st.count = 3;
+      break;
+    }
+  }
+  return st;
+}
+
+}  // namespace dlpic::pic

@@ -1,0 +1,42 @@
+#pragma once
+/// \file shape.hpp
+/// Particle-grid shape (assignment) functions: NGP, CIC, TSC (paper §II).
+///
+/// A shape function maps a particle position to a small stencil of grid
+/// nodes and weights summing to exactly 1. The same stencil is used for
+/// charge deposition (scatter) and field interpolation (gather), which is
+/// what makes the explicit scheme momentum-conserving.
+
+#include <array>
+#include <cstddef>
+
+#include "pic/grid.hpp"
+
+namespace dlpic::pic {
+
+/// Interpolation order. NGP = 0th (top-hat), CIC = 1st (linear),
+/// TSC = 2nd (quadratic spline).
+enum class Shape { NGP, CIC, TSC };
+
+/// Parses "ngp" / "cic" / "tsc" (case-insensitive); throws on unknown names.
+Shape parse_shape(const char* name);
+
+/// Human-readable name of a shape.
+const char* shape_name(Shape s);
+
+/// Number of stencil nodes for a shape (1, 2 or 3).
+constexpr size_t shape_support(Shape s) {
+  return s == Shape::NGP ? 1 : (s == Shape::CIC ? 2 : 3);
+}
+
+/// Stencil of a particle: up to 3 periodic node indices with weights.
+struct Stencil {
+  std::array<size_t, 3> node{};
+  std::array<double, 3> weight{};
+  size_t count = 0;
+};
+
+/// Computes the stencil of particle position x (already inside [0, L)).
+Stencil stencil_for(const Grid1D& grid, Shape shape, double x);
+
+}  // namespace dlpic::pic

@@ -1,0 +1,63 @@
+#include "pic/simulation.hpp"
+
+#include <stdexcept>
+
+#include "pic/deposit.hpp"
+#include "pic/efield.hpp"
+#include "pic/gather.hpp"
+#include "pic/mover.hpp"
+
+namespace dlpic::pic {
+
+TraditionalPic::TraditionalPic(const SimulationConfig& config)
+    : config_(config),
+      grid_(config.ncells, config.length),
+      electrons_("electrons", -1.0, 1.0),  // placeholder, replaced below
+      solver_(make_poisson_solver(config.solver)) {
+  if (config.dt <= 0.0) throw std::invalid_argument("TraditionalPic: dt must be positive");
+
+  math::Rng rng(config.seed);
+  electrons_ = load_two_stream(grid_, config.total_particles(), config.beams, rng);
+
+  // Uniform neutralizing background: cancels the mean electron density
+  // (electron charge q = -L/N, so mean rho_e = -1 and background = +1).
+  background_ = -electrons_.charge() * static_cast<double>(electrons_.size()) /
+                grid_.length();
+
+  rho_ = grid_.make_field();
+  phi_ = grid_.make_field();
+  E_ = grid_.make_field();
+
+  solve_field();
+  stagger_velocities_back(grid_, config_.shape, E_, electrons_, config_.dt);
+  history_.record(compute_diagnostics(grid_, electrons_, E_, time_));
+  if (observer_) observer_(*this);
+}
+
+void TraditionalPic::solve_field() {
+  rho_.assign(grid_.ncells(), 0.0);
+  deposit_charge(grid_, config_.shape, electrons_, rho_);
+  for (auto& r : rho_) r += background_;
+  solver_->solve(grid_, rho_, phi_);
+  if (config_.spectral_efield)
+    efield_from_phi_spectral(grid_, phi_, E_);
+  else
+    efield_from_phi(grid_, phi_, E_);
+}
+
+void TraditionalPic::step() {
+  leapfrog_step(grid_, config_.shape, E_, electrons_, config_.dt);
+  solve_field();
+  time_ += config_.dt;
+  ++steps_taken_;
+  history_.record(compute_diagnostics(grid_, electrons_, E_, time_));
+  if (observer_) observer_(*this);
+}
+
+void TraditionalPic::run(size_t n) {
+  const size_t todo = (n == 0) ? (config_.nsteps > steps_taken_ ? config_.nsteps - steps_taken_ : 0)
+                               : n;
+  for (size_t i = 0; i < todo; ++i) step();
+}
+
+}  // namespace dlpic::pic

@@ -1,0 +1,87 @@
+#pragma once
+/// \file simulation.hpp
+/// Traditional explicit electrostatic PIC driver (paper §II, Fig. 1):
+/// gather -> leap-frog push -> charge deposition -> Poisson field solve,
+/// repeated for nsteps. Defaults reproduce the paper's configuration:
+/// 64 cells, L = 2*pi/3.06, 1000 electrons/cell, dt = 0.2, q/m = -1,
+/// motionless neutralizing proton background.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "math/rng.hpp"
+#include "pic/diagnostics.hpp"
+#include "pic/grid.hpp"
+#include "pic/history.hpp"
+#include "pic/loader.hpp"
+#include "pic/poisson.hpp"
+#include "pic/shape.hpp"
+#include "pic/species.hpp"
+
+namespace dlpic::pic {
+
+/// Full configuration of a traditional PIC run.
+struct SimulationConfig {
+  size_t ncells = 64;                 ///< grid cells (paper: 64)
+  double length = 2.0 * 3.14159265358979323846 / 3.06;  ///< box size (paper: 2*pi/3.06)
+  size_t particles_per_cell = 1000;   ///< electrons per cell (paper: 1000)
+  double dt = 0.2;                    ///< time step (paper: 0.2)
+  size_t nsteps = 200;                ///< steps (paper: 200, t_end = 40)
+  TwoStreamParams beams;              ///< two-stream initial condition
+  Shape shape = Shape::CIC;           ///< interpolation/deposition order
+  std::string solver = "spectral";    ///< Poisson solver name
+  bool spectral_efield = false;       ///< E = -grad phi spectrally vs central diff
+  uint64_t seed = 1234;               ///< RNG seed (loading noise)
+
+  [[nodiscard]] size_t total_particles() const { return ncells * particles_per_cell; }
+};
+
+/// Traditional PIC simulation. Owns the grid, particles and field state.
+class TraditionalPic {
+ public:
+  /// Builds the initial state: loads particles, deposits charge, solves the
+  /// initial field, and rewinds velocities by dt/2 (leap-frog stagger).
+  explicit TraditionalPic(const SimulationConfig& config);
+
+  /// Advances one full PIC cycle and records diagnostics.
+  void step();
+
+  /// Runs `n` steps (default: the configured nsteps remaining).
+  void run(size_t n = 0);
+
+  /// Called after each field solve with the post-step state; used by the
+  /// training-data generator to harvest (phase space, E) pairs.
+  using Observer = std::function<void(const TraditionalPic&)>;
+  void set_observer(Observer obs) { observer_ = std::move(obs); }
+
+  [[nodiscard]] const Grid1D& grid() const { return grid_; }
+  [[nodiscard]] const Species& electrons() const { return electrons_; }
+  [[nodiscard]] const std::vector<double>& efield() const { return E_; }
+  [[nodiscard]] const std::vector<double>& rho() const { return rho_; }
+  [[nodiscard]] const std::vector<double>& phi() const { return phi_; }
+  [[nodiscard]] const History& history() const { return history_; }
+  [[nodiscard]] double time() const { return time_; }
+  [[nodiscard]] size_t steps_taken() const { return steps_taken_; }
+  [[nodiscard]] const SimulationConfig& config() const { return config_; }
+
+  /// Ion background charge density (uniform, neutralizing).
+  [[nodiscard]] double background_density() const { return background_; }
+
+ private:
+  void solve_field();
+
+  SimulationConfig config_;
+  Grid1D grid_;
+  Species electrons_;
+  std::unique_ptr<PoissonSolver> solver_;
+  std::vector<double> rho_, phi_, E_;
+  History history_;
+  double background_ = 0.0;
+  double time_ = 0.0;
+  size_t steps_taken_ = 0;
+  Observer observer_;
+};
+
+}  // namespace dlpic::pic

@@ -1,0 +1,105 @@
+#include "util/binary_io.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace dlpic::util {
+
+static_assert(std::endian::native == std::endian::little,
+              "dlpic binary formats assume a little-endian host");
+
+BinaryWriter::BinaryWriter(const std::string& path)
+    : out_(path, std::ios::binary), path_(path) {
+  if (!out_) throw std::runtime_error("BinaryWriter: cannot create " + path);
+}
+
+void BinaryWriter::write_u32(uint32_t v) { out_.write(reinterpret_cast<const char*>(&v), 4); }
+void BinaryWriter::write_u64(uint64_t v) { out_.write(reinterpret_cast<const char*>(&v), 8); }
+void BinaryWriter::write_i64(int64_t v) { out_.write(reinterpret_cast<const char*>(&v), 8); }
+void BinaryWriter::write_f64(double v) { out_.write(reinterpret_cast<const char*>(&v), 8); }
+
+void BinaryWriter::write_string(const std::string& s) {
+  write_u64(s.size());
+  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void BinaryWriter::write_f64_array(const double* data, size_t n) {
+  out_.write(reinterpret_cast<const char*>(data), static_cast<std::streamsize>(n * 8));
+}
+
+void BinaryWriter::write_f64_vector(const std::vector<double>& v) {
+  write_u64(v.size());
+  write_f64_array(v.data(), v.size());
+}
+
+void BinaryWriter::flush() {
+  out_.flush();
+  if (!out_) throw std::runtime_error("BinaryWriter: write failure on " + path_);
+}
+
+BinaryReader::BinaryReader(const std::string& path)
+    : in_(path, std::ios::binary), path_(path) {
+  if (!in_) throw std::runtime_error("BinaryReader: cannot open " + path);
+}
+
+void BinaryReader::require(size_t bytes) {
+  if (!in_ || in_.eof())
+    throw std::runtime_error("BinaryReader: truncated read of " + std::to_string(bytes) +
+                             " bytes from " + path_);
+}
+
+uint32_t BinaryReader::read_u32() {
+  uint32_t v = 0;
+  in_.read(reinterpret_cast<char*>(&v), 4);
+  require(4);
+  return v;
+}
+
+uint64_t BinaryReader::read_u64() {
+  uint64_t v = 0;
+  in_.read(reinterpret_cast<char*>(&v), 8);
+  require(8);
+  return v;
+}
+
+int64_t BinaryReader::read_i64() {
+  int64_t v = 0;
+  in_.read(reinterpret_cast<char*>(&v), 8);
+  require(8);
+  return v;
+}
+
+double BinaryReader::read_f64() {
+  double v = 0;
+  in_.read(reinterpret_cast<char*>(&v), 8);
+  require(8);
+  return v;
+}
+
+std::string BinaryReader::read_string() {
+  uint64_t n = read_u64();
+  std::string s(n, '\0');
+  in_.read(s.data(), static_cast<std::streamsize>(n));
+  require(n);
+  return s;
+}
+
+void BinaryReader::read_f64_array(double* data, size_t n) {
+  in_.read(reinterpret_cast<char*>(data), static_cast<std::streamsize>(n * 8));
+  require(n * 8);
+}
+
+std::vector<double> BinaryReader::read_f64_vector() {
+  uint64_t n = read_u64();
+  std::vector<double> v(n);
+  read_f64_array(v.data(), n);
+  return v;
+}
+
+bool BinaryReader::at_eof() {
+  in_.peek();
+  return in_.eof();
+}
+
+}  // namespace dlpic::util

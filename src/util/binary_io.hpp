@@ -1,0 +1,58 @@
+#pragma once
+/// \file binary_io.hpp
+/// Little-endian binary serialization primitives used by the dataset format
+/// and the neural-network model format. All multi-byte values are written
+/// little-endian regardless of host order (x86/ARM little-endian fast path).
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace dlpic::util {
+
+/// RAII binary writer. Throws std::runtime_error on open failure.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path);
+
+  void write_u32(uint32_t v);
+  void write_u64(uint64_t v);
+  void write_i64(int64_t v);
+  void write_f64(double v);
+  void write_string(const std::string& s);          // u64 length + bytes
+  void write_f64_array(const double* data, size_t n);
+  void write_f64_vector(const std::vector<double>& v);  // u64 length + data
+
+  /// Flushes buffered data; stream closes on destruction.
+  void flush();
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+};
+
+/// RAII binary reader matching BinaryWriter's format.
+/// All read_* methods throw std::runtime_error on EOF/corruption.
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+
+  uint32_t read_u32();
+  uint64_t read_u64();
+  int64_t read_i64();
+  double read_f64();
+  std::string read_string();
+  void read_f64_array(double* data, size_t n);
+  std::vector<double> read_f64_vector();
+
+  /// True when the stream is positioned at end-of-file.
+  bool at_eof();
+
+ private:
+  void require(size_t bytes);
+  std::ifstream in_;
+  std::string path_;
+};
+
+}  // namespace dlpic::util

@@ -1,0 +1,116 @@
+#include "util/config.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace dlpic::util {
+
+Config Config::from_args(int argc, const char* const* argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string body = arg;
+    if (starts_with(body, "--")) body = body.substr(2);
+    auto eq = body.find('=');
+    if (eq == std::string::npos) {
+      if (starts_with(arg, "--")) {
+        cfg.set(body, "true");  // bare flag, e.g. --help
+      } else {
+        cfg.positional_.push_back(arg);
+      }
+      continue;
+    }
+    cfg.set(trim(body.substr(0, eq)), trim(body.substr(eq + 1)));
+  }
+  return cfg;
+}
+
+Config Config::from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("Config::from_file: cannot open " + path);
+  Config cfg;
+  std::string line;
+  while (std::getline(in, line)) {
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    cfg.set(trim(line.substr(0, eq)), trim(line.substr(eq + 1)));
+  }
+  return cfg;
+}
+
+void Config::set(const std::string& key, const std::string& value) { values_[key] = value; }
+
+void Config::set_int(const std::string& key, long value) { values_[key] = std::to_string(value); }
+
+void Config::set_double(const std::string& key, double value) {
+  std::ostringstream os;
+  os.precision(17);
+  os << value;
+  values_[key] = os.str();
+}
+
+bool Config::has(const std::string& key) const { return values_.count(key) != 0; }
+
+std::optional<std::string> Config::get(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_or(const std::string& key, const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+long Config::get_int_or(const std::string& key, long fallback) const {
+  auto v = get(key);
+  if (!v) return fallback;
+  try {
+    return std::stol(*v);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+double Config::get_double_or(const std::string& key, double fallback) const {
+  auto v = get(key);
+  if (!v) return fallback;
+  try {
+    return std::stod(*v);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+bool Config::get_bool_or(const std::string& key, bool fallback) const {
+  auto v = get(key);
+  if (!v) return fallback;
+  std::string s = to_lower(*v);
+  return s == "1" || s == "true" || s == "yes" || s == "on";
+}
+
+void Config::merge(const Config& other) {
+  for (const auto& [k, v] : other.values_) values_[k] = v;
+  for (const auto& p : other.positional_) positional_.push_back(p);
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, v] : values_) out.push_back(k);
+  return out;
+}
+
+std::string Config::to_string() const {
+  std::ostringstream os;
+  for (const auto& [k, v] : values_) os << k << "=" << v << "\n";
+  return os.str();
+}
+
+}  // namespace dlpic::util

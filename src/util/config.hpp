@@ -1,0 +1,58 @@
+#pragma once
+/// \file config.hpp
+/// Key=value configuration store with typed accessors, CLI and file loading.
+///
+/// Benches and examples accept `--key=value` flags and `key=value` lines in
+/// config files; the same store backs both so every experiment parameter is
+/// scriptable. Unknown keys are kept (forward compatible) and can be listed.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dlpic::util {
+
+/// Ordered key=value store with typed accessors.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses `--key=value` / `key=value` tokens; returns leftover positional
+  /// arguments. `--help` is left to the caller (check has("help")).
+  static Config from_args(int argc, const char* const* argv);
+
+  /// Parses `key=value` lines; '#' starts a comment. Throws std::runtime_error
+  /// when the file cannot be opened.
+  static Config from_file(const std::string& path);
+
+  void set(const std::string& key, const std::string& value);
+  void set_int(const std::string& key, long value);
+  void set_double(const std::string& key, double value);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+
+  [[nodiscard]] std::string get_or(const std::string& key, const std::string& fallback) const;
+  [[nodiscard]] long get_int_or(const std::string& key, long fallback) const;
+  [[nodiscard]] double get_double_or(const std::string& key, double fallback) const;
+  [[nodiscard]] bool get_bool_or(const std::string& key, bool fallback) const;
+
+  /// Merges `other` on top of this config (other wins on conflicts).
+  void merge(const Config& other);
+
+  /// All keys in lexicographic order.
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+  /// Positional (non key=value) arguments captured by from_args.
+  [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Serializes as sorted `key=value` lines (for experiment provenance logs).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dlpic::util

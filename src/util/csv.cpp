@@ -1,0 +1,82 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace dlpic::util {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& columns)
+    : path_(path), columns_(columns.size()) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) throw std::runtime_error("CsvWriter: cannot create " + path);
+  file_ = f;
+  for (size_t i = 0; i < columns.size(); ++i)
+    std::fprintf(f, "%s%s", columns[i].c_str(), i + 1 < columns.size() ? "," : "\n");
+}
+
+CsvWriter::~CsvWriter() { close(); }
+
+void CsvWriter::row(const std::vector<double>& values) {
+  if (values.size() != columns_)
+    throw std::invalid_argument("CsvWriter::row: column count mismatch");
+  auto* f = static_cast<FILE*>(file_);
+  if (f == nullptr) throw std::runtime_error("CsvWriter::row: file closed");
+  for (size_t i = 0; i < values.size(); ++i)
+    std::fprintf(f, "%.10g%s", values[i], i + 1 < values.size() ? "," : "\n");
+  ++rows_;
+}
+
+void CsvWriter::row_strings(const std::vector<std::string>& values) {
+  if (values.size() != columns_)
+    throw std::invalid_argument("CsvWriter::row_strings: column count mismatch");
+  auto* f = static_cast<FILE*>(file_);
+  if (f == nullptr) throw std::runtime_error("CsvWriter::row_strings: file closed");
+  for (size_t i = 0; i < values.size(); ++i)
+    std::fprintf(f, "%s%s", values[i].c_str(), i + 1 < values.size() ? "," : "\n");
+  ++rows_;
+}
+
+void CsvWriter::close() {
+  if (file_ != nullptr) {
+    std::fclose(static_cast<FILE*>(file_));
+    file_ = nullptr;
+  }
+}
+
+size_t CsvTable::column_index(const std::string& name) const {
+  for (size_t i = 0; i < columns.size(); ++i)
+    if (columns[i] == name) return i;
+  throw std::out_of_range("CsvTable: no column named " + name);
+}
+
+std::vector<double> CsvTable::column(const std::string& name) const {
+  size_t idx = column_index(name);
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& r : rows) out.push_back(r.at(idx));
+  return out;
+}
+
+CsvTable read_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv: cannot open " + path);
+  CsvTable table;
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("read_csv: empty file " + path);
+  for (auto& col : split(trim(line), ',')) table.columns.push_back(trim(col));
+  while (std::getline(in, line)) {
+    line = trim(line);
+    if (line.empty()) continue;
+    std::vector<double> row;
+    for (auto& cell : split(line, ',')) row.push_back(std::stod(cell));
+    if (row.size() != table.columns.size())
+      throw std::runtime_error("read_csv: ragged row in " + path);
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace dlpic::util

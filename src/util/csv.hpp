@@ -1,0 +1,57 @@
+#pragma once
+/// \file csv.hpp
+/// CSV writer/reader for time series and experiment tables. All experiment
+/// artifacts (E1(t), energy, momentum, phase-space dumps, MAE tables) are
+/// dumped as CSV so the paper figures can be re-plotted from files.
+
+#include <string>
+#include <vector>
+
+namespace dlpic::util {
+
+/// Stream-style CSV writer with a fixed column schema.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// Throws std::runtime_error when the file cannot be created.
+  CsvWriter(const std::string& path, const std::vector<std::string>& columns);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Writes one row; the value count must match the column count.
+  void row(const std::vector<double>& values);
+
+  /// Writes one row of preformatted strings (for mixed-type tables).
+  void row_strings(const std::vector<std::string>& values);
+
+  /// Flushes and closes the file early (also done by the destructor).
+  void close();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] size_t rows_written() const { return rows_; }
+
+ private:
+  std::string path_;
+  size_t columns_ = 0;
+  size_t rows_ = 0;
+  void* file_ = nullptr;  // FILE*, kept opaque to avoid <cstdio> in the header
+};
+
+/// In-memory CSV table parsed from disk (numbers only; header required).
+struct CsvTable {
+  std::vector<std::string> columns;
+  std::vector<std::vector<double>> rows;
+
+  /// Index of a named column; throws std::out_of_range when absent.
+  [[nodiscard]] size_t column_index(const std::string& name) const;
+
+  /// Extracts one column as a vector.
+  [[nodiscard]] std::vector<double> column(const std::string& name) const;
+};
+
+/// Reads a CSV file written by CsvWriter. Throws on missing file.
+CsvTable read_csv(const std::string& path);
+
+}  // namespace dlpic::util

@@ -1,0 +1,48 @@
+#include "util/env.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace dlpic::util {
+
+std::optional<std::string> env_string(const std::string& name) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr) return std::nullopt;
+  return std::string(v);
+}
+
+std::string env_string_or(const std::string& name, const std::string& fallback) {
+  return env_string(name).value_or(fallback);
+}
+
+long env_int_or(const std::string& name, long fallback) {
+  auto v = env_string(name);
+  if (!v) return fallback;
+  try {
+    return std::stol(*v);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+double env_double_or(const std::string& name, double fallback) {
+  auto v = env_string(name);
+  if (!v) return fallback;
+  try {
+    return std::stod(*v);
+  } catch (...) {
+    return fallback;
+  }
+}
+
+bool env_bool_or(const std::string& name, bool fallback) {
+  auto v = env_string(name);
+  if (!v) return fallback;
+  std::string s = *v;
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s == "1" || s == "true" || s == "yes" || s == "on";
+}
+
+}  // namespace dlpic::util

@@ -1,0 +1,26 @@
+#pragma once
+/// \file env.hpp
+/// Typed environment-variable accessors. Used by benches/examples for the
+/// DLPIC_PRESET mechanism and ad-hoc scaling knobs.
+
+#include <optional>
+#include <string>
+
+namespace dlpic::util {
+
+/// Raw lookup; nullopt when the variable is unset.
+std::optional<std::string> env_string(const std::string& name);
+
+/// Lookup with default.
+std::string env_string_or(const std::string& name, const std::string& fallback);
+
+/// Integer lookup; returns fallback when unset or unparsable.
+long env_int_or(const std::string& name, long fallback);
+
+/// Double lookup; returns fallback when unset or unparsable.
+double env_double_or(const std::string& name, double fallback);
+
+/// Boolean lookup: "1", "true", "yes", "on" (case-insensitive) are true.
+bool env_bool_or(const std::string& name, bool fallback);
+
+}  // namespace dlpic::util

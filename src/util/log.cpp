@@ -1,0 +1,72 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace dlpic::util {
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = not yet initialized
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+int init_level() {
+  const char* env = std::getenv("DLPIC_LOG");
+  if (env == nullptr) return static_cast<int>(LogLevel::Info);
+  return static_cast<int>(parse_log_level(env));
+}
+
+}  // namespace
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "trace") return LogLevel::Trace;
+  if (name == "debug") return LogLevel::Debug;
+  if (name == "info") return LogLevel::Info;
+  if (name == "warn" || name == "warning") return LogLevel::Warn;
+  if (name == "error") return LogLevel::Error;
+  if (name == "off" || name == "none") return LogLevel::Off;
+  return LogLevel::Info;
+}
+
+LogLevel log_level() {
+  int v = g_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = init_level();
+    g_level.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(v);
+}
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void log_message(LogLevel level, const char* file, int line, const char* fmt, ...) {
+  const char* base = std::strrchr(file, '/');
+  base = (base != nullptr) ? base + 1 : file;
+
+  char body[2048];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(body, sizeof(body), fmt, args);
+  va_end(args);
+
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%-5s] %s:%d: %s\n", level_name(level), base, line, body);
+}
+
+}  // namespace dlpic::util

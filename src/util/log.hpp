@@ -1,0 +1,42 @@
+#pragma once
+/// \file log.hpp
+/// Minimal leveled logger. Thread-safe; writes to stderr by default.
+///
+/// Usage:
+///   DLPIC_LOG_INFO("trained %zu epochs, val MAE %.4f", epochs, mae);
+/// The global level is read from the DLPIC_LOG env var (trace|debug|info|
+/// warn|error, default info) on first use and can be overridden at runtime.
+
+#include <cstdarg>
+#include <string>
+
+namespace dlpic::util {
+
+enum class LogLevel : int { Trace = 0, Debug, Info, Warn, Error, Off };
+
+/// Returns the current global log level (lazy-initialized from $DLPIC_LOG).
+LogLevel log_level();
+
+/// Overrides the global log level for the rest of the process.
+void set_log_level(LogLevel level);
+
+/// Parses a level name ("info", "warn", ...); unknown names map to Info.
+LogLevel parse_log_level(const std::string& name);
+
+/// Core printf-style log entry point; prefer the DLPIC_LOG_* macros.
+void log_message(LogLevel level, const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+}  // namespace dlpic::util
+
+#define DLPIC_LOG_AT(level, ...)                                              \
+  do {                                                                        \
+    if (static_cast<int>(level) >= static_cast<int>(::dlpic::util::log_level())) \
+      ::dlpic::util::log_message(level, __FILE__, __LINE__, __VA_ARGS__);     \
+  } while (0)
+
+#define DLPIC_LOG_TRACE(...) DLPIC_LOG_AT(::dlpic::util::LogLevel::Trace, __VA_ARGS__)
+#define DLPIC_LOG_DEBUG(...) DLPIC_LOG_AT(::dlpic::util::LogLevel::Debug, __VA_ARGS__)
+#define DLPIC_LOG_INFO(...) DLPIC_LOG_AT(::dlpic::util::LogLevel::Info, __VA_ARGS__)
+#define DLPIC_LOG_WARN(...) DLPIC_LOG_AT(::dlpic::util::LogLevel::Warn, __VA_ARGS__)
+#define DLPIC_LOG_ERROR(...) DLPIC_LOG_AT(::dlpic::util::LogLevel::Error, __VA_ARGS__)

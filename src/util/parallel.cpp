@@ -1,0 +1,64 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#ifdef DLPIC_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+#include "util/thread_pool.hpp"
+
+namespace dlpic::util {
+
+size_t parallel_workers() {
+#ifdef DLPIC_HAVE_OPENMP
+  return static_cast<size_t>(omp_get_max_threads());
+#else
+  return ThreadPool::global().size();
+#endif
+}
+
+void parallel_for_chunks(size_t begin, size_t end,
+                         const std::function<void(size_t, size_t)>& body, size_t grain) {
+  if (end <= begin) return;
+  const size_t n = end - begin;
+  const size_t workers = parallel_workers();
+  if (n <= grain || workers <= 1) {
+    body(begin, end);
+    return;
+  }
+#ifdef DLPIC_HAVE_OPENMP
+  const size_t chunks = std::min(workers * 4, (n + grain - 1) / grain);
+  const size_t step = (n + chunks - 1) / chunks;
+#pragma omp parallel for schedule(dynamic, 1)
+  for (long long c = 0; c < static_cast<long long>(chunks); ++c) {
+    const size_t lo = begin + static_cast<size_t>(c) * step;
+    const size_t hi = std::min(end, lo + step);
+    if (lo < hi) body(lo, hi);
+  }
+#else
+  const size_t chunks = std::min(workers * 4, (n + grain - 1) / grain);
+  const size_t step = (n + chunks - 1) / chunks;
+  auto& pool = ThreadPool::global();
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t lo = begin + c * step;
+    const size_t hi = std::min(end, lo + step);
+    if (lo < hi) pool.submit([&body, lo, hi] { body(lo, hi); });
+  }
+  pool.wait_idle();
+#endif
+}
+
+void parallel_for(size_t begin, size_t end, const std::function<void(size_t)>& body,
+                  size_t grain) {
+  parallel_for_chunks(
+      begin, end,
+      [&body](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) body(i);
+      },
+      grain);
+}
+
+}  // namespace dlpic::util

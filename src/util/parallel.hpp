@@ -1,0 +1,27 @@
+#pragma once
+/// \file parallel.hpp
+/// parallel_for abstraction: OpenMP when compiled in, otherwise the internal
+/// thread pool, otherwise serial. Grain-size aware so tiny loops stay serial
+/// (the PIC hot loops at paper scale are ~64k iterations; NN GEMMs dominate).
+
+#include <cstddef>
+#include <functional>
+
+namespace dlpic::util {
+
+/// Number of workers parallel_for will use (1 when serial).
+size_t parallel_workers();
+
+/// Runs body(i) for i in [begin, end). Chunks of at least `grain` iterations
+/// are dispatched per worker; loops smaller than `grain` run serially.
+/// The body must be thread-safe across distinct indices.
+void parallel_for(size_t begin, size_t end, const std::function<void(size_t)>& body,
+                  size_t grain = 1024);
+
+/// Runs body(chunk_begin, chunk_end) over contiguous ranges — cheaper than
+/// per-index dispatch for tight numeric kernels.
+void parallel_for_chunks(size_t begin, size_t end,
+                         const std::function<void(size_t, size_t)>& body,
+                         size_t grain = 1024);
+
+}  // namespace dlpic::util

@@ -1,0 +1,25 @@
+#pragma once
+/// \file string_util.hpp
+/// Small string helpers shared by config parsing and CSV I/O.
+
+#include <string>
+#include <vector>
+
+namespace dlpic::util {
+
+/// Splits on a delimiter; empty fields are preserved.
+std::vector<std::string> split(const std::string& s, char delim);
+
+/// Removes leading/trailing whitespace.
+std::string trim(const std::string& s);
+
+/// Lower-cases ASCII characters.
+std::string to_lower(const std::string& s);
+
+/// True when `s` begins with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace dlpic::util

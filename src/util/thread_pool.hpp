@@ -1,0 +1,50 @@
+#pragma once
+/// \file thread_pool.hpp
+/// Fixed-size worker pool backing dlpic::util::parallel_for when OpenMP is
+/// unavailable. Work items are type-erased closures pushed to a shared queue.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dlpic::util {
+
+/// Simple shared-queue thread pool. Tasks may not throw (exceptions in a
+/// task terminate the process); wrap fallible work in the caller.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (default: hardware_concurrency, at least 1).
+  explicit ThreadPool(size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  [[nodiscard]] size_t size() const { return workers_.size(); }
+
+  /// Process-wide pool shared by parallel_for (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace dlpic::util

@@ -1,0 +1,30 @@
+#pragma once
+/// \file timer.hpp
+/// Monotonic stopwatch used by benchmarks and trainers.
+
+#include <chrono>
+
+namespace dlpic::util {
+
+/// Wall-clock stopwatch with nanosecond resolution; starts on construction.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed time in seconds since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace dlpic::util

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "core/pipeline.hpp"
+#include "core/presets.hpp"
+
+namespace {
+
+using namespace dlpic::core;
+namespace fs = std::filesystem;
+
+TEST(Presets, CiAndPaperDifferInScaleNotPhysics) {
+  auto ci = ci_preset();
+  auto paper = paper_preset();
+  // Physics identical.
+  EXPECT_DOUBLE_EQ(ci.generator.base.length, paper.generator.base.length);
+  EXPECT_DOUBLE_EQ(ci.generator.base.dt, paper.generator.base.dt);
+  EXPECT_EQ(ci.generator.base.ncells, paper.generator.base.ncells);
+  EXPECT_EQ(ci.generator.v0_values, paper.generator.v0_values);
+  EXPECT_EQ(ci.generator.vth_values, paper.generator.vth_values);
+  // Scale differs.
+  EXPECT_LT(ci.generator.total_samples(), paper.generator.total_samples());
+  EXPECT_LT(ci.mlp.hidden, paper.mlp.hidden);
+}
+
+TEST(Presets, PaperPresetMatchesPublishedNumbers) {
+  auto p = paper_preset();
+  EXPECT_EQ(p.generator.base.particles_per_cell, 1000u);
+  EXPECT_EQ(p.generator.runs_per_combination, 10u);
+  EXPECT_EQ(p.generator.steps_per_run, 200u);
+  EXPECT_EQ(p.generator.total_samples(), 40000u);  // §IV-A1
+  EXPECT_EQ(p.train_samples, 38000u);
+  EXPECT_EQ(p.val_samples, 1000u);
+  EXPECT_EQ(p.test_samples, 1000u);
+  EXPECT_EQ(p.mlp.hidden, 1024u);
+  EXPECT_EQ(p.train_mlp.epochs, 150u);
+  EXPECT_EQ(p.train_cnn.epochs, 100u);
+  EXPECT_EQ(p.train_mlp.batch_size, 64u);
+  EXPECT_DOUBLE_EQ(p.learning_rate_mlp, 1e-4);
+  EXPECT_EQ(p.test2.total_samples(), 1000u);
+}
+
+TEST(Presets, UnknownNameThrows) {
+  EXPECT_THROW(preset_by_name("huge"), std::invalid_argument);
+  EXPECT_EQ(preset_by_name("ci").name, "ci");
+  EXPECT_EQ(preset_by_name("paper").name, "paper");
+}
+
+TEST(Pipeline, GeneratesCachesAndTrainsTinyPreset) {
+  // Shrink the ci preset to a seconds-scale end-to-end smoke test.
+  Preset p = ci_preset();
+  p.name = "unittest";
+  p.generator.base.particles_per_cell = 50;
+  p.generator.binner.nx = 16;
+  p.generator.binner.nv = 16;
+  p.generator.v0_values = {0.2};
+  p.generator.vth_values = {0.0, 0.01};
+  p.generator.steps_per_run = 40;  // 80 samples
+  p.test2.base.particles_per_cell = 50;
+  p.test2.binner = p.generator.binner;
+  p.test2.v0_values = {0.25};
+  p.test2.vth_values = {0.005};
+  p.test2.steps_per_run = 10;
+  p.train_samples = 60;
+  p.val_samples = 10;
+  p.test_samples = 10;
+  p.mlp.input_dim = 16 * 16;
+  p.mlp.hidden = 32;
+  p.train_mlp.epochs = 5;
+  p.learning_rate_mlp = 1e-3;
+
+  const std::string dir = testing::TempDir() + "/dlpic_pipeline_test";
+  fs::remove_all(dir);
+  Pipeline pipeline(p, dir);
+
+  auto splits = pipeline.load_or_generate_data();
+  EXPECT_EQ(splits.train.size(), 60u);
+  EXPECT_EQ(splits.val.size(), 10u);
+  EXPECT_EQ(splits.test1.size(), 10u);
+  EXPECT_EQ(splits.test2.size(), 10u);
+  EXPECT_TRUE(fs::exists(pipeline.dataset_path()));
+  EXPECT_TRUE(fs::exists(pipeline.test2_path()));
+
+  auto trained = pipeline.train_mlp(splits);
+  EXPECT_TRUE(fs::exists(pipeline.solver_path("mlp")));
+  EXPECT_GT(trained.parameters, 0u);
+  EXPECT_GT(trained.test1.samples, 0u);
+  EXPECT_GT(trained.test2.samples, 0u);
+  EXPECT_LT(trained.test1.mae, 1.0);  // sane scale
+
+  // Second call must hit the cache (train_seconds == 0 marks a cache load).
+  auto cached = pipeline.train_mlp(splits);
+  EXPECT_DOUBLE_EQ(cached.train_seconds, 0.0);
+  EXPECT_NEAR(cached.test1.mae, trained.test1.mae, 1e-12);
+
+  // Data load path also hits the cache.
+  auto splits2 = pipeline.load_or_generate_data();
+  EXPECT_EQ(splits2.train.size(), 60u);
+
+  fs::remove_all(dir);
+}
+
+TEST(Pipeline, SplitRequestLargerThanDatasetThrows) {
+  Preset p = ci_preset();
+  p.name = "unittest_bad";
+  p.generator.base.particles_per_cell = 50;
+  p.generator.binner.nx = 16;
+  p.generator.binner.nv = 16;
+  p.generator.v0_values = {0.2};
+  p.generator.vth_values = {0.0};
+  p.generator.steps_per_run = 10;  // only 10 samples
+  p.test2 = p.generator;
+  p.test2.v0_values = {0.25};
+  p.train_samples = 100;  // more than available
+  p.val_samples = 10;
+  p.test_samples = 10;
+
+  const std::string dir = testing::TempDir() + "/dlpic_pipeline_bad";
+  fs::remove_all(dir);
+  Pipeline pipeline(p, dir);
+  EXPECT_THROW(pipeline.load_or_generate_data(), std::runtime_error);
+  fs::remove_all(dir);
+}
+
+}  // namespace

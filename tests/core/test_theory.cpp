@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/theory.hpp"
+
+namespace {
+
+using namespace dlpic::core;
+
+TEST(Theory, PaperConfigurationGrowthRate) {
+  // Paper geometry: L = 2*pi/3.06 so mode 1 has k = 3.06; v0 = 0.2,
+  // omega_p = 1 -> gamma ~= 0.354 (the Fig. 4 reference slope).
+  const double gamma = two_stream_growth_rate(3.06, 0.2);
+  EXPECT_NEAR(gamma, 0.3536, 5e-3);
+  EXPECT_TRUE(two_stream_unstable(3.06, 0.2));
+}
+
+TEST(Theory, StableAboveThreshold) {
+  // v0 = 0.4: k v0 = 1.224 > omega_p = 1 -> stable (the Fig. 6 case).
+  EXPECT_FALSE(two_stream_unstable(3.06, 0.4));
+  EXPECT_DOUBLE_EQ(two_stream_growth_rate(3.06, 0.4), 0.0);
+}
+
+TEST(Theory, ThresholdIsKv0EqualsWp) {
+  EXPECT_DOUBLE_EQ(two_stream_threshold_kv0(1.0), 1.0);
+  // Just below/above threshold.
+  EXPECT_TRUE(two_stream_unstable(0.99 / 0.2, 0.2));
+  EXPECT_FALSE(two_stream_unstable(1.01 / 0.2, 0.2));
+}
+
+TEST(Theory, MaxGrowthRateIsWpOver2Sqrt2) {
+  // gamma² = sqrt(A² + 4AB²) - (A + B²) with A = wp²/2, B = k v0 is
+  // maximized at B² = 3A/4, i.e. k v0 = sqrt(3/8) wp ~ 0.612 (exactly the
+  // paper's k v0 = 3.06 * 0.2), with gamma_max = wp / (2 sqrt(2)).
+  const double v0 = 0.2;
+  const double k_star = std::sqrt(3.0 / 8.0) / v0;
+  const double gamma_star = two_stream_growth_rate(k_star, v0);
+  EXPECT_NEAR(gamma_star, 1.0 / (2.0 * std::sqrt(2.0)), 1e-10);
+  // Perturbing k in either direction must reduce gamma.
+  EXPECT_LT(two_stream_growth_rate(k_star * 1.05, v0), gamma_star);
+  EXPECT_LT(two_stream_growth_rate(k_star * 0.95, v0), gamma_star);
+}
+
+TEST(Theory, RealFrequencyOfStableBranch) {
+  const double w = two_stream_real_frequency(3.06, 0.2);
+  EXPECT_GT(w, 1.0);  // fast branch is above the plasma frequency
+  // u_plus = A + B² + sqrt(A²+4AB²) evaluated directly.
+  const double A = 0.5, B = 3.06 * 0.2;
+  const double expect = std::sqrt(A + B * B + std::sqrt(A * A + 4 * A * B * B));
+  EXPECT_NEAR(w, expect, 1e-12);
+}
+
+TEST(Theory, MultibeamMatchesSymmetricClosedForm) {
+  // Two symmetric beams through the general polynomial path.
+  const double k = 3.06, v0 = 0.2;
+  const double wb = std::sqrt(0.5);
+  auto roots = multibeam_dispersion_roots(k, {wb, wb}, {v0, -v0});
+  ASSERT_EQ(roots.size(), 4u);
+  EXPECT_NEAR(max_growth_rate(roots), two_stream_growth_rate(k, v0), 1e-6);
+}
+
+TEST(Theory, MultibeamStableCaseHasNoGrowth) {
+  const double k = 3.06, v0 = 0.4;
+  const double wb = std::sqrt(0.5);
+  auto roots = multibeam_dispersion_roots(k, {wb, wb}, {v0, -v0});
+  EXPECT_NEAR(max_growth_rate(roots), 0.0, 1e-6);
+}
+
+TEST(Theory, BumpOnTailThreeBeamSystem) {
+  // A weak third beam (bump on tail, cold limit) must destabilize a system
+  // built from a dominant core: growth rate positive but below the
+  // symmetric two-stream value.
+  const double k = 3.0;
+  auto roots = multibeam_dispersion_roots(k, {0.95, 0.31}, {0.0, 0.5});
+  const double gamma = max_growth_rate(roots);
+  EXPECT_GT(gamma, 0.0);
+  EXPECT_LT(gamma, 0.5);
+}
+
+TEST(Theory, MostUnstableModeMatchesPaperBoxChoice) {
+  // The paper chose L = 2*pi/3.06 so that mode 1 is the most unstable mode
+  // for v0 = 0.2 among the modes the box supports.
+  const double L = 2.0 * std::numbers::pi / 3.06;
+  EXPECT_EQ(most_unstable_mode(L, 0.2, 32), 1u);
+  // For the stable v0 = 0.4 configuration no mode grows.
+  EXPECT_EQ(most_unstable_mode(L, 0.4, 32), 0u);
+}
+
+TEST(Theory, InvalidArgumentsThrow) {
+  EXPECT_THROW(two_stream_growth_rate(-1.0, 0.2), std::invalid_argument);
+  EXPECT_THROW(two_stream_growth_rate(1.0, 0.2, 0.0), std::invalid_argument);
+  EXPECT_THROW(multibeam_dispersion_roots(1.0, {}, {}), std::invalid_argument);
+  EXPECT_THROW(multibeam_dispersion_roots(1.0, {1.0}, {0.0, 0.1}), std::invalid_argument);
+  EXPECT_THROW(most_unstable_mode(0.0, 0.2, 8), std::invalid_argument);
+}
+
+class TheoryGrowthSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TheoryGrowthSweep, ClosedFormAgreesWithPolynomialSolver) {
+  const double v0 = GetParam();
+  const double wb = std::sqrt(0.5);
+  for (double k : {1.0, 2.0, 3.06, 5.0}) {
+    auto roots = multibeam_dispersion_roots(k, {wb, wb}, {v0, -v0});
+    EXPECT_NEAR(max_growth_rate(roots), two_stream_growth_rate(k, v0), 1e-6)
+        << "k=" << k << " v0=" << v0;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BeamSpeeds, TheoryGrowthSweep,
+                         ::testing::Values(0.05, 0.1, 0.18, 0.2, 0.3, 0.4));
+
+}  // namespace

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "data/dataset_io.hpp"
+#include "data/generator.hpp"
+#include "phase_space/binner.hpp"
+#include "util/binary_io.hpp"
+
+namespace {
+
+using namespace dlpic::data;
+
+GeneratorConfig tiny_config() {
+  GeneratorConfig cfg;
+  cfg.base.particles_per_cell = 50;
+  cfg.binner.nx = 16;
+  cfg.binner.nv = 16;
+  cfg.v0_values = {0.1, 0.2};
+  cfg.vth_values = {0.0, 0.01};
+  cfg.runs_per_combination = 1;
+  cfg.steps_per_run = 5;
+  return cfg;
+}
+
+TEST(Generator, ProducesExpectedSampleCountAndDims) {
+  auto cfg = tiny_config();
+  DatasetGenerator gen(cfg);
+  EXPECT_EQ(cfg.total_samples(), 20u);
+  auto ds = gen.generate();
+  EXPECT_EQ(ds.size(), 20u);
+  EXPECT_EQ(ds.input_dim(), 16u * 16u);
+  EXPECT_EQ(ds.target_dim(), 64u);
+}
+
+TEST(Generator, HistogramsCountAllParticles) {
+  auto cfg = tiny_config();
+  DatasetGenerator gen(cfg);
+  auto ds = gen.generate();
+  const double n_particles = static_cast<double>(cfg.base.total_particles());
+  for (size_t r = 0; r < ds.size(); ++r) {
+    double total = 0.0;
+    for (size_t i = 0; i < ds.input_dim(); ++i) total += ds.input_row(r)[i];
+    EXPECT_NEAR(total, n_particles, 1e-6) << "sample " << r;
+  }
+}
+
+TEST(Generator, FieldsAreBoundedAndNontrivial) {
+  auto cfg = tiny_config();
+  cfg.steps_per_run = 60;  // run into the instability so E grows above noise
+  cfg.v0_values = {0.2};
+  cfg.vth_values = {0.0};
+  DatasetGenerator gen(cfg);
+  auto ds = gen.generate();
+  double global_max = 0.0;
+  for (size_t r = 0; r < ds.size(); ++r)
+    for (size_t i = 0; i < ds.target_dim(); ++i)
+      global_max = std::max(global_max, std::abs(ds.target_row(r)[i]));
+  EXPECT_GT(global_max, 1e-4);  // instability developed
+  EXPECT_LT(global_max, 1.0);   // physically sane (paper scale ~0.1)
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  auto cfg = tiny_config();
+  auto a = DatasetGenerator(cfg).generate();
+  auto b = DatasetGenerator(cfg).generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.input_dim(); ++i)
+    EXPECT_DOUBLE_EQ(a.input_row(0)[i], b.input_row(0)[i]);
+  for (size_t i = 0; i < a.target_dim(); ++i)
+    EXPECT_DOUBLE_EQ(a.target_row(a.size() - 1)[i], b.target_row(b.size() - 1)[i]);
+}
+
+TEST(Generator, DifferentSeedsProduceDifferentData) {
+  auto cfg = tiny_config();
+  auto a = DatasetGenerator(cfg).generate();
+  cfg.seed = 1234567;
+  auto b = DatasetGenerator(cfg).generate();
+  bool any_diff = false;
+  for (size_t i = 0; i < a.input_dim() && !any_diff; ++i)
+    any_diff = a.input_row(0)[i] != b.input_row(0)[i];
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generator, InvalidConfigThrows) {
+  auto cfg = tiny_config();
+  cfg.v0_values.clear();
+  EXPECT_THROW(DatasetGenerator{cfg}, std::invalid_argument);
+  cfg = tiny_config();
+  cfg.runs_per_combination = 0;
+  EXPECT_THROW(DatasetGenerator{cfg}, std::invalid_argument);
+  cfg = tiny_config();
+  cfg.binner.length = 1.0;  // box mismatch
+  EXPECT_THROW(DatasetGenerator{cfg}, std::invalid_argument);
+}
+
+TEST(DatasetIo, RoundTrip) {
+  auto cfg = tiny_config();
+  cfg.steps_per_run = 2;
+  auto ds = DatasetGenerator(cfg).generate();
+  const std::string path = testing::TempDir() + "/dlpic_ds.bin";
+  save_dataset(ds, path);
+  auto loaded = load_dataset(path);
+  ASSERT_EQ(loaded.size(), ds.size());
+  ASSERT_EQ(loaded.input_dim(), ds.input_dim());
+  ASSERT_EQ(loaded.target_dim(), ds.target_dim());
+  for (size_t r = 0; r < ds.size(); ++r) {
+    for (size_t i = 0; i < ds.input_dim(); ++i)
+      ASSERT_DOUBLE_EQ(loaded.input_row(r)[i], ds.input_row(r)[i]);
+    for (size_t i = 0; i < ds.target_dim(); ++i)
+      ASSERT_DOUBLE_EQ(loaded.target_row(r)[i], ds.target_row(r)[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIo, BadFileThrows) {
+  EXPECT_THROW(load_dataset("/nonexistent/ds.bin"), std::runtime_error);
+  const std::string path = testing::TempDir() + "/dlpic_bad_ds.bin";
+  {
+    dlpic::util::BinaryWriter w(path);
+    w.write_u32(0xBADF00D);
+  }
+  EXPECT_THROW(load_dataset(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace

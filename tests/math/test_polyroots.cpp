@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <complex>
+#include <vector>
+
+#include "math/polyroots.hpp"
+
+namespace {
+
+using namespace dlpic::math;
+using C = std::complex<double>;
+
+// Checks that each expected root is matched by some computed root.
+void expect_roots(const std::vector<C>& coeffs, std::vector<C> expected, double tol = 1e-8) {
+  auto roots = polynomial_roots(coeffs);
+  ASSERT_EQ(roots.size(), expected.size());
+  for (const auto& e : expected) {
+    auto it = std::min_element(roots.begin(), roots.end(), [&](const C& a, const C& b) {
+      return std::abs(a - e) < std::abs(b - e);
+    });
+    EXPECT_LT(std::abs(*it - e), tol) << "missing root " << e.real() << "+" << e.imag() << "i";
+    roots.erase(it);
+  }
+}
+
+TEST(PolyRoots, Linear) { expect_roots({C(-6), C(2)}, {C(3)}); }
+
+TEST(PolyRoots, QuadraticRealRoots) {
+  // (z-1)(z-4) = z² - 5z + 4
+  expect_roots({C(4), C(-5), C(1)}, {C(1), C(4)});
+}
+
+TEST(PolyRoots, QuadraticComplexRoots) {
+  // z² + 1 = 0
+  expect_roots({C(1), C(0), C(1)}, {C(0, 1), C(0, -1)});
+}
+
+TEST(PolyRoots, QuarticTwoStreamLike) {
+  // u² - 2(A+B²)u + B⁴ - 2AB² with A=0.5, B=0.612 has one negative root in
+  // u = omega² -> imaginary omega pair (the unstable two-stream mode).
+  const double A = 0.5, B = 0.612;
+  // In omega: omega⁴ - 2(A+B²)omega² + (B⁴-2AB²).
+  const double c0 = B * B * B * B - 2 * A * B * B;
+  const double c2 = -2.0 * (A + B * B);
+  auto roots = polynomial_roots({C(c0), C(0), C(c2), C(0), C(1)});
+  ASSERT_EQ(roots.size(), 4u);
+  double max_im = 0.0;
+  for (const auto& r : roots) max_im = std::max(max_im, r.imag());
+  // Analytic growth rate: sqrt(-u_minus) where u_minus = (A+B²) - sqrt(A²+4AB²).
+  const double u_minus = (A + B * B) - std::sqrt(A * A + 4 * A * B * B);
+  EXPECT_LT(u_minus, 0.0);
+  EXPECT_NEAR(max_im, std::sqrt(-u_minus), 1e-8);
+}
+
+TEST(PolyRoots, RepeatedRoots) {
+  // (z-2)² = z² - 4z + 4; Durand–Kerner converges slower, use loose tol.
+  expect_roots({C(4), C(-4), C(1)}, {C(2), C(2)}, 1e-4);
+}
+
+TEST(PolyRoots, DegenerateInputsThrow) {
+  EXPECT_THROW(polynomial_roots({C(1)}), std::invalid_argument);
+  EXPECT_THROW(polynomial_roots({C(1), C(0)}), std::invalid_argument);
+}
+
+TEST(PolyMul, ConvolvesCoefficients) {
+  // (1 + z)(1 - z) = 1 - z²
+  auto p = poly_mul({C(1), C(1)}, {C(1), C(-1)});
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_NEAR(std::abs(p[0] - C(1)), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(p[1]), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(p[2] - C(-1)), 0.0, 1e-14);
+}
+
+TEST(PolyMul, EmptyGivesEmpty) {
+  EXPECT_TRUE(poly_mul({}, {C(1)}).empty());
+}
+
+}  // namespace

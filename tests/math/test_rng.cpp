@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "math/rng.hpp"
+
+namespace {
+
+using dlpic::math::Rng;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, StreamsAreIndependent) {
+  Rng a = Rng::stream(7, 0);
+  Rng b = Rng::stream(7, 1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+  // Same stream id reproduces.
+  Rng c = Rng::stream(7, 1);
+  Rng d = Rng::stream(7, 1);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(c.next_u64(), d.next_u64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng rng(5);
+  const int n = 200000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sum2 += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.002);
+}
+
+TEST(Rng, NormalMomentsMatchStandardGaussian) {
+  Rng rng(6);
+  const int n = 200000;
+  double sum = 0, sum2 = 0, sum3 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum2 += z * z;
+    sum3 += z * z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+  EXPECT_NEAR(sum3 / n, 0.0, 0.05);  // skewness ~ 0
+}
+
+TEST(Rng, NormalScalesMeanAndSigma) {
+  Rng rng(7);
+  const int n = 100000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal(2.0, 0.5);
+    sum += z;
+    sum2 += z * z;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.01);
+  EXPECT_NEAR(std::sqrt(var), 0.5, 0.01);
+}
+
+TEST(Rng, UniformIndexIsUnbiased) {
+  Rng rng(8);
+  const uint64_t n = 7;
+  std::vector<int> counts(n, 0);
+  const int draws = 70000;
+  for (int i = 0; i < draws; ++i) counts[rng.uniform_index(n)]++;
+  for (uint64_t k = 0; k < n; ++k)
+    EXPECT_NEAR(counts[k], draws / static_cast<double>(n), 400.0);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(9);
+  std::vector<size_t> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+}  // namespace

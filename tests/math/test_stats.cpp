@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "math/rng.hpp"
+#include "math/stats.hpp"
+
+namespace {
+
+using namespace dlpic::math;
+
+TEST(Stats, SummaryBasics) {
+  auto s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.variance, 5.0 / 3.0, 1e-12);
+  EXPECT_EQ(s.n, 4u);
+}
+
+TEST(Stats, SummaryEmptyAndSingle) {
+  EXPECT_EQ(summarize({}).n, 0u);
+  auto s = summarize({7.0});
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.variance, 0.0);
+}
+
+TEST(Stats, ErrorsMatchHandComputation) {
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  std::vector<double> b = {1.5, 2.0, 1.0};
+  EXPECT_NEAR(mean_absolute_error(a, b), (0.5 + 0.0 + 2.0) / 3.0, 1e-14);
+  EXPECT_DOUBLE_EQ(max_absolute_error(a, b), 2.0);
+  EXPECT_NEAR(rmse(a, b), std::sqrt((0.25 + 0.0 + 4.0) / 3.0), 1e-14);
+}
+
+TEST(Stats, ErrorsOnMismatchedSizesThrow) {
+  std::vector<double> a = {1.0};
+  std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW(mean_absolute_error(a, b), std::invalid_argument);
+  EXPECT_THROW(max_absolute_error(a, b), std::invalid_argument);
+  EXPECT_THROW(rmse(a, b), std::invalid_argument);
+  EXPECT_THROW(mean_absolute_error({}, {}), std::invalid_argument);
+}
+
+TEST(Stats, LinearFitRecoversExactLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i * 0.5);
+    y.push_back(3.0 * i * 0.5 - 1.25);
+  }
+  auto f = linear_fit(x, y);
+  EXPECT_NEAR(f.slope, 3.0, 1e-12);
+  EXPECT_NEAR(f.intercept, -1.25, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(Stats, LinearFitNoisy) {
+  Rng rng(31);
+  std::vector<double> x, y;
+  for (int i = 0; i < 2000; ++i) {
+    x.push_back(i * 0.01);
+    y.push_back(2.0 * i * 0.01 + 0.5 + rng.normal(0.0, 0.05));
+  }
+  auto f = linear_fit(x, y);
+  EXPECT_NEAR(f.slope, 2.0, 0.02);
+  EXPECT_NEAR(f.intercept, 0.5, 0.02);
+  EXPECT_GT(f.r2, 0.99);
+}
+
+TEST(Stats, LinearFitDegenerateThrows) {
+  EXPECT_THROW(linear_fit({1.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(linear_fit({2.0, 2.0, 2.0}, {1.0, 2.0, 3.0}), std::runtime_error);
+}
+
+TEST(GrowthFit, RecoversExponentialRate) {
+  // y = y0 exp(gamma t) saturating at 1.0 — like an instability amplitude.
+  const double gamma = 0.35;
+  std::vector<double> t, y;
+  for (int i = 0; i <= 200; ++i) {
+    const double ti = i * 0.2;
+    t.push_back(ti);
+    y.push_back(std::min(1.0, 1e-4 * std::exp(gamma * ti)));
+  }
+  auto g = fit_growth_rate(t, y);
+  ASSERT_TRUE(g.valid);
+  EXPECT_NEAR(g.gamma, gamma, 0.01);
+  EXPECT_GT(g.r2, 0.999);
+  EXPECT_LT(g.window_begin, g.window_end);
+}
+
+TEST(GrowthFit, NoisyFloorThenGrowth) {
+  Rng rng(33);
+  const double gamma = 0.5;
+  std::vector<double> t, y;
+  for (int i = 0; i <= 300; ++i) {
+    const double ti = i * 0.1;
+    t.push_back(ti);
+    const double noise = 1e-5 * (1.0 + 0.5 * rng.uniform());
+    const double growth = 1e-6 * std::exp(gamma * ti);
+    y.push_back(std::min(1.0, noise + growth));
+  }
+  auto g = fit_growth_rate(t, y);
+  ASSERT_TRUE(g.valid);
+  EXPECT_NEAR(g.gamma, gamma, 0.05);
+}
+
+TEST(GrowthFit, FlatSignalIsInvalid) {
+  std::vector<double> t, y;
+  for (int i = 0; i < 50; ++i) {
+    t.push_back(i * 0.1);
+    y.push_back(1.0);
+  }
+  EXPECT_FALSE(fit_growth_rate(t, y).valid);
+}
+
+TEST(GrowthFit, TooFewPointsInvalid) {
+  EXPECT_FALSE(fit_growth_rate({0.0, 1.0}, {1.0, 2.0}).valid);
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "math/rng.hpp"
+#include "math/tridiag.hpp"
+
+namespace {
+
+using namespace dlpic::math;
+
+std::vector<double> mat_vec_tridiag(const std::vector<double>& a, const std::vector<double>& b,
+                                    const std::vector<double>& c, const std::vector<double>& x,
+                                    double alpha = 0.0, double beta = 0.0) {
+  const size_t n = b.size();
+  std::vector<double> y(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    y[i] = b[i] * x[i];
+    if (i > 0) y[i] += a[i] * x[i - 1];
+    if (i + 1 < n) y[i] += c[i] * x[i + 1];
+  }
+  y[0] += alpha * x[n - 1];
+  y[n - 1] += beta * x[0];
+  return y;
+}
+
+TEST(Tridiag, SolvesDiagonallyDominantSystem) {
+  const size_t n = 50;
+  Rng rng(21);
+  std::vector<double> a(n), b(n), c(n), x_true(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = rng.uniform(-1, 1);
+    c[i] = rng.uniform(-1, 1);
+    b[i] = 4.0 + rng.uniform(0, 1);  // dominant diagonal
+    x_true[i] = rng.uniform(-5, 5);
+  }
+  auto d = mat_vec_tridiag(a, b, c, x_true);
+  auto x = solve_tridiagonal(a, b, c, d);
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-10);
+}
+
+TEST(Tridiag, SolvesLaplacianDirichlet) {
+  // -u'' = 1 on (0,1), u(0)=u(1)=0  ->  u(x) = x(1-x)/2.
+  const size_t n = 99;
+  const double h = 1.0 / (n + 1);
+  std::vector<double> a(n, 1.0), b(n, -2.0), c(n, 1.0), d(n, -h * h);
+  auto u = solve_tridiagonal(a, b, c, d);
+  for (size_t i = 0; i < n; ++i) {
+    const double x = (i + 1) * h;
+    EXPECT_NEAR(u[i], 0.5 * x * (1.0 - x), 1e-10);
+  }
+}
+
+TEST(Tridiag, SizeMismatchThrows) {
+  std::vector<double> a(3), b(4), c(4), d(4);
+  EXPECT_THROW(solve_tridiagonal(a, b, c, d), std::invalid_argument);
+}
+
+TEST(Tridiag, EmptySystemReturnsEmpty) {
+  std::vector<double> e;
+  EXPECT_TRUE(solve_tridiagonal(e, e, e, e).empty());
+}
+
+TEST(CyclicTridiag, SolvesPeriodicSystem) {
+  const size_t n = 40;
+  Rng rng(22);
+  std::vector<double> a(n), b(n), c(n), x_true(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = rng.uniform(-1, 1);
+    c[i] = rng.uniform(-1, 1);
+    b[i] = 5.0 + rng.uniform(0, 1);
+    x_true[i] = rng.uniform(-3, 3);
+  }
+  const double alpha = 0.8, beta = -0.6;  // corner couplings
+  auto d = mat_vec_tridiag(a, b, c, x_true, alpha, beta);
+  auto x = solve_cyclic_tridiagonal(a, b, c, alpha, beta, d);
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(CyclicTridiag, TooSmallThrows) {
+  std::vector<double> two(2, 1.0);
+  EXPECT_THROW(solve_cyclic_tridiagonal(two, two, two, 0.1, 0.1, two),
+               std::invalid_argument);
+}
+
+class TridiagSizeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TridiagSizeSweep, ResidualIsSmall) {
+  const size_t n = GetParam();
+  Rng rng(23 + n);
+  std::vector<double> a(n), b(n), c(n), d(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = rng.uniform(-1, 1);
+    c[i] = rng.uniform(-1, 1);
+    b[i] = 4.0;
+    d[i] = rng.uniform(-1, 1);
+  }
+  auto x = solve_tridiagonal(a, b, c, d);
+  auto r = mat_vec_tridiag(a, b, c, x);
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(r[i], d[i], 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TridiagSizeSweep, ::testing::Values(1, 2, 3, 5, 17, 64, 501));
+
+}  // namespace

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "math/rng.hpp"
+#include "nn/activation.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/flatten.hpp"
+#include "nn/gradcheck.hpp"
+#include "nn/maxpool2d.hpp"
+#include "nn/sequential.hpp"
+
+namespace {
+
+using namespace dlpic::nn;
+using dlpic::math::Rng;
+
+// Random batch avoiding exact ReLU kinks (|x| bounded away from 0 is not
+// needed: probability of hitting a kink with continuous values is nil).
+Tensor random_tensor(std::vector<size_t> shape, uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (size_t i = 0; i < t.size(); ++i) t[i] = rng.uniform(-1.0, 1.0);
+  return t;
+}
+
+TEST(GradCheck, SingleDenseLayer) {
+  Rng rng(91);
+  Sequential model;
+  model.add(std::make_unique<Dense>(4, 3, rng));
+  auto res = check_gradients(model, random_tensor({2, 4}, 1), random_tensor({2, 3}, 2));
+  EXPECT_TRUE(res.ok) << "param err " << res.max_param_rel_error << ", input err "
+                      << res.max_input_rel_error;
+  EXPECT_EQ(res.checked_params, 4u * 3u + 3u);
+}
+
+TEST(GradCheck, MlpWithRelu) {
+  Rng rng(92);
+  Sequential model;
+  model.add(std::make_unique<Dense>(6, 8, rng));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Dense>(8, 8, rng));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Dense>(8, 4, rng, true));
+  auto res = check_gradients(model, random_tensor({3, 6}, 3), random_tensor({3, 4}, 4));
+  EXPECT_TRUE(res.ok) << "param err " << res.max_param_rel_error << ", input err "
+                      << res.max_input_rel_error;
+}
+
+TEST(GradCheck, MlpWithTanh) {
+  Rng rng(93);
+  Sequential model;
+  model.add(std::make_unique<Dense>(5, 7, rng));
+  model.add(std::make_unique<Tanh>());
+  model.add(std::make_unique<Dense>(7, 2, rng, true));
+  auto res = check_gradients(model, random_tensor({2, 5}, 5), random_tensor({2, 2}, 6));
+  EXPECT_TRUE(res.ok) << "param err " << res.max_param_rel_error;
+}
+
+TEST(GradCheck, MlpWithLeakyRelu) {
+  Rng rng(94);
+  Sequential model;
+  model.add(std::make_unique<Dense>(5, 6, rng));
+  model.add(std::make_unique<LeakyReLU>(0.1));
+  model.add(std::make_unique<Dense>(6, 3, rng, true));
+  auto res = check_gradients(model, random_tensor({2, 5}, 7), random_tensor({2, 3}, 8));
+  EXPECT_TRUE(res.ok) << "param err " << res.max_param_rel_error;
+}
+
+TEST(GradCheck, ConvPoolStack) {
+  // Miniature CNN: reshape -> conv -> relu -> pool -> flatten -> dense.
+  Rng rng(95);
+  Sequential model;
+  model.add(std::make_unique<Reshape4>(1, 4, 4));
+  Conv2DConfig cfg;
+  cfg.in_channels = 1;
+  cfg.out_channels = 2;
+  model.add(std::make_unique<Conv2D>(cfg, rng));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<MaxPool2D>(2));
+  model.add(std::make_unique<Flatten>());
+  model.add(std::make_unique<Dense>(2 * 2 * 2, 3, rng, true));
+  auto res = check_gradients(model, random_tensor({2, 16}, 9), random_tensor({2, 3}, 10),
+                             /*eps=*/1e-5, /*tol=*/1e-4);
+  EXPECT_TRUE(res.ok) << "param err " << res.max_param_rel_error << ", input err "
+                      << res.max_input_rel_error;
+}
+
+TEST(GradCheck, TwoConvBlocks) {
+  // The paper's CNN topology at toy scale: two [conv,conv,pool] blocks.
+  Rng rng(96);
+  Sequential model;
+  model.add(std::make_unique<Reshape4>(1, 8, 8));
+  auto conv = [&rng](size_t ic, size_t oc) {
+    Conv2DConfig cfg;
+    cfg.in_channels = ic;
+    cfg.out_channels = oc;
+    return std::make_unique<Conv2D>(cfg, rng);
+  };
+  model.add(conv(1, 2));
+  model.add(std::make_unique<ReLU>());
+  model.add(conv(2, 2));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<MaxPool2D>(2));
+  model.add(conv(2, 3));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<MaxPool2D>(2));
+  model.add(std::make_unique<Flatten>());
+  model.add(std::make_unique<Dense>(3 * 2 * 2, 2, rng, true));
+  auto res = check_gradients(model, random_tensor({1, 64}, 11), random_tensor({1, 2}, 12),
+                             /*eps=*/1e-5, /*tol=*/1e-4);
+  EXPECT_TRUE(res.ok) << "param err " << res.max_param_rel_error << ", input err "
+                      << res.max_input_rel_error;
+}
+
+}  // namespace

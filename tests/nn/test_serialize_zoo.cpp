@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "math/rng.hpp"
+#include "nn/activation.hpp"
+#include "nn/dense.hpp"
+#include "nn/model_zoo.hpp"
+#include "nn/sequential.hpp"
+
+namespace {
+
+using namespace dlpic::nn;
+using dlpic::math::Rng;
+
+Tensor random_tensor(std::vector<size_t> shape, uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (size_t i = 0; i < t.size(); ++i) t[i] = rng.uniform(-1, 1);
+  return t;
+}
+
+TEST(Serialize, MlpRoundTripPredictsIdentically) {
+  MlpSpec spec;
+  spec.input_dim = 16;
+  spec.output_dim = 4;
+  spec.hidden = 8;
+  Sequential model = build_mlp(spec);
+  Tensor x = random_tensor({3, 16}, 131);
+  Tensor before = model.predict(x);
+
+  const std::string path = testing::TempDir() + "/dlpic_mlp.bin";
+  model.save(path);
+  Sequential loaded = Sequential::load_file(path);
+  Tensor after = loaded.predict(x);
+
+  ASSERT_TRUE(before.same_shape(after));
+  for (size_t i = 0; i < before.size(); ++i) EXPECT_DOUBLE_EQ(before[i], after[i]);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, CnnRoundTripPredictsIdentically) {
+  CnnSpec spec;
+  spec.input_h = 8;
+  spec.input_w = 8;
+  spec.output_dim = 4;
+  spec.channels1 = 2;
+  spec.channels2 = 3;
+  spec.hidden = 8;
+  Sequential model = build_cnn(spec);
+  Tensor x = random_tensor({2, 64}, 132);
+  Tensor before = model.predict(x);
+
+  const std::string path = testing::TempDir() + "/dlpic_cnn.bin";
+  model.save(path);
+  Sequential loaded = Sequential::load_file(path);
+  Tensor after = loaded.predict(x);
+
+  ASSERT_TRUE(before.same_shape(after));
+  for (size_t i = 0; i < before.size(); ++i) EXPECT_DOUBLE_EQ(before[i], after[i]);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, BadMagicThrows) {
+  const std::string path = testing::TempDir() + "/dlpic_bad_model.bin";
+  {
+    dlpic::util::BinaryWriter w(path);
+    w.write_u32(0x12345678);
+    w.write_u32(1);
+    w.write_u64(0);
+  }
+  EXPECT_THROW(Sequential::load_file(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(Sequential::load_file("/nonexistent/model.bin"), std::runtime_error);
+}
+
+TEST(ModelZoo, MlpArchitectureMatchesPaper) {
+  // Paper §IV-A: 3 hidden fully-connected layers of 1024 ReLU neurons,
+  // 64 linear outputs. Verified at paper scale (cheap: only allocation).
+  MlpSpec spec;  // defaults are the paper values
+  Sequential model = build_mlp(spec);
+  EXPECT_EQ(model.layer_count(), 7u);  // 3x(dense+relu) + output dense
+  EXPECT_EQ(model.output_shape({5, 64 * 64}), (std::vector<size_t>{5, 64}));
+  // Parameter count: 4096*1024+1024 + 2*(1024*1024+1024) + 1024*64+64.
+  const size_t expected = (4096 * 1024 + 1024) + 2 * (1024 * 1024 + 1024) + (1024 * 64 + 64);
+  EXPECT_EQ(model.parameter_count(), expected);
+}
+
+TEST(ModelZoo, CnnArchitectureTopology) {
+  CnnSpec spec;
+  spec.input_h = 16;
+  spec.input_w = 16;
+  spec.output_dim = 8;
+  spec.channels1 = 4;
+  spec.channels2 = 8;
+  spec.hidden = 32;
+  Sequential model = build_cnn(spec);
+  // reshape + 2x(conv relu conv relu pool) + flatten + 3x(dense relu) + out.
+  EXPECT_EQ(model.layer_count(), 1u + 10u + 1u + 6u + 1u);
+  EXPECT_EQ(model.output_shape({2, 256}), (std::vector<size_t>{2, 8}));
+}
+
+TEST(ModelZoo, CnnRejectsIndivisibleInput) {
+  CnnSpec spec;
+  spec.input_h = 10;  // not divisible by 4
+  EXPECT_THROW(build_cnn(spec), std::invalid_argument);
+}
+
+TEST(ModelZoo, MlpForwardBackwardRunsAtReducedScale) {
+  MlpSpec spec;
+  spec.input_dim = 32;
+  spec.output_dim = 8;
+  spec.hidden = 16;
+  Sequential model = build_mlp(spec);
+  Tensor x = random_tensor({4, 32}, 133);
+  Tensor y = model.forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<size_t>{4, 8}));
+  Tensor g(y.shape());
+  g.fill(0.1);
+  Tensor gin = model.backward(g);
+  EXPECT_EQ(gin.shape(), x.shape());
+}
+
+TEST(ModelZoo, DeterministicGivenSeed) {
+  MlpSpec spec;
+  spec.input_dim = 8;
+  spec.output_dim = 2;
+  spec.hidden = 4;
+  Sequential a = build_mlp(spec);
+  Sequential b = build_mlp(spec);
+  Tensor x = random_tensor({2, 8}, 134);
+  Tensor ya = a.predict(x);
+  Tensor yb = b.predict(x);
+  for (size_t i = 0; i < ya.size(); ++i) EXPECT_DOUBLE_EQ(ya[i], yb[i]);
+}
+
+TEST(Sequential, EmptyModelThrows) {
+  Sequential model;
+  Tensor x({1, 1});
+  EXPECT_THROW(model.forward(x, false), std::runtime_error);
+  EXPECT_THROW(model.backward(x), std::runtime_error);
+  EXPECT_THROW(model.add(nullptr), std::invalid_argument);
+}
+
+TEST(Sequential, ParamNamesIncludeLayerIndex) {
+  Rng rng(135);
+  Sequential model;
+  model.add(std::make_unique<Dense>(2, 2, rng));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Dense>(2, 1, rng));
+  auto params = model.params();
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_EQ(params[0].name, "layer0.weight");
+  EXPECT_EQ(params[3].name, "layer2.bias");
+}
+
+}  // namespace

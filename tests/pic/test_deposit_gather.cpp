@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "math/rng.hpp"
+#include "pic/deposit.hpp"
+#include "pic/gather.hpp"
+
+namespace {
+
+using namespace dlpic::pic;
+
+class DepositShapes : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(DepositShapes, TotalChargeIsConserved) {
+  // Deposition must conserve total charge exactly for every shape order.
+  Grid1D g(32, 2.5);
+  dlpic::math::Rng rng(41);
+  Species s("e", -0.01, 0.01);
+  for (int i = 0; i < 777; ++i) s.add(rng.uniform(0.0, g.length()), 0.0);
+  auto rho = g.make_field();
+  deposit_charge(g, GetParam(), s, rho);
+  EXPECT_NEAR(total_charge(g, rho), -0.01 * 777, 1e-10);
+}
+
+TEST_P(DepositShapes, UniformQuietLoadGivesUniformDensity) {
+  // Evenly spaced particles aligned with nodes -> flat charge density.
+  Grid1D g(16, 4.0);
+  Species s("e", -4.0 / 64, 4.0 / 64);
+  for (int i = 0; i < 64; ++i) s.add(g.length() * i / 64.0, 0.0);
+  auto rho = g.make_field();
+  deposit_charge(g, GetParam(), s, rho);
+  const double expected = -4.0 / 64 * 64 / 4.0;  // q*N/L = -1
+  for (size_t i = 0; i < rho.size(); ++i) EXPECT_NEAR(rho[i], expected, 1e-12) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShapes, DepositShapes,
+                         ::testing::Values(Shape::NGP, Shape::CIC, Shape::TSC));
+
+TEST(Deposit, SingleParticleCicSplit) {
+  Grid1D g(8, 8.0);  // dx = 1
+  Species s("e", -1.0, 1.0);
+  s.add(2.25, 0.0);
+  auto rho = g.make_field();
+  deposit_charge(g, Shape::CIC, s, rho);
+  EXPECT_NEAR(rho[2], -0.75, 1e-14);
+  EXPECT_NEAR(rho[3], -0.25, 1e-14);
+  EXPECT_NEAR(rho[4], 0.0, 1e-14);
+}
+
+TEST(Deposit, BackgroundNeutralizesMeanCharge) {
+  Grid1D g(16, 2.0);
+  dlpic::math::Rng rng(42);
+  Species s = Species::electrons(1600, g.length());
+  for (int i = 0; i < 1600; ++i) s.add(rng.uniform(0.0, g.length()), 0.0);
+  // Background +1 exactly cancels the mean electron density of -1.
+  auto rho = charge_density(g, Shape::CIC, s, 1.0);
+  EXPECT_NEAR(total_charge(g, rho), 0.0, 1e-10);
+}
+
+TEST(Deposit, SizeMismatchThrows) {
+  Grid1D g(8, 1.0);
+  Species s("e", -1.0, 1.0);
+  std::vector<double> wrong(4, 0.0);
+  EXPECT_THROW(deposit_charge(g, Shape::CIC, s, wrong), std::invalid_argument);
+}
+
+TEST(Gather, ConstantFieldGathersExactly) {
+  Grid1D g(16, 3.0);
+  std::vector<double> E(16, 0.75);
+  for (int i = 0; i < 100; ++i) {
+    const double x = 3.0 * i / 100.0;
+    EXPECT_NEAR(gather_field(g, Shape::CIC, E, x), 0.75, 1e-13);
+    EXPECT_NEAR(gather_field(g, Shape::TSC, E, x), 0.75, 1e-13);
+  }
+}
+
+TEST(Gather, LinearInterpolationBetweenNodes) {
+  Grid1D g(8, 8.0);
+  std::vector<double> E(8, 0.0);
+  E[3] = 1.0;
+  // CIC: field decays linearly from node 3 to neighbors.
+  EXPECT_NEAR(gather_field(g, Shape::CIC, E, 3.0), 1.0, 1e-14);
+  EXPECT_NEAR(gather_field(g, Shape::CIC, E, 3.25), 0.75, 1e-14);
+  EXPECT_NEAR(gather_field(g, Shape::CIC, E, 2.5), 0.5, 1e-14);
+  EXPECT_NEAR(gather_field(g, Shape::CIC, E, 4.5), 0.0, 1e-14);
+}
+
+TEST(Gather, ToParticlesMatchesScalarGather) {
+  Grid1D g(32, 2.0);
+  dlpic::math::Rng rng(43);
+  std::vector<double> E(32);
+  for (auto& e : E) e = rng.uniform(-1, 1);
+  Species s("e", -1.0, 1.0);
+  for (int i = 0; i < 50; ++i) s.add(rng.uniform(0.0, 2.0), 0.0);
+  std::vector<double> Ep;
+  gather_to_particles(g, Shape::TSC, E, s, Ep);
+  ASSERT_EQ(Ep.size(), 50u);
+  for (size_t p = 0; p < 50; ++p)
+    EXPECT_DOUBLE_EQ(Ep[p], gather_field(g, Shape::TSC, E, s.x()[p]));
+}
+
+TEST(Gather, FieldSizeMismatchThrows) {
+  Grid1D g(8, 1.0);
+  Species s("e", -1.0, 1.0);
+  std::vector<double> E(4, 0.0), Ep;
+  EXPECT_THROW(gather_to_particles(g, Shape::CIC, E, s, Ep), std::invalid_argument);
+}
+
+TEST(DepositGather, MomentumConservationIdentity) {
+  // Same-shape scatter/gather: sum_p q E(x_p) == sum_i E_i rho_i dx, the
+  // discrete identity behind momentum conservation of explicit PIC.
+  Grid1D g(64, 2.0);
+  dlpic::math::Rng rng(44);
+  Species s = Species::electrons(5000, g.length());
+  for (int i = 0; i < 5000; ++i) s.add(rng.uniform(0.0, g.length()), 0.0);
+
+  std::vector<double> E(64);
+  for (auto& e : E) e = rng.uniform(-1, 1);
+
+  for (Shape shape : {Shape::NGP, Shape::CIC, Shape::TSC}) {
+    auto rho = g.make_field();
+    deposit_charge(g, shape, s, rho);
+    double grid_force = 0.0;
+    for (size_t i = 0; i < 64; ++i) grid_force += E[i] * rho[i] * g.dx();
+    double particle_force = 0.0;
+    for (double x : s.x()) particle_force += s.charge() * gather_field(g, shape, E, x);
+    EXPECT_NEAR(particle_force, grid_force, 1e-9) << shape_name(shape);
+  }
+}
+
+}  // namespace

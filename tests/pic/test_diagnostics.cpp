@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+#include "pic/diagnostics.hpp"
+#include "pic/history.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+using namespace dlpic::pic;
+
+TEST(Diagnostics, ComputesAllScalars) {
+  Grid1D g(64, 2.0);
+  Species s("e", -1.0, 2.0);
+  s.add(0.5, 1.0);
+  s.add(1.0, -2.0);
+  std::vector<double> E(64);
+  const double k = g.mode_wavenumber(1);
+  for (size_t i = 0; i < 64; ++i) E[i] = 0.3 * std::cos(k * g.node_position(i));
+
+  auto d = compute_diagnostics(g, s, E, 1.5);
+  EXPECT_DOUBLE_EQ(d.time, 1.5);
+  EXPECT_NEAR(d.kinetic_energy, 0.5 * 2.0 * (1.0 + 4.0), 1e-14);
+  EXPECT_NEAR(d.momentum, 2.0 * (1.0 - 2.0), 1e-14);
+  EXPECT_NEAR(d.e1_amplitude, 0.3, 1e-12);
+  EXPECT_NEAR(d.e_max, 0.3, 1e-6);
+  EXPECT_NEAR(d.field_energy, 0.5 * 0.09 * 0.5 * 2.0, 1e-10);  // 0.5*A²/2*L
+  EXPECT_DOUBLE_EQ(d.total_energy, d.field_energy + d.kinetic_energy);
+}
+
+TEST(Diagnostics, BeamSpreadColdBeamsIsZero) {
+  Species s("e", -1.0, 1.0);
+  for (int i = 0; i < 100; ++i) s.add(0.0, (i % 2 == 0) ? 0.4 : -0.4);
+  EXPECT_NEAR(beam_velocity_spread(s, true), 0.0, 1e-12);
+  EXPECT_NEAR(beam_velocity_spread(s, false), 0.0, 1e-12);
+}
+
+TEST(Diagnostics, BeamSpreadDetectsHeating) {
+  Species s("e", -1.0, 1.0);
+  // +beam has velocities 0.3 and 0.5 alternating -> sd = 0.1.
+  for (int i = 0; i < 100; ++i) s.add(0.0, (i % 2 == 0) ? 0.3 : 0.5);
+  EXPECT_NEAR(beam_velocity_spread(s, true), 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(beam_velocity_spread(s, false), 0.0);  // no -beam
+}
+
+TEST(Diagnostics, VelocityExtent) {
+  Species s("e", -1.0, 1.0);
+  s.add(0.0, -0.4);
+  s.add(0.0, 0.35);
+  EXPECT_NEAR(velocity_extent(s), 0.75, 1e-14);
+  Species empty("e", -1.0, 1.0);
+  EXPECT_DOUBLE_EQ(velocity_extent(empty), 0.0);
+}
+
+TEST(Diagnostics, ChargeRippleDetectsCoherentMode) {
+  // Particles bunched sinusoidally in x produce a density ripple in the
+  // seeded mode; a quiet uniform load produces essentially none.
+  Grid1D g(64, 2.0);
+  Species bunched = Species::electrons(4096, 2.0);
+  Species quiet = Species::electrons(4096, 2.0);
+  const double k3 = g.mode_wavenumber(3);
+  for (int i = 0; i < 4096; ++i) {
+    const double x0 = 2.0 * i / 4096.0;
+    bunched.add(g.wrap_position(x0 + 0.02 * std::cos(k3 * x0)), 0.0);
+    quiet.add(x0, 0.0);
+  }
+  auto r_bunched = charge_ripple(g, bunched);
+  auto r_quiet = charge_ripple(g, quiet);
+  EXPECT_EQ(r_bunched.mode, 3u);
+  EXPECT_GT(r_bunched.amplitude, 10.0 * (r_quiet.amplitude + 1e-12));
+}
+
+TEST(History, RecordsAndDerivesSeries) {
+  History h;
+  for (int i = 0; i < 5; ++i) {
+    StepDiagnostics d;
+    d.time = i * 0.2;
+    d.total_energy = 1.0 + 0.01 * i;
+    d.momentum = -0.001 * i;
+    d.e1_amplitude = 1e-4 * std::exp(0.35 * d.time);
+    h.record(d);
+  }
+  EXPECT_EQ(h.size(), 5u);
+  EXPECT_NEAR(h.max_energy_variation(), 0.04, 1e-12);
+  EXPECT_NEAR(h.max_momentum_drift(), 0.004, 1e-12);
+  auto t = h.times();
+  EXPECT_DOUBLE_EQ(t[4], 0.8);
+}
+
+TEST(History, EmptyHistoryIsSafe) {
+  History h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.max_energy_variation(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max_momentum_drift(), 0.0);
+}
+
+TEST(History, CsvRoundTrip) {
+  History h;
+  StepDiagnostics d;
+  d.time = 0.2;
+  d.field_energy = 0.5;
+  d.kinetic_energy = 1.5;
+  d.total_energy = 2.0;
+  d.momentum = -0.25;
+  d.e1_amplitude = 0.125;
+  d.e_max = 0.3;
+  h.record(d);
+  const std::string path = testing::TempDir() + "/dlpic_history.csv";
+  h.write_csv(path);
+  auto table = dlpic::util::read_csv(path);
+  EXPECT_EQ(table.columns.size(), 7u);
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(table.column("total_energy")[0], 2.0);
+  EXPECT_DOUBLE_EQ(table.column("momentum")[0], -0.25);
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "pic/efield.hpp"
+
+namespace {
+
+using namespace dlpic::pic;
+
+TEST(Efield, CentralDifferenceOfSingleMode) {
+  const size_t n = 256;
+  Grid1D g(n, 2.0);
+  const double k = g.mode_wavenumber(1);
+  std::vector<double> phi(n), E;
+  for (size_t i = 0; i < n; ++i) phi[i] = std::cos(k * g.node_position(i));
+  efield_from_phi(g, phi, E);
+  ASSERT_EQ(E.size(), n);
+  // E = -phi' = k sin(kx); central differences have O(dx²) error.
+  const double tol = k * k * k * g.dx() * g.dx();
+  for (size_t i = 0; i < n; ++i)
+    EXPECT_NEAR(E[i], k * std::sin(k * g.node_position(i)), tol);
+}
+
+TEST(Efield, SpectralDerivativeIsExactForBandLimited) {
+  const size_t n = 64;
+  Grid1D g(n, 2.0 * std::numbers::pi);
+  std::vector<double> phi(n), E;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = g.node_position(i);
+    phi[i] = std::cos(3.0 * x) + 0.5 * std::sin(7.0 * x);
+  }
+  efield_from_phi_spectral(g, phi, E);
+  for (size_t i = 0; i < n; ++i) {
+    const double x = g.node_position(i);
+    const double expected = 3.0 * std::sin(3.0 * x) - 3.5 * std::cos(7.0 * x);
+    EXPECT_NEAR(E[i], expected, 1e-10);
+  }
+}
+
+TEST(Efield, ConstantPotentialGivesZeroField) {
+  Grid1D g(32, 1.0);
+  std::vector<double> phi(32, 5.0), E;
+  efield_from_phi(g, phi, E);
+  for (double e : E) EXPECT_NEAR(e, 0.0, 1e-12);
+  efield_from_phi_spectral(g, phi, E);
+  for (double e : E) EXPECT_NEAR(e, 0.0, 1e-12);
+}
+
+TEST(Efield, PeriodicWrapAtEdges) {
+  // phi nonzero only at node 0: E[1] and E[n-1] must feel it symmetrically.
+  const size_t n = 8;
+  Grid1D g(n, 8.0);  // dx = 1
+  std::vector<double> phi(n, 0.0), E;
+  phi[0] = 1.0;
+  efield_from_phi(g, phi, E);
+  EXPECT_NEAR(E[1], 0.5, 1e-14);   // (phi[0]-phi[2])/2
+  EXPECT_NEAR(E[7], -0.5, 1e-14);  // (phi[6]-phi[0])/2
+  EXPECT_NEAR(E[0], 0.0, 1e-14);   // (phi[7]-phi[1])/2
+}
+
+TEST(Efield, FieldEnergyOfKnownField) {
+  Grid1D g(4, 2.0);  // dx = 0.5
+  std::vector<double> E = {1.0, -1.0, 2.0, 0.0};
+  // 0.5 * (1+1+4+0) * 0.5 = 1.5
+  EXPECT_DOUBLE_EQ(field_energy(g, E), 1.5);
+}
+
+TEST(Efield, SizeMismatchThrows) {
+  Grid1D g(16, 1.0);
+  std::vector<double> phi(8, 0.0), E;
+  EXPECT_THROW(efield_from_phi(g, phi, E), std::invalid_argument);
+  EXPECT_THROW(efield_from_phi_spectral(g, phi, E), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "pic/shape.hpp"
+
+namespace {
+
+using namespace dlpic::pic;
+
+TEST(Shape, ParseNamesAndRoundTrip) {
+  EXPECT_EQ(parse_shape("ngp"), Shape::NGP);
+  EXPECT_EQ(parse_shape("CIC"), Shape::CIC);
+  EXPECT_EQ(parse_shape("Tsc"), Shape::TSC);
+  EXPECT_THROW(parse_shape("spline9"), std::invalid_argument);
+  EXPECT_STREQ(shape_name(Shape::NGP), "ngp");
+  EXPECT_STREQ(shape_name(Shape::CIC), "cic");
+  EXPECT_STREQ(shape_name(Shape::TSC), "tsc");
+}
+
+TEST(Shape, SupportSizes) {
+  EXPECT_EQ(shape_support(Shape::NGP), 1u);
+  EXPECT_EQ(shape_support(Shape::CIC), 2u);
+  EXPECT_EQ(shape_support(Shape::TSC), 3u);
+}
+
+TEST(Shape, NgpPicksNearestNode) {
+  Grid1D g(8, 8.0);  // dx = 1
+  auto st = stencil_for(g, Shape::NGP, 2.4);
+  ASSERT_EQ(st.count, 1u);
+  EXPECT_EQ(st.node[0], 2u);
+  EXPECT_DOUBLE_EQ(st.weight[0], 1.0);
+  st = stencil_for(g, Shape::NGP, 2.6);
+  EXPECT_EQ(st.node[0], 3u);
+  // Wraps at the right edge.
+  st = stencil_for(g, Shape::NGP, 7.6);
+  EXPECT_EQ(st.node[0], 0u);
+}
+
+TEST(Shape, CicLinearWeights) {
+  Grid1D g(8, 8.0);
+  auto st = stencil_for(g, Shape::CIC, 2.25);
+  ASSERT_EQ(st.count, 2u);
+  EXPECT_EQ(st.node[0], 2u);
+  EXPECT_EQ(st.node[1], 3u);
+  EXPECT_NEAR(st.weight[0], 0.75, 1e-14);
+  EXPECT_NEAR(st.weight[1], 0.25, 1e-14);
+}
+
+TEST(Shape, CicWrapsAtBoundary) {
+  Grid1D g(8, 8.0);
+  auto st = stencil_for(g, Shape::CIC, 7.5);
+  EXPECT_EQ(st.node[0], 7u);
+  EXPECT_EQ(st.node[1], 0u);
+  EXPECT_NEAR(st.weight[0], 0.5, 1e-14);
+  EXPECT_NEAR(st.weight[1], 0.5, 1e-14);
+}
+
+TEST(Shape, TscQuadraticWeights) {
+  Grid1D g(8, 8.0);
+  // Particle exactly on node 3: weights (1/8, 3/4, 1/8).
+  auto st = stencil_for(g, Shape::TSC, 3.0);
+  ASSERT_EQ(st.count, 3u);
+  EXPECT_EQ(st.node[0], 2u);
+  EXPECT_EQ(st.node[1], 3u);
+  EXPECT_EQ(st.node[2], 4u);
+  EXPECT_NEAR(st.weight[0], 0.125, 1e-14);
+  EXPECT_NEAR(st.weight[1], 0.75, 1e-14);
+  EXPECT_NEAR(st.weight[2], 0.125, 1e-14);
+}
+
+class ShapePartitionOfUnity : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(ShapePartitionOfUnity, WeightsSumToOneEverywhere) {
+  Grid1D g(16, 3.7);
+  const Shape shape = GetParam();
+  for (int i = 0; i < 1000; ++i) {
+    const double x = 3.7 * i / 1000.0;
+    auto st = stencil_for(g, shape, x);
+    double sum = 0.0;
+    for (size_t s = 0; s < st.count; ++s) {
+      sum += st.weight[s];
+      EXPECT_GE(st.weight[s], -1e-14);
+      EXPECT_LT(st.node[s], 16u);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-13) << "x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShapes, ShapePartitionOfUnity,
+                         ::testing::Values(Shape::NGP, Shape::CIC, Shape::TSC));
+
+}  // namespace

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "util/binary_io.hpp"
+
+namespace {
+
+using dlpic::util::BinaryReader;
+using dlpic::util::BinaryWriter;
+
+TEST(BinaryIo, RoundTripsAllTypes) {
+  const std::string path = testing::TempDir() + "/dlpic_bin_test.bin";
+  {
+    BinaryWriter w(path);
+    w.write_u32(0xdeadbeefu);
+    w.write_u64(0x0123456789abcdefull);
+    w.write_i64(-42);
+    w.write_f64(3.141592653589793);
+    w.write_string("dlpic");
+    w.write_f64_vector({1.0, -2.5, 1e-300});
+    w.flush();
+  }
+  BinaryReader r(path);
+  EXPECT_EQ(r.read_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.read_u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.read_i64(), -42);
+  EXPECT_DOUBLE_EQ(r.read_f64(), 3.141592653589793);
+  EXPECT_EQ(r.read_string(), "dlpic");
+  auto v = r.read_f64_vector();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[1], -2.5);
+  EXPECT_DOUBLE_EQ(v[2], 1e-300);
+  EXPECT_TRUE(r.at_eof());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIo, TruncatedReadThrows) {
+  const std::string path = testing::TempDir() + "/dlpic_bin_trunc.bin";
+  {
+    BinaryWriter w(path);
+    w.write_u32(7);
+  }
+  BinaryReader r(path);
+  EXPECT_EQ(r.read_u32(), 7u);
+  EXPECT_THROW(r.read_f64(), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIo, OpenFailureThrows) {
+  EXPECT_THROW(BinaryWriter("/nonexistent_dir/x.bin"), std::runtime_error);
+  EXPECT_THROW(BinaryReader("/nonexistent_dir/x.bin"), std::runtime_error);
+}
+
+TEST(BinaryIo, EmptyVectorRoundTrip) {
+  const std::string path = testing::TempDir() + "/dlpic_bin_empty.bin";
+  {
+    BinaryWriter w(path);
+    w.write_f64_vector({});
+  }
+  BinaryReader r(path);
+  EXPECT_TRUE(r.read_f64_vector().empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace

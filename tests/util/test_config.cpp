@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/config.hpp"
+
+namespace {
+
+using dlpic::util::Config;
+
+TEST(Config, ParsesKeyValueArgs) {
+  const char* argv[] = {"prog", "--ncells=128", "dt=0.1", "--verbose", "positional"};
+  Config cfg = Config::from_args(5, argv);
+  EXPECT_EQ(cfg.get_int_or("ncells", 0), 128);
+  EXPECT_DOUBLE_EQ(cfg.get_double_or("dt", 0.0), 0.1);
+  EXPECT_TRUE(cfg.get_bool_or("verbose", false));
+  ASSERT_EQ(cfg.positional().size(), 1u);
+  EXPECT_EQ(cfg.positional()[0], "positional");
+}
+
+TEST(Config, FallbacksWhenMissingOrMalformed) {
+  const char* argv[] = {"prog", "--count=notanumber"};
+  Config cfg = Config::from_args(2, argv);
+  EXPECT_EQ(cfg.get_int_or("count", 7), 7);
+  EXPECT_EQ(cfg.get_int_or("absent", -1), -1);
+  EXPECT_DOUBLE_EQ(cfg.get_double_or("absent", 2.5), 2.5);
+  EXPECT_FALSE(cfg.get_bool_or("absent", false));
+}
+
+TEST(Config, BoolParsingVariants) {
+  Config cfg;
+  cfg.set("a", "1");
+  cfg.set("b", "TRUE");
+  cfg.set("c", "yes");
+  cfg.set("d", "off");
+  EXPECT_TRUE(cfg.get_bool_or("a", false));
+  EXPECT_TRUE(cfg.get_bool_or("b", false));
+  EXPECT_TRUE(cfg.get_bool_or("c", false));
+  EXPECT_FALSE(cfg.get_bool_or("d", true));
+}
+
+TEST(Config, MergeOtherWins) {
+  Config base;
+  base.set("x", "1");
+  base.set("y", "2");
+  Config over;
+  over.set("y", "3");
+  base.merge(over);
+  EXPECT_EQ(base.get_int_or("x", 0), 1);
+  EXPECT_EQ(base.get_int_or("y", 0), 3);
+}
+
+TEST(Config, RoundTripsThroughFile) {
+  Config cfg;
+  cfg.set_int("n", 42);
+  cfg.set_double("pi", 3.14159);
+  cfg.set("name", "two-stream");
+  const std::string path = testing::TempDir() + "/dlpic_config_test.cfg";
+  {
+    std::ofstream out(path);
+    out << "# comment line\n" << cfg.to_string() << "\n  spaced = value  # trailing\n";
+  }
+  Config loaded = Config::from_file(path);
+  EXPECT_EQ(loaded.get_int_or("n", 0), 42);
+  EXPECT_NEAR(loaded.get_double_or("pi", 0.0), 3.14159, 1e-12);
+  EXPECT_EQ(loaded.get_or("name", ""), "two-stream");
+  EXPECT_EQ(loaded.get_or("spaced", ""), "value");
+  std::remove(path.c_str());
+}
+
+TEST(Config, FromFileThrowsOnMissingFile) {
+  EXPECT_THROW(Config::from_file("/nonexistent/dlpic.cfg"), std::runtime_error);
+}
+
+TEST(Config, SetDoublePreservesPrecision) {
+  Config cfg;
+  cfg.set_double("v", 0.123456789012345678);
+  EXPECT_NEAR(cfg.get_double_or("v", 0.0), 0.123456789012345678, 1e-16);
+}
+
+TEST(Config, KeysAreSorted) {
+  Config cfg;
+  cfg.set("zebra", "1");
+  cfg.set("alpha", "2");
+  auto keys = cfg.keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "alpha");
+  EXPECT_EQ(keys[1], "zebra");
+}
+
+}  // namespace

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "util/csv.hpp"
+
+namespace {
+
+using dlpic::util::CsvWriter;
+using dlpic::util::read_csv;
+
+TEST(Csv, WriteAndReadRoundTrip) {
+  const std::string path = testing::TempDir() + "/dlpic_csv_test.csv";
+  {
+    CsvWriter w(path, {"time", "energy"});
+    w.row({0.0, 1.5});
+    w.row({0.2, 1.4999});
+    EXPECT_EQ(w.rows_written(), 2u);
+  }
+  auto table = read_csv(path);
+  ASSERT_EQ(table.columns.size(), 2u);
+  EXPECT_EQ(table.columns[0], "time");
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(table.rows[1][0], 0.2);
+  auto energy = table.column("energy");
+  ASSERT_EQ(energy.size(), 2u);
+  EXPECT_NEAR(energy[1], 1.4999, 1e-12);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RowSizeMismatchThrows) {
+  const std::string path = testing::TempDir() + "/dlpic_csv_mismatch.csv";
+  CsvWriter w(path, {"a", "b", "c"});
+  EXPECT_THROW(w.row({1.0}), std::invalid_argument);
+  w.close();
+  std::remove(path.c_str());
+}
+
+TEST(Csv, MissingColumnThrows) {
+  const std::string path = testing::TempDir() + "/dlpic_csv_col.csv";
+  {
+    CsvWriter w(path, {"x"});
+    w.row({1.0});
+  }
+  auto table = read_csv(path);
+  EXPECT_THROW(table.column("nope"), std::out_of_range);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ReadMissingFileThrows) {
+  EXPECT_THROW(read_csv("/nonexistent/file.csv"), std::runtime_error);
+}
+
+TEST(Csv, PreservesPrecisionOfSmallValues) {
+  const std::string path = testing::TempDir() + "/dlpic_csv_small.csv";
+  {
+    CsvWriter w(path, {"v"});
+    w.row({1.2345678901e-8});
+  }
+  auto table = read_csv(path);
+  EXPECT_NEAR(table.rows[0][0], 1.2345678901e-8, 1e-17);
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/parallel.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace dlpic::util;
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(1);
+  pool.wait_idle();
+  SUCCEED();
+}
+
+TEST(Parallel, ForCoversEveryIndexExactlyOnce) {
+  const size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(0, n, [&](size_t i) { hits[i].fetch_add(1); }, /*grain=*/64);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(Parallel, ForChunksPartitionIsExact) {
+  const size_t n = 5371;  // deliberately not a multiple of any grain
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for_chunks(
+      0, n,
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+      },
+      /*grain=*/128);
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(Parallel, EmptyRangeIsNoop) {
+  bool called = false;
+  parallel_for_chunks(5, 5, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Parallel, SmallRangeRunsSerially) {
+  // Ranges below the grain threshold must still produce correct results.
+  std::vector<int> hits(10, 0);
+  parallel_for(0, 10, [&](size_t i) { hits[i]++; }, /*grain=*/1024);
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 10);
+}
+
+}  // namespace

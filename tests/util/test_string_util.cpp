@@ -1,0 +1,46 @@
+#include <gtest/gtest.h>
+
+#include "util/string_util.hpp"
+
+namespace {
+
+using namespace dlpic::util;
+
+TEST(StringUtil, SplitPreservesEmptyFields) {
+  auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtil, SplitSingleToken) {
+  auto parts = split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(StringUtil, TrimWhitespaceVariants) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\r\n"), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("no-trim"), "no-trim");
+}
+
+TEST(StringUtil, ToLowerAsciiOnly) {
+  EXPECT_EQ(to_lower("MiXeD123"), "mixed123");
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(StringUtil, FormatProducesPrintfOutput) {
+  EXPECT_EQ(format("%d/%s/%.2f", 3, "x", 1.5), "3/x/1.50");
+  EXPECT_EQ(format("empty"), "empty");
+}
+
+}  // namespace
