@@ -1,0 +1,71 @@
+#pragma once
+/// \file bench_json.hpp
+/// Machine-readable output for the google-benchmark micro harnesses: a
+/// drop-in main that mirrors the console table into BENCH_<name>.json so
+/// the perf trajectory can be tracked across PRs, plus counter helpers for
+/// the derived metrics (ns/particle-step, GFLOP/s).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "util/env.hpp"
+
+namespace dlpic::benchjson {
+
+/// Counter reporting nanoseconds per processed item (e.g. per
+/// particle-step): pass the items handled by ONE benchmark iteration.
+/// Implemented as an inverted iteration-invariant rate scaled to ns.
+inline benchmark::Counter ns_per_item(size_t items_per_iteration) {
+  return benchmark::Counter(
+      static_cast<double>(items_per_iteration) * 1e-9,
+      benchmark::Counter::kIsIterationInvariantRate | benchmark::Counter::kInvert);
+}
+
+/// Counter reporting FLOP/s (auto-scaled to G/s in the console) given the
+/// FLOPs of ONE benchmark iteration.
+inline benchmark::Counter gflops(double flops_per_iteration) {
+  return benchmark::Counter(flops_per_iteration,
+                            benchmark::Counter::kIsIterationInvariantRate,
+                            benchmark::Counter::OneK::kIs1000);
+}
+
+/// Runs all registered benchmarks with the normal console table AND a JSON
+/// file reporter writing BENCH_<name>.json (into DLPIC_BENCH_DIR, default
+/// the working directory). An explicit --benchmark_out=... on the command
+/// line takes precedence.
+inline int run(int argc, char** argv, const std::string& name) {
+  const std::string dir = util::env_string_or("DLPIC_BENCH_DIR", ".");
+  const std::string path = dir + "/BENCH_" + name + ".json";
+
+  std::vector<std::string> arg_store(argv, argv + argc);
+  bool has_out = false;
+  for (const auto& a : arg_store)
+    if (a.rfind("--benchmark_out=", 0) == 0) has_out = true;
+  if (!has_out) {
+    arg_store.push_back("--benchmark_out=" + path);
+    arg_store.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> args;
+  args.reserve(arg_store.size());
+  for (auto& a : arg_store) args.push_back(a.data());
+  int args_count = static_cast<int>(args.size());
+
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!has_out)
+    std::fprintf(stderr, "bench_json: results written to %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace dlpic::benchjson
+
+/// Replacement for BENCHMARK_MAIN() that also emits BENCH_<name>.json.
+#define DLPIC_BENCHMARK_MAIN(name)                                         \
+  int main(int argc, char** argv) {                                        \
+    return dlpic::benchjson::run(argc, argv, name);                        \
+  }

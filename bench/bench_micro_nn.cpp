@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
 #include "math/linalg.hpp"
 #include "math/rng.hpp"
 #include "nn/conv2d.hpp"
@@ -46,6 +47,9 @@ void bench_dense_forward(benchmark::State& state) {
     auto y = layer.forward(x, false);
     benchmark::DoNotOptimize(y.data());
   }
+  // One forward GEMM: 2 * batch * in * out FLOPs.
+  state.counters["GFLOPS"] =
+      benchjson::gflops(2.0 * 64.0 * static_cast<double>(width) * width);
 }
 
 void bench_dense_backward(benchmark::State& state) {
@@ -60,6 +64,9 @@ void bench_dense_backward(benchmark::State& state) {
     auto gin = layer.backward(g);
     benchmark::DoNotOptimize(gin.data());
   }
+  // Two backward GEMMs (dX and dW): 4 * batch * in * out FLOPs.
+  state.counters["GFLOPS"] =
+      benchjson::gflops(4.0 * 64.0 * static_cast<double>(width) * width);
 }
 
 void bench_conv_forward(benchmark::State& state) {
@@ -125,4 +132,4 @@ BENCHMARK(bench_mlp_inference_ci);
 BENCHMARK(bench_mlp_inference_paper);
 BENCHMARK(bench_cnn_inference_ci);
 
-BENCHMARK_MAIN();
+DLPIC_BENCHMARK_MAIN("micro_nn");

@@ -2,11 +2,17 @@
 /// Micro-benchmarks of the PIC substrate kernels (ablation A3): charge
 /// deposition and field gather per shape order, leap-frog push, Poisson
 /// solvers across grid sizes, and phase-space binning per order.
+///
+/// The particle kernels take a second argument: the worker cap for
+/// dlpic::util parallel loops (1 = the serial reference path, 0 = all
+/// hardware workers). ns/particle-step is exported as a counter and the
+/// whole table is mirrored into BENCH_micro_pic.json.
 
 #include <benchmark/benchmark.h>
 
 #include <cmath>
 
+#include "bench_json.hpp"
 #include "math/rng.hpp"
 #include "phase_space/binner.hpp"
 #include "pic/deposit.hpp"
@@ -14,6 +20,8 @@
 #include "pic/loader.hpp"
 #include "pic/mover.hpp"
 #include "pic/poisson.hpp"
+#include "pic/sorter.hpp"
+#include "util/parallel.hpp"
 
 namespace {
 
@@ -29,16 +37,35 @@ pic::Species make_species(const pic::Grid1D& grid, size_t count) {
   return pic::load_two_stream(grid, count, p, rng);
 }
 
+/// Applies the worker cap from the benchmark's second range argument for
+/// the duration of one benchmark, restoring the default afterwards.
+class WorkerCapGuard {
+ public:
+  explicit WorkerCapGuard(benchmark::State& state)
+      : previous_(util::max_workers()) {
+    util::set_max_workers(static_cast<size_t>(state.range(1)));
+    state.counters["workers"] =
+        benchmark::Counter(static_cast<double>(util::parallel_workers()));
+  }
+  ~WorkerCapGuard() { util::set_max_workers(previous_); }
+
+ private:
+  size_t previous_;
+};
+
 void bench_deposit(benchmark::State& state, pic::Shape shape) {
   pic::Grid1D grid(64, kBoxLength);
-  auto species = make_species(grid, static_cast<size_t>(state.range(0)));
+  const size_t nparticles = static_cast<size_t>(state.range(0));
+  auto species = make_species(grid, nparticles);
   auto rho = grid.make_field();
+  WorkerCapGuard cap(state);
   for (auto _ : state) {
     rho.assign(rho.size(), 0.0);
     pic::deposit_charge(grid, shape, species, rho);
     benchmark::DoNotOptimize(rho.data());
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+  state.counters["ns_per_particle_step"] = benchjson::ns_per_item(nparticles);
 }
 
 void bench_deposit_ngp(benchmark::State& s) { bench_deposit(s, pic::Shape::NGP); }
@@ -47,28 +74,71 @@ void bench_deposit_tsc(benchmark::State& s) { bench_deposit(s, pic::Shape::TSC);
 
 void bench_gather(benchmark::State& state, pic::Shape shape) {
   pic::Grid1D grid(64, kBoxLength);
-  auto species = make_species(grid, static_cast<size_t>(state.range(0)));
+  const size_t nparticles = static_cast<size_t>(state.range(0));
+  auto species = make_species(grid, nparticles);
   std::vector<double> E(64, 0.01), Ep;
+  WorkerCapGuard cap(state);
   for (auto _ : state) {
     pic::gather_to_particles(grid, shape, E, species, Ep);
     benchmark::DoNotOptimize(Ep.data());
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+  state.counters["ns_per_particle_step"] = benchjson::ns_per_item(nparticles);
 }
 
 void bench_gather_ngp(benchmark::State& s) { bench_gather(s, pic::Shape::NGP); }
 void bench_gather_cic(benchmark::State& s) { bench_gather(s, pic::Shape::CIC); }
 void bench_gather_tsc(benchmark::State& s) { bench_gather(s, pic::Shape::TSC); }
 
-void bench_leapfrog(benchmark::State& state) {
+void bench_leapfrog(benchmark::State& state, pic::Shape shape) {
   pic::Grid1D grid(64, kBoxLength);
-  auto species = make_species(grid, static_cast<size_t>(state.range(0)));
+  const size_t nparticles = static_cast<size_t>(state.range(0));
+  auto species = make_species(grid, nparticles);
   std::vector<double> E(64, 0.01);
+  WorkerCapGuard cap(state);
   for (auto _ : state) {
-    pic::leapfrog_step(grid, pic::Shape::CIC, E, species, 0.2);
+    pic::leapfrog_step(grid, shape, E, species, 0.2);
     benchmark::DoNotOptimize(species.x().data());
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+  state.counters["ns_per_particle_step"] = benchjson::ns_per_item(nparticles);
+}
+
+void bench_leapfrog_cic(benchmark::State& s) { bench_leapfrog(s, pic::Shape::CIC); }
+void bench_leapfrog_tsc(benchmark::State& s) { bench_leapfrog(s, pic::Shape::TSC); }
+
+/// One full particle phase (leapfrog + deposit) — the quantity the
+/// acceptance criterion tracks — including the periodic cell sort.
+void bench_particle_phase(benchmark::State& state) {
+  pic::Grid1D grid(64, kBoxLength);
+  const size_t nparticles = static_cast<size_t>(state.range(0));
+  auto species = make_species(grid, nparticles);
+  std::vector<double> E(64, 0.01);
+  auto rho = grid.make_field();
+  WorkerCapGuard cap(state);
+  size_t step = 0;
+  for (auto _ : state) {
+    if (step > 0 && step % 25 == 0) pic::sort_by_cell(grid, species);
+    pic::leapfrog_step(grid, pic::Shape::CIC, E, species, 0.2);
+    rho.assign(rho.size(), 0.0);
+    pic::deposit_charge(grid, pic::Shape::CIC, species, rho);
+    benchmark::DoNotOptimize(rho.data());
+    ++step;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+  state.counters["ns_per_particle_step"] = benchjson::ns_per_item(nparticles);
+}
+
+void bench_sort_by_cell(benchmark::State& state) {
+  pic::Grid1D grid(64, kBoxLength);
+  const size_t nparticles = static_cast<size_t>(state.range(0));
+  auto species = make_species(grid, nparticles);
+  for (auto _ : state) {
+    pic::sort_by_cell(grid, species);
+    benchmark::DoNotOptimize(species.x().data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+  state.counters["ns_per_particle_step"] = benchjson::ns_per_item(nparticles);
 }
 
 void bench_poisson(benchmark::State& state, const std::string& name) {
@@ -113,17 +183,24 @@ void bench_binner_cic(benchmark::State& s) {
 
 }  // namespace
 
-BENCHMARK(bench_deposit_ngp)->Arg(64000);
-BENCHMARK(bench_deposit_cic)->Arg(64000);
-BENCHMARK(bench_deposit_tsc)->Arg(64000);
-BENCHMARK(bench_gather_ngp)->Arg(64000);
-BENCHMARK(bench_gather_cic)->Arg(64000);
-BENCHMARK(bench_gather_tsc)->Arg(64000);
-BENCHMARK(bench_leapfrog)->Arg(64000);
+// Second argument: worker cap (1 = serial reference, 0 = all hardware).
+#define DLPIC_THREAD_SWEEP(fn) \
+  BENCHMARK(fn)->Args({64000, 1})->Args({64000, 2})->Args({64000, 4})->Args({64000, 0})
+
+DLPIC_THREAD_SWEEP(bench_deposit_ngp);
+DLPIC_THREAD_SWEEP(bench_deposit_cic);
+DLPIC_THREAD_SWEEP(bench_deposit_tsc);
+DLPIC_THREAD_SWEEP(bench_gather_ngp);
+DLPIC_THREAD_SWEEP(bench_gather_cic);
+DLPIC_THREAD_SWEEP(bench_gather_tsc);
+DLPIC_THREAD_SWEEP(bench_leapfrog_cic);
+DLPIC_THREAD_SWEEP(bench_leapfrog_tsc);
+DLPIC_THREAD_SWEEP(bench_particle_phase);
+BENCHMARK(bench_sort_by_cell)->Arg(64000);
 BENCHMARK(bench_poisson_spectral)->Arg(64)->Arg(1024);
 BENCHMARK(bench_poisson_tridiag)->Arg(64)->Arg(1024);
 BENCHMARK(bench_poisson_cg)->Arg(64)->Arg(1024);
 BENCHMARK(bench_binner_ngp)->Arg(64000);
 BENCHMARK(bench_binner_cic)->Arg(64000);
 
-BENCHMARK_MAIN();
+DLPIC_BENCHMARK_MAIN("micro_pic");

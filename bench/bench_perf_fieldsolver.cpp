@@ -10,6 +10,7 @@
 
 #include <memory>
 
+#include "bench_json.hpp"
 #include "core/dl_field_solver.hpp"
 #include "data/normalizer.hpp"
 #include "math/rng.hpp"
@@ -48,6 +49,7 @@ void bench_traditional_stage(benchmark::State& state, const std::string& solver_
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(species.size()));
+  state.counters["ns_per_particle_step"] = benchjson::ns_per_item(species.size());
 }
 
 /// DL field stage: phase-space binning + one MLP inference.
@@ -72,6 +74,7 @@ void bench_dl_stage(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(species.size()));
+  state.counters["ns_per_particle_step"] = benchjson::ns_per_item(species.size());
 }
 
 /// Paper-scale DL stage: 64x64 histogram, 1024-wide MLP.
@@ -102,4 +105,4 @@ BENCHMARK(bench_cg)->Arg(64)->Arg(256)->Arg(1024);
 BENCHMARK(bench_dl_stage)->Arg(64)->Arg(256)->Arg(1024);
 BENCHMARK(bench_dl_stage_paper_scale);
 
-BENCHMARK_MAIN();
+DLPIC_BENCHMARK_MAIN("perf_fieldsolver");

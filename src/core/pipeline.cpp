@@ -7,6 +7,7 @@
 #include "data/generator.hpp"
 #include "nn/optimizer.hpp"
 #include "util/log.hpp"
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace dlpic::core {
@@ -16,6 +17,8 @@ namespace fs = std::filesystem;
 Pipeline::Pipeline(Preset preset, std::string artifacts_dir)
     : preset_(std::move(preset)), artifacts_dir_(std::move(artifacts_dir)) {
   fs::create_directories(artifacts_dir_);
+  DLPIC_LOG_INFO("pipeline preset '%s': %zu parallel workers (DLPIC_THREADS to cap)",
+                 preset_.name.c_str(), util::parallel_workers());
 }
 
 std::string Pipeline::dataset_path() const {

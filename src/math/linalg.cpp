@@ -99,24 +99,38 @@ void gemm(bool trans_a, bool trans_b, size_t m, size_t n, size_t k, double alpha
   }
   if (alpha == 0.0 || m == 0 || n == 0 || k == 0) return;
 
+  // Parallelize over the 2D grid of output tiles (not just row panels) so
+  // flat matrices — few row blocks, many column blocks, the shape of wide
+  // dense layers and im2col GEMMs — still expose enough tasks to scale.
+  // Each tile of C is owned by exactly one task, so no synchronization is
+  // needed on the output.
   const size_t m_blocks = (m + kBlockM - 1) / kBlockM;
-  util::parallel_for_chunks(0, m_blocks, [&](size_t blk_lo, size_t blk_hi) {
+  const size_t n_blocks = (n + kBlockN - 1) / kBlockN;
+  util::parallel_for_chunks(0, m_blocks * n_blocks, [&](size_t tile_lo, size_t tile_hi) {
     std::vector<double> Ablk(kBlockM * kBlockK);
     std::vector<double> Bblk(kBlockK * kBlockN);
-    for (size_t bi = blk_lo; bi < blk_hi; ++bi) {
+    // Tiles are handed out in row-major tile order, so a chunk is a series
+    // of runs sharing one row block; pack (and alpha-scale) each A block
+    // once per run instead of once per tile.
+    size_t t = tile_lo;
+    while (t < tile_hi) {
+      const size_t bi = t / n_blocks;
+      const size_t run_end = std::min(tile_hi, (bi + 1) * n_blocks);
       const size_t i0 = bi * kBlockM;
       const size_t mb = std::min(kBlockM, m - i0);
       for (size_t p0 = 0; p0 < k; p0 += kBlockK) {
         const size_t kb = std::min(kBlockK, k - p0);
         pack_block(trans_a, A, lda, i0, p0, mb, kb, Ablk.data());
         if (alpha != 1.0)
-          for (size_t t = 0; t < mb * kb; ++t) Ablk[t] *= alpha;
-        for (size_t j0 = 0; j0 < n; j0 += kBlockN) {
+          for (size_t q = 0; q < mb * kb; ++q) Ablk[q] *= alpha;
+        for (size_t tt = t; tt < run_end; ++tt) {
+          const size_t j0 = (tt % n_blocks) * kBlockN;
           const size_t nb = std::min(kBlockN, n - j0);
           pack_block(trans_b, B, ldb, p0, j0, kb, nb, Bblk.data());
           kernel_block(mb, nb, kb, Ablk.data(), Bblk.data(), C + i0 * ldc + j0, ldc);
         }
       }
+      t = run_end;
     }
   }, /*grain=*/1);
 }

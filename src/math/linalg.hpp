@@ -4,8 +4,9 @@
 ///
 /// GEMM is the performance core of both MLP training (dense layers) and the
 /// CNN (im2col + GEMM convolution). The implementation is a cache-blocked,
-/// register-tiled kernel parallelized over row panels with parallel_for.
-/// All matrices are row-major.
+/// register-tiled kernel parallelized over the 2D grid of output tiles with
+/// parallel_for_chunks, so both tall and flat matrices scale across
+/// workers. All matrices are row-major.
 
 #include <cstddef>
 #include <vector>

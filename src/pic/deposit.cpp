@@ -1,19 +1,72 @@
 #include "pic/deposit.hpp"
 
 #include <stdexcept>
+#include <vector>
+
+#include "pic/shape_kernels.hpp"
+#include "util/parallel.hpp"
 
 namespace dlpic::pic {
+
+namespace {
+
+// Minimum particles per worker chunk: below this the scratch-buffer zeroing
+// and reduction cost more than the serial deposit.
+constexpr size_t kDepositGrain = 4096;
+
+template <Shape S>
+void deposit_impl(const Grid1D& grid, const Species& species, std::vector<double>& rho) {
+  const double q_over_dx = species.charge() / grid.dx();
+  const double inv_dx = 1.0 / grid.dx();
+  const long n = static_cast<long>(grid.ncells());
+  const size_t ncells = grid.ncells();
+  const auto& xs = species.x();
+  const size_t np = xs.size();
+
+  const size_t nbuf = util::worker_partition_count(np, kDepositGrain);
+  if (nbuf <= 1) {
+    double* out = rho.data();
+    for (size_t p = 0; p < np; ++p) scatter_at<S>(out, xs[p] * inv_dx, n, q_over_dx);
+    return;
+  }
+
+  // Per-worker private accumulators: no atomics in the scatter loop. The
+  // buffer index is the (deterministic) partition index, so the reduction
+  // order — and hence the rounded result — depends only on the configured
+  // worker count, not on thread scheduling.
+  std::vector<double> scratch(nbuf * ncells, 0.0);
+  const double* xs_data = xs.data();
+  util::parallel_for_workers(
+      0, np,
+      [&](size_t worker, size_t lo, size_t hi) {
+        double* buf = scratch.data() + worker * ncells;
+        for (size_t p = lo; p < hi; ++p)
+          scatter_at<S>(buf, xs_data[p] * inv_dx, n, q_over_dx);
+      },
+      kDepositGrain);
+
+  // Node-strided reduction: each chunk of nodes is summed across all worker
+  // buffers by one thread, in fixed buffer order.
+  util::parallel_for_chunks(
+      0, ncells,
+      [&](size_t lo, size_t hi) {
+        for (size_t b = 0; b < nbuf; ++b) {
+          const double* buf = scratch.data() + b * ncells;
+          for (size_t i = lo; i < hi; ++i) rho[i] += buf[i];
+        }
+      },
+      /*grain=*/256);
+}
+
+}  // namespace
 
 void deposit_charge(const Grid1D& grid, Shape shape, const Species& species,
                     std::vector<double>& rho) {
   if (rho.size() != grid.ncells())
     throw std::invalid_argument("deposit_charge: rho size mismatch");
-  const double q_over_dx = species.charge() / grid.dx();
-  const auto& xs = species.x();
-  for (double x : xs) {
-    const Stencil st = stencil_for(grid, shape, x);
-    for (size_t s = 0; s < st.count; ++s) rho[st.node[s]] += q_over_dx * st.weight[s];
-  }
+  dispatch_shape(shape, [&](auto s) {
+    deposit_impl<decltype(s)::value>(grid, species, rho);
+  });
 }
 
 std::vector<double> charge_density(const Grid1D& grid, Shape shape, const Species& species,

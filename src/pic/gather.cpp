@@ -2,7 +2,32 @@
 
 #include <stdexcept>
 
+#include "pic/shape_kernels.hpp"
+#include "util/parallel.hpp"
+
 namespace dlpic::pic {
+
+namespace {
+
+constexpr size_t kGatherGrain = 8192;
+
+template <Shape S>
+void gather_impl(const Grid1D& grid, const std::vector<double>& E,
+                 const std::vector<double>& xs, std::vector<double>& E_particles) {
+  const double inv_dx = 1.0 / grid.dx();
+  const long n = static_cast<long>(grid.ncells());
+  const double* Ed = E.data();
+  const double* xd = xs.data();
+  double* out = E_particles.data();
+  util::parallel_for_chunks(
+      0, xs.size(),
+      [&](size_t lo, size_t hi) {
+        for (size_t p = lo; p < hi; ++p) out[p] = gather_at<S>(Ed, xd[p] * inv_dx, n);
+      },
+      kGatherGrain);
+}
+
+}  // namespace
 
 double gather_field(const Grid1D& grid, Shape shape, const std::vector<double>& E, double x) {
   const Stencil st = stencil_for(grid, shape, x);
@@ -15,10 +40,10 @@ void gather_to_particles(const Grid1D& grid, Shape shape, const std::vector<doub
                          const Species& species, std::vector<double>& E_particles) {
   if (E.size() != grid.ncells())
     throw std::invalid_argument("gather_to_particles: field size mismatch");
-  const auto& xs = species.x();
-  E_particles.resize(xs.size());
-  for (size_t p = 0; p < xs.size(); ++p)
-    E_particles[p] = gather_field(grid, shape, E, xs[p]);
+  E_particles.resize(species.size());
+  dispatch_shape(shape, [&](auto s) {
+    gather_impl<decltype(s)::value>(grid, E, species.x(), E_particles);
+  });
 }
 
 }  // namespace dlpic::pic

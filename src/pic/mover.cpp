@@ -3,42 +3,99 @@
 #include <stdexcept>
 
 #include "pic/gather.hpp"
+#include "pic/shape_kernels.hpp"
+#include "util/parallel.hpp"
 
 namespace dlpic::pic {
+
+namespace {
+
+constexpr size_t kMoverGrain = 8192;
+
+// Fused gather + kick + drift, specialized per shape: one streaming pass
+// over the particle arrays instead of a gather pass plus a push pass.
+template <Shape S>
+void leapfrog_impl(const Grid1D& grid, const std::vector<double>& E, Species& species,
+                   double dt) {
+  const double qm_dt = species.charge_over_mass() * dt;
+  const double inv_dx = 1.0 / grid.dx();
+  const long n = static_cast<long>(grid.ncells());
+  const double* Ed = E.data();
+  double* x = species.x().data();
+  double* v = species.v().data();
+  util::parallel_for_chunks(
+      0, species.size(),
+      [&](size_t lo, size_t hi) {
+        for (size_t p = lo; p < hi; ++p) {
+          const double Ep = gather_at<S>(Ed, x[p] * inv_dx, n);
+          v[p] += qm_dt * Ep;
+          x[p] = grid.wrap_position(x[p] + v[p] * dt);
+        }
+      },
+      kMoverGrain);
+}
+
+template <Shape S>
+void stagger_impl(const Grid1D& grid, const std::vector<double>& E, Species& species,
+                  double dt) {
+  const double qm_half_dt = -0.5 * species.charge_over_mass() * dt;
+  const double inv_dx = 1.0 / grid.dx();
+  const long n = static_cast<long>(grid.ncells());
+  const double* Ed = E.data();
+  const double* x = species.x().data();
+  double* v = species.v().data();
+  util::parallel_for_chunks(
+      0, species.size(),
+      [&](size_t lo, size_t hi) {
+        for (size_t p = lo; p < hi; ++p)
+          v[p] += qm_half_dt * gather_at<S>(Ed, x[p] * inv_dx, n);
+      },
+      kMoverGrain);
+}
+
+}  // namespace
 
 void push_velocities(Species& species, const std::vector<double>& E_particles, double dt) {
   if (E_particles.size() != species.size())
     throw std::invalid_argument("push_velocities: field array size mismatch");
   const double qm_dt = species.charge_over_mass() * dt;
-  auto& v = species.v();
-  for (size_t p = 0; p < v.size(); ++p) v[p] += qm_dt * E_particles[p];
+  double* v = species.v().data();
+  const double* Ep = E_particles.data();
+  util::parallel_for_chunks(
+      0, species.size(),
+      [&](size_t lo, size_t hi) {
+        for (size_t p = lo; p < hi; ++p) v[p] += qm_dt * Ep[p];
+      },
+      kMoverGrain);
 }
 
 void push_positions(const Grid1D& grid, Species& species, double dt) {
-  auto& x = species.x();
-  const auto& v = species.v();
-  for (size_t p = 0; p < x.size(); ++p) x[p] = grid.wrap_position(x[p] + v[p] * dt);
+  double* x = species.x().data();
+  const double* v = species.v().data();
+  util::parallel_for_chunks(
+      0, species.size(),
+      [&](size_t lo, size_t hi) {
+        for (size_t p = lo; p < hi; ++p) x[p] = grid.wrap_position(x[p] + v[p] * dt);
+      },
+      kMoverGrain);
 }
 
 void leapfrog_step(const Grid1D& grid, Shape shape, const std::vector<double>& E,
                    Species& species, double dt) {
-  const double qm_dt = species.charge_over_mass() * dt;
-  auto& x = species.x();
-  auto& v = species.v();
-  for (size_t p = 0; p < x.size(); ++p) {
-    const double Ep = gather_field(grid, shape, E, x[p]);
-    v[p] += qm_dt * Ep;
-    x[p] = grid.wrap_position(x[p] + v[p] * dt);
-  }
+  if (E.size() != grid.ncells())
+    throw std::invalid_argument("leapfrog_step: field size mismatch");
+  dispatch_shape(shape, [&](auto s) {
+    leapfrog_impl<decltype(s)::value>(grid, E, species, dt);
+  });
 }
 
 void stagger_velocities_back(const Grid1D& grid, Shape shape, const std::vector<double>& E,
                              Species& species, double dt) {
-  const double qm_half_dt = -0.5 * species.charge_over_mass() * dt;
-  auto& x = species.x();
-  auto& v = species.v();
-  for (size_t p = 0; p < x.size(); ++p)
-    v[p] += qm_half_dt * gather_field(grid, shape, E, x[p]);
+  if (E.size() != grid.ncells())
+    throw std::invalid_argument("stagger_velocities_back: field size mismatch");
+  dispatch_shape(shape, [&](auto s) {
+    stagger_impl<decltype(s)::value>(grid, E, species, dt);
+  });
 }
 
 }  // namespace dlpic::pic

@@ -6,6 +6,8 @@
 #include "pic/efield.hpp"
 #include "pic/gather.hpp"
 #include "pic/mover.hpp"
+#include "pic/sorter.hpp"
+#include "util/parallel.hpp"
 
 namespace dlpic::pic {
 
@@ -15,6 +17,9 @@ TraditionalPic::TraditionalPic(const SimulationConfig& config)
       electrons_("electrons", -1.0, 1.0),  // placeholder, replaced below
       solver_(make_poisson_solver(config.solver)) {
   if (config.dt <= 0.0) throw std::invalid_argument("TraditionalPic: dt must be positive");
+  // Per-run worker cap, scoped so one simulation's setting cannot leak into
+  // other work in the process (training GEMMs, other sims).
+  util::ScopedMaxWorkers workers(config.nthreads);
 
   math::Rng rng(config.seed);
   electrons_ = load_two_stream(grid_, config.total_particles(), config.beams, rng);
@@ -46,6 +51,14 @@ void TraditionalPic::solve_field() {
 }
 
 void TraditionalPic::step() {
+  util::ScopedMaxWorkers workers(config_.nthreads);
+  // Periodic cache-locality restore: particles drift apart in memory as the
+  // instability mixes phase space; a counting sort keeps gather/deposit
+  // accesses near-sequential. Done before the push so the sorted order is
+  // what the hot loops see.
+  if (config_.sort_interval > 0 && steps_taken_ > 0 &&
+      steps_taken_ % config_.sort_interval == 0)
+    sort_by_cell(grid_, electrons_);
   leapfrog_step(grid_, config_.shape, E_, electrons_, config_.dt);
   solve_field();
   time_ += config_.dt;

@@ -34,6 +34,10 @@ struct SimulationConfig {
   std::string solver = "spectral";    ///< Poisson solver name
   bool spectral_efield = false;       ///< E = -grad phi spectrally vs central diff
   uint64_t seed = 1234;               ///< RNG seed (loading noise)
+  size_t nthreads = 0;                ///< worker cap for the hot loops; 0 keeps the
+                                      ///< process default (DLPIC_THREADS env / hardware)
+  size_t sort_interval = 25;          ///< re-sort particles by cell every k steps
+                                      ///< for cache locality (0 disables sorting)
 
   [[nodiscard]] size_t total_particles() const { return ncells * particles_per_cell; }
 };

@@ -1,0 +1,36 @@
+#include "pic/sorter.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace dlpic::pic {
+
+void sort_by_cell(const Grid1D& grid, Species& species) {
+  const size_t n = species.size();
+  if (n < 2) return;
+  auto& xs = species.x();
+  auto& vs = species.v();
+  const size_t ncells = grid.ncells();
+  const double inv_dx = 1.0 / grid.dx();
+
+  std::vector<uint32_t> cell(n);
+  std::vector<size_t> offset(ncells + 1, 0);
+  for (size_t p = 0; p < n; ++p) {
+    size_t c = static_cast<size_t>(xs[p] * inv_dx);
+    if (c >= ncells) c = ncells - 1;  // x == L - eps rounding guard
+    cell[p] = static_cast<uint32_t>(c);
+    ++offset[c + 1];
+  }
+  for (size_t c = 0; c < ncells; ++c) offset[c + 1] += offset[c];
+
+  std::vector<double> x_sorted(n), v_sorted(n);
+  for (size_t p = 0; p < n; ++p) {
+    const size_t dst = offset[cell[p]]++;
+    x_sorted[dst] = xs[p];
+    v_sorted[dst] = vs[p];
+  }
+  xs.swap(x_sorted);
+  vs.swap(v_sorted);
+}
+
+}  // namespace dlpic::pic

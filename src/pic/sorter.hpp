@@ -1,0 +1,22 @@
+#pragma once
+/// \file sorter.hpp
+/// Periodic particle reordering by grid cell. As the two-stream instability
+/// mixes phase space, neighboring particles in memory end up in distant
+/// cells and every gather/deposit touches the field arrays at random —
+/// re-sorting by cell every few dozen steps restores streaming access.
+/// Same counting-sort idea as the phase-space binner's NGP histogram, but
+/// applied as a permutation of the particle arrays.
+
+#include "pic/grid.hpp"
+#include "pic/species.hpp"
+
+namespace dlpic::pic {
+
+/// Stable counting sort of the particles of `species` by cell index
+/// floor(x/dx). O(N + ncells) time, O(N) scratch. Stability makes the
+/// reordering deterministic, so runs with identical configs stay
+/// bitwise-reproducible. Physics is invariant under the permutation up to
+/// floating-point summation order in diagnostics and deposition.
+void sort_by_cell(const Grid1D& grid, Species& species);
+
+}  // namespace dlpic::pic

@@ -8,11 +8,17 @@
 #include <omp.h>
 #endif
 
+#include "util/env.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dlpic::util {
 
-size_t parallel_workers() {
+namespace {
+
+constexpr size_t kUnset = static_cast<size_t>(-1);
+std::atomic<size_t> g_max_workers{kUnset};
+
+size_t hardware_workers() {
 #ifdef DLPIC_HAVE_OPENMP
   return static_cast<size_t>(omp_get_max_threads());
 #else
@@ -20,45 +26,121 @@ size_t parallel_workers() {
 #endif
 }
 
-void parallel_for_chunks(size_t begin, size_t end,
-                         const std::function<void(size_t, size_t)>& body, size_t grain) {
+}  // namespace
+
+size_t max_workers() {
+  size_t v = g_max_workers.load(std::memory_order_relaxed);
+  if (v == kUnset) {
+    v = static_cast<size_t>(std::max(0L, env_int_or("DLPIC_THREADS", 0)));
+    g_max_workers.store(v, std::memory_order_relaxed);
+  }
+  return v;
+}
+
+void set_max_workers(size_t n) { g_max_workers.store(n, std::memory_order_relaxed); }
+
+size_t parallel_workers() {
+  const size_t cap = max_workers();
+  return cap > 0 ? cap : hardware_workers();
+}
+
+size_t worker_partition_count(size_t n, size_t grain) {
+  if (n == 0) return 0;
+  if (grain == 0) grain = 1;
+  return std::max<size_t>(1, std::min(parallel_workers(), (n + grain - 1) / grain));
+}
+
+namespace detail {
+
+void run_chunks(size_t begin, size_t end, size_t grain, ChunkFn fn, void* ctx) {
   if (end <= begin) return;
   const size_t n = end - begin;
+  if (grain == 0) grain = 1;
   const size_t workers = parallel_workers();
-  if (n <= grain || workers <= 1) {
-    body(begin, end);
+  if (workers <= 1 || n <= grain || ThreadPool::on_worker_thread()) {
+    // Serial fallback; the on_worker_thread() case avoids a nested
+    // wait_idle() deadlock when a parallel region calls another one.
+    fn(ctx, begin, end);
     return;
   }
-#ifdef DLPIC_HAVE_OPENMP
+  // Over-decompose 4x for load balance, then hand chunks out dynamically.
   const size_t chunks = std::min(workers * 4, (n + grain - 1) / grain);
   const size_t step = (n + chunks - 1) / chunks;
-#pragma omp parallel for schedule(dynamic, 1)
+#ifdef DLPIC_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic, 1) num_threads(static_cast<int>(workers))
   for (long long c = 0; c < static_cast<long long>(chunks); ++c) {
     const size_t lo = begin + static_cast<size_t>(c) * step;
     const size_t hi = std::min(end, lo + step);
-    if (lo < hi) body(lo, hi);
+    if (lo < hi) fn(ctx, lo, hi);
   }
 #else
-  const size_t chunks = std::min(workers * 4, (n + grain - 1) / grain);
-  const size_t step = (n + chunks - 1) / chunks;
+  std::atomic<size_t> next{0};
+  const auto drain = [&next, fn, ctx, begin, end, chunks, step] {
+    for (size_t c = next.fetch_add(1); c < chunks; c = next.fetch_add(1)) {
+      const size_t lo = begin + c * step;
+      const size_t hi = std::min(end, lo + step);
+      if (lo < hi) fn(ctx, lo, hi);
+    }
+  };
   auto& pool = ThreadPool::global();
-  for (size_t c = 0; c < chunks; ++c) {
-    const size_t lo = begin + c * step;
-    const size_t hi = std::min(end, lo + step);
-    if (lo < hi) pool.submit([&body, lo, hi] { body(lo, hi); });
+  const size_t helpers = std::min({workers, chunks, pool.size()});
+  if (helpers <= 1) {
+    drain();
+    return;
   }
+  for (size_t t = 0; t < helpers; ++t) pool.submit(drain);
   pool.wait_idle();
 #endif
 }
 
+void run_worker_chunks(size_t begin, size_t end, size_t grain, WorkerChunkFn fn,
+                       void* ctx) {
+  if (end <= begin) return;
+  const size_t n = end - begin;
+  const size_t chunks = worker_partition_count(n, grain);
+  if (chunks <= 1 || ThreadPool::on_worker_thread()) {
+    fn(ctx, 0, begin, end);
+    return;
+  }
+  const size_t step = (n + chunks - 1) / chunks;
+#ifdef DLPIC_HAVE_OPENMP
+#pragma omp parallel for schedule(dynamic, 1) num_threads(static_cast<int>(chunks))
+  for (long long w = 0; w < static_cast<long long>(chunks); ++w) {
+    const size_t lo = begin + static_cast<size_t>(w) * step;
+    const size_t hi = std::min(end, lo + step);
+    if (lo < hi) fn(ctx, static_cast<size_t>(w), lo, hi);
+  }
+#else
+  std::atomic<size_t> next{0};
+  const auto drain = [&next, fn, ctx, begin, end, chunks, step] {
+    for (size_t w = next.fetch_add(1); w < chunks; w = next.fetch_add(1)) {
+      const size_t lo = begin + w * step;
+      const size_t hi = std::min(end, lo + step);
+      if (lo < hi) fn(ctx, w, lo, hi);
+    }
+  };
+  auto& pool = ThreadPool::global();
+  const size_t helpers = std::min(chunks, pool.size());
+  if (helpers <= 1) {
+    drain();
+    return;
+  }
+  for (size_t t = 0; t < helpers; ++t) pool.submit(drain);
+  pool.wait_idle();
+#endif
+}
+
+}  // namespace detail
+
 void parallel_for(size_t begin, size_t end, const std::function<void(size_t)>& body,
                   size_t grain) {
-  parallel_for_chunks(
-      begin, end,
-      [&body](size_t lo, size_t hi) {
-        for (size_t i = lo; i < hi; ++i) body(i);
-      },
-      grain);
+  parallel_for<const std::function<void(size_t)>&>(begin, end, body, grain);
+}
+
+void parallel_for_chunks(size_t begin, size_t end,
+                         const std::function<void(size_t, size_t)>& body, size_t grain) {
+  parallel_for_chunks<const std::function<void(size_t, size_t)>&>(begin, end, body,
+                                                                  grain);
 }
 
 }  // namespace dlpic::util

@@ -3,23 +3,122 @@
 /// parallel_for abstraction: OpenMP when compiled in, otherwise the internal
 /// thread pool, otherwise serial. Grain-size aware so tiny loops stay serial
 /// (the PIC hot loops at paper scale are ~64k iterations; NN GEMMs dominate).
+///
+/// The primary entry points are templates: the loop body is a template
+/// parameter, so dispatch costs one indirect call per *chunk* instead of a
+/// std::function construction per chunk (the type-erased overloads remain
+/// for callers that already hold a std::function). The partition width is
+/// `parallel_workers()`: the DLPIC_THREADS environment variable or an
+/// explicit set_max_workers() call caps it, otherwise it follows the
+/// hardware. The partition (and therefore any reduction order built on
+/// worker indices) depends only on the configured width, never on how many
+/// OS threads actually execute the chunks, which keeps parallel results
+/// reproducible for a fixed width.
 
 #include <cstddef>
 #include <functional>
+#include <memory>
+#include <type_traits>
 
 namespace dlpic::util {
 
-/// Number of workers parallel_for will use (1 when serial).
+/// Partition width parallel_for will use (1 when serial): the configured
+/// cap when set, otherwise the hardware worker count.
 size_t parallel_workers();
+
+/// Caps the partition width for subsequent parallel loops. 0 restores the
+/// default (DLPIC_THREADS environment variable, else hardware concurrency).
+/// Process-global; intended for startup plumbing (SimulationConfig) and for
+/// serial/parallel comparisons in tests and benches.
+void set_max_workers(size_t n);
+
+/// The currently configured cap (0 = automatic).
+size_t max_workers();
+
+/// RAII worker-cap override: applies `n` for the scope's lifetime and
+/// restores the previous cap on destruction. n == 0 is a no-op (keeps the
+/// current setting), which lets callers plumb "0 = inherit" knobs through
+/// unconditionally.
+class ScopedMaxWorkers {
+ public:
+  explicit ScopedMaxWorkers(size_t n) : previous_(max_workers()), active_(n > 0) {
+    if (active_) set_max_workers(n);
+  }
+  ~ScopedMaxWorkers() {
+    if (active_) set_max_workers(previous_);
+  }
+  ScopedMaxWorkers(const ScopedMaxWorkers&) = delete;
+  ScopedMaxWorkers& operator=(const ScopedMaxWorkers&) = delete;
+
+ private:
+  size_t previous_;
+  bool active_;
+};
+
+/// Number of contiguous chunks parallel_for_workers will split `n`
+/// iterations into given `grain` — call it to size per-worker scratch
+/// buffers before the loop. Always >= 1 for n > 0.
+size_t worker_partition_count(size_t n, size_t grain);
+
+namespace detail {
+
+using ChunkFn = void (*)(void* ctx, size_t lo, size_t hi);
+using WorkerChunkFn = void (*)(void* ctx, size_t worker, size_t lo, size_t hi);
+
+/// Runs fn over a dynamic partition of [begin, end) on the worker backend.
+void run_chunks(size_t begin, size_t end, size_t grain, ChunkFn fn, void* ctx);
+
+/// Runs fn over exactly worker_partition_count(end - begin, grain)
+/// contiguous chunks, passing the stable chunk index as `worker`.
+void run_worker_chunks(size_t begin, size_t end, size_t grain, WorkerChunkFn fn,
+                       void* ctx);
+
+}  // namespace detail
+
+/// Runs body(chunk_begin, chunk_end) over contiguous ranges — cheaper than
+/// per-index dispatch for tight numeric kernels. The body is a template
+/// parameter: no type erasure on the hot path.
+template <class Body>
+void parallel_for_chunks(size_t begin, size_t end, Body&& body, size_t grain = 1024) {
+  using B = std::remove_reference_t<Body>;
+  detail::run_chunks(
+      begin, end, grain,
+      [](void* ctx, size_t lo, size_t hi) { (*static_cast<B*>(ctx))(lo, hi); },
+      (void*)std::addressof(body));
+}
 
 /// Runs body(i) for i in [begin, end). Chunks of at least `grain` iterations
 /// are dispatched per worker; loops smaller than `grain` run serially.
 /// The body must be thread-safe across distinct indices.
+template <class Body>
+void parallel_for(size_t begin, size_t end, Body&& body, size_t grain = 1024) {
+  parallel_for_chunks(
+      begin, end,
+      [&body](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) body(i);
+      },
+      grain);
+}
+
+/// Runs body(worker, chunk_begin, chunk_end) over a fixed partition of
+/// [begin, end) into worker_partition_count(end - begin, grain) contiguous
+/// chunks. Each `worker` index is used at most once per call, so it can
+/// index private scratch buffers (per-thread deposit accumulators); the
+/// partition is deterministic for a fixed parallel_workers() width.
+template <class Body>
+void parallel_for_workers(size_t begin, size_t end, Body&& body, size_t grain = 1) {
+  using B = std::remove_reference_t<Body>;
+  detail::run_worker_chunks(
+      begin, end, grain,
+      [](void* ctx, size_t worker, size_t lo, size_t hi) {
+        (*static_cast<B*>(ctx))(worker, lo, hi);
+      },
+      (void*)std::addressof(body));
+}
+
+/// Type-erased overloads kept for callers holding an actual std::function.
 void parallel_for(size_t begin, size_t end, const std::function<void(size_t)>& body,
                   size_t grain = 1024);
-
-/// Runs body(chunk_begin, chunk_end) over contiguous ranges — cheaper than
-/// per-index dispatch for tight numeric kernels.
 void parallel_for_chunks(size_t begin, size_t end,
                          const std::function<void(size_t, size_t)>& body,
                          size_t grain = 1024);

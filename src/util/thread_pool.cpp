@@ -2,10 +2,20 @@
 
 #include <algorithm>
 
+#include "util/env.hpp"
+#include "util/log.hpp"
+
 namespace dlpic::util {
 
+namespace {
+thread_local bool t_on_worker_thread = false;
+}
+
 ThreadPool::ThreadPool(size_t threads) {
-  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  if (threads == 0) {
+    threads = static_cast<size_t>(std::max(0L, env_int_or("DLPIC_THREADS", 0)));
+    if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  }
   workers_.reserve(threads);
   for (size_t i = 0; i < threads; ++i) workers_.emplace_back([this] { worker_loop(); });
 }
@@ -29,11 +39,19 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+    std::swap(err, first_error_);
+  }
+  if (err) std::rethrow_exception(err);
 }
 
+bool ThreadPool::on_worker_thread() { return t_on_worker_thread; }
+
 void ThreadPool::worker_loop() {
+  t_on_worker_thread = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -43,7 +61,17 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    try {
+      task();
+    } catch (const std::exception& e) {
+      DLPIC_LOG_ERROR("ThreadPool: task failed with exception: %s", e.what());
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    } catch (...) {
+      DLPIC_LOG_ERROR("ThreadPool: task failed with a non-std::exception value");
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;

@@ -5,6 +5,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -13,11 +14,15 @@
 
 namespace dlpic::util {
 
-/// Simple shared-queue thread pool. Tasks may not throw (exceptions in a
-/// task terminate the process); wrap fallible work in the caller.
+/// Simple shared-queue thread pool. A task that throws no longer takes the
+/// process down: the escaping exception is logged with context, captured,
+/// and rethrown from the next wait_idle() call (first failure wins; later
+/// ones are logged and dropped). All submitted tasks still run to
+/// completion before wait_idle() returns or throws.
 class ThreadPool {
  public:
-  /// Spawns `threads` workers (default: hardware_concurrency, at least 1).
+  /// Spawns `threads` workers (default: DLPIC_THREADS when set, otherwise
+  /// hardware_concurrency, at least 1).
   explicit ThreadPool(size_t threads = 0);
   ~ThreadPool();
 
@@ -27,10 +32,16 @@ class ThreadPool {
   /// Enqueues one task.
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished. Rethrows the first
+  /// exception that escaped a task since the previous wait_idle().
   void wait_idle();
 
   [[nodiscard]] size_t size() const { return workers_.size(); }
+
+  /// True when the calling thread is a worker of any ThreadPool — used by
+  /// parallel_for to run nested parallel regions serially instead of
+  /// deadlocking in wait_idle().
+  static bool on_worker_thread();
 
   /// Process-wide pool shared by parallel_for (lazily constructed).
   static ThreadPool& global();
@@ -43,6 +54,7 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_done_;
+  std::exception_ptr first_error_;
   size_t in_flight_ = 0;
   bool stop_ = false;
 };

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "util/parallel.hpp"
@@ -56,5 +57,53 @@ TEST(Parallel, SmallRangeRunsSerially) {
   parallel_for(0, 10, [&](size_t i) { hits[i]++; }, /*grain=*/1024);
   EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 10);
 }
+
+TEST(Parallel, WorkerPartitionCoversRangeWithStableIndices) {
+  const size_t prev = max_workers();
+  set_max_workers(4);
+  const size_t n = 10007;
+  const size_t nbuf = worker_partition_count(n, /*grain=*/64);
+  EXPECT_GE(nbuf, 1u);
+  EXPECT_LE(nbuf, 4u);
+  std::vector<std::atomic<int>> hits(n);
+  std::vector<std::atomic<int>> used(nbuf);
+  parallel_for_workers(
+      0, n,
+      [&](size_t worker, size_t lo, size_t hi) {
+        ASSERT_LT(worker, nbuf);
+        used[worker].fetch_add(1);
+        for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+      },
+      /*grain=*/64);
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  for (size_t w = 0; w < nbuf; ++w) EXPECT_LE(used[w].load(), 1) << "worker " << w;
+  set_max_workers(prev);
+}
+
+#ifndef DLPIC_HAVE_OPENMP
+TEST(ThreadPool, EscapingTaskExceptionIsRethrownFromWaitIdle) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The pool stays usable afterwards.
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(Parallel, BodyExceptionPropagatesToCaller) {
+  const size_t prev = max_workers();
+  set_max_workers(4);
+  EXPECT_THROW(
+      parallel_for(0, 100000,
+                   [](size_t i) {
+                     if (i == 51234) throw std::runtime_error("body boom");
+                   },
+                   /*grain=*/64),
+      std::runtime_error);
+  set_max_workers(prev);
+}
+#endif
 
 }  // namespace
