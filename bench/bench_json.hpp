@@ -12,6 +12,14 @@
 #include <string>
 
 #include "util/env.hpp"
+#include "util/parallel.hpp"
+
+#ifndef DLPIC_GIT_SHA
+#define DLPIC_GIT_SHA "unknown"
+#endif
+#ifndef DLPIC_BUILD_TYPE
+#define DLPIC_BUILD_TYPE "unknown"
+#endif
 
 namespace dlpic::benchjson {
 
@@ -35,10 +43,21 @@ inline benchmark::Counter gflops(double flops_per_iteration) {
 /// Runs all registered benchmarks with the normal console table AND a JSON
 /// file reporter writing BENCH_<name>.json (into DLPIC_BENCH_DIR, default
 /// the working directory). An explicit --benchmark_out=... on the command
-/// line takes precedence.
+/// line takes precedence. Run metadata — git SHA (when built from a
+/// checkout), default worker count, build type — lands in the JSON
+/// `context` block so BENCH_*.json entries are comparable across commits.
 inline int run(int argc, char** argv, const std::string& name) {
   const std::string dir = util::env_string_or("DLPIC_BENCH_DIR", ".");
   const std::string path = dir + "/BENCH_" + name + ".json";
+
+  // The compiled-in SHA is captured at CMake configure time and can go
+  // stale across incremental builds; a DLPIC_GIT_SHA environment variable
+  // (set by CI per run) takes precedence.
+  benchmark::AddCustomContext("dlpic_git_sha",
+                              util::env_string_or("DLPIC_GIT_SHA", DLPIC_GIT_SHA));
+  benchmark::AddCustomContext("dlpic_build_type", DLPIC_BUILD_TYPE);
+  benchmark::AddCustomContext("dlpic_workers", std::to_string(util::parallel_workers()));
+  benchmark::AddCustomContext("dlpic_threads_env", util::env_string_or("DLPIC_THREADS", ""));
 
   std::vector<std::string> arg_store(argv, argv + argc);
   bool has_out = false;

@@ -1,7 +1,12 @@
 /// \file bench_micro_nn.cpp
 /// Micro-benchmarks of the neural-network substrate (ablation A4): GEMM
-/// throughput, dense and conv layer forward/backward, and end-to-end MLP
-/// inference latency at ci and paper scales.
+/// throughput, dense and conv layer forward/backward, end-to-end MLP
+/// inference latency at ci and paper scales, and the ExecutionContext
+/// training step (forward + backward through reusable workspace tensors).
+/// The *_step benches take a second argument: the worker cap for the
+/// context's parallel kernels (1 = serial reference, 0 = all hardware
+/// workers) — compare 1 vs 4 for the conv forward+backward speedup the
+/// workspace refactor targets.
 
 #include <benchmark/benchmark.h>
 
@@ -10,7 +15,10 @@
 #include "math/rng.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/dense.hpp"
+#include "nn/loss.hpp"
 #include "nn/model_zoo.hpp"
+#include "nn/optimizer.hpp"
+#include "util/parallel.hpp"
 
 namespace {
 
@@ -22,6 +30,21 @@ nn::Tensor random_tensor(std::vector<size_t> shape, uint64_t seed) {
   for (size_t i = 0; i < t.size(); ++i) t[i] = rng.uniform(-1, 1);
   return t;
 }
+
+/// Applies the worker cap from the benchmark's second range argument for
+/// the duration of one benchmark, restoring the default afterwards.
+class WorkerCapGuard {
+ public:
+  explicit WorkerCapGuard(benchmark::State& state) : previous_(util::max_workers()) {
+    util::set_max_workers(static_cast<size_t>(state.range(1)));
+    state.counters["workers"] =
+        benchmark::Counter(static_cast<double>(util::parallel_workers()));
+  }
+  ~WorkerCapGuard() { util::set_max_workers(previous_); }
+
+ private:
+  size_t previous_;
+};
 
 void bench_gemm(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
@@ -122,6 +145,76 @@ void bench_cnn_inference_ci(benchmark::State& state) {
   }
 }
 
+/// Conv2D forward + backward through the ExecutionContext workspace path
+/// — the acceptance benchmark of the workspace refactor. Batch 8, 8->8
+/// channels, 3x3 same-padding, like one block of the ci-scale CNN.
+void bench_conv_step(benchmark::State& state) {
+  const size_t hw = static_cast<size_t>(state.range(0));
+  WorkerCapGuard guard(state);
+  math::Rng rng(892);
+  nn::Conv2DConfig cfg;
+  cfg.in_channels = 8;
+  cfg.out_channels = 8;
+  nn::Conv2D layer(cfg, rng);
+  nn::ExecutionContext ctx;
+  auto x = random_tensor({8, 8, hw, hw}, 8);
+  auto g = random_tensor({8, 8, hw, hw}, 9);
+  for (auto _ : state) {
+    layer.zero_grad();
+    nn::Tensor& y = layer.forward(ctx, x, true);
+    benchmark::DoNotOptimize(y.data());
+    nn::Tensor& gin = layer.backward(ctx, g);
+    benchmark::DoNotOptimize(gin.data());
+  }
+  state.counters["ns_per_image"] = benchjson::ns_per_item(8);
+}
+
+/// Dense forward + backward through the ExecutionContext workspace path.
+void bench_dense_step(benchmark::State& state) {
+  const size_t width = static_cast<size_t>(state.range(0));
+  WorkerCapGuard guard(state);
+  math::Rng rng(893);
+  nn::Dense layer(width, width, rng);
+  nn::ExecutionContext ctx;
+  auto x = random_tensor({64, width}, 10);
+  auto g = random_tensor({64, width}, 11);
+  for (auto _ : state) {
+    layer.zero_grad();
+    nn::Tensor& y = layer.forward(ctx, x, true);
+    benchmark::DoNotOptimize(y.data());
+    nn::Tensor& gin = layer.backward(ctx, g);
+    benchmark::DoNotOptimize(gin.data());
+  }
+  // One forward + two backward GEMMs: 6 * batch * in * out FLOPs.
+  state.counters["GFLOPS"] =
+      benchjson::gflops(6.0 * 64.0 * static_cast<double>(width) * width);
+}
+
+/// Full training step (forward, MSE, backward, Adam) of the ci-scale MLP
+/// on one reusable context — the steady-state hot loop of Trainer::fit.
+void bench_mlp_train_step(benchmark::State& state) {
+  WorkerCapGuard guard(state);
+  nn::MlpSpec spec;
+  spec.input_dim = 32 * 32;
+  spec.output_dim = 64;
+  spec.hidden = 256;
+  auto model = nn::build_mlp(spec);
+  nn::ExecutionContext ctx;
+  nn::MSELoss loss;
+  nn::Adam adam(1e-4);
+  auto params = model.params();
+  auto x = random_tensor({64, spec.input_dim}, 12);
+  auto y = random_tensor({64, spec.output_dim}, 13);
+  for (auto _ : state) {
+    const nn::Tensor& pred = model.forward(ctx, x, true);
+    benchmark::DoNotOptimize(loss.forward(pred, y));
+    for (auto& p : params) p.grad->zero();
+    model.backward(ctx, loss.backward());
+    adam.step(params);
+  }
+  state.counters["ns_per_sample"] = benchjson::ns_per_item(64);
+}
+
 }  // namespace
 
 BENCHMARK(bench_gemm)->Arg(64)->Arg(256)->Arg(512);
@@ -131,5 +224,14 @@ BENCHMARK(bench_conv_forward)->Arg(16)->Arg(32);
 BENCHMARK(bench_mlp_inference_ci);
 BENCHMARK(bench_mlp_inference_paper);
 BENCHMARK(bench_cnn_inference_ci);
+BENCHMARK(bench_conv_step)
+    ->Args({32, 1})
+    ->Args({32, 2})
+    ->Args({32, 4})
+    ->Args({32, 0})
+    ->Args({64, 1})
+    ->Args({64, 4});
+BENCHMARK(bench_dense_step)->Args({1024, 1})->Args({1024, 4})->Args({1024, 0});
+BENCHMARK(bench_mlp_train_step)->Args({0, 1})->Args({0, 4})->Args({0, 0});
 
 DLPIC_BENCHMARK_MAIN("micro_nn");

@@ -1,5 +1,6 @@
 #include "core/dl_field_solver.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/binary_io.hpp"
@@ -34,11 +35,13 @@ std::vector<double> DlFieldSolver::solve(const pic::Species& electrons) {
 std::vector<double> DlFieldSolver::solve_histogram(const std::vector<double>& histogram) {
   if (histogram.size() != binner_.size())
     throw std::invalid_argument("DlFieldSolver: histogram size mismatch");
-  std::vector<double> input = histogram;
-  normalizer_.apply(input);
-  const size_t n = input.size();
-  nn::Tensor x({1, n}, std::move(input));
-  nn::Tensor y = model_.predict(x);
+  const size_t n = histogram.size();
+  // Stage the normalized histogram in the solver's workspace so repeated
+  // per-step calls reuse one buffer set end to end.
+  nn::Tensor& x = ctx_.workspace().tensor(this, 0, {1, n});
+  std::copy(histogram.begin(), histogram.end(), x.data());
+  normalizer_.apply(x.vec());
+  const nn::Tensor& y = model_.predict(ctx_, x);
   return y.vec();
 }
 

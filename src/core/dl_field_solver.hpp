@@ -28,7 +28,13 @@ class DlFieldSolver {
   [[nodiscard]] std::vector<double> solve(const pic::Species& electrons);
 
   /// Predicts E from an already-binned raw (unnormalized) histogram.
+  /// Inference runs on the solver's own execution context, so the per-step
+  /// hot path of a DL-PIC run reuses one workspace instead of allocating
+  /// activations every cycle.
   [[nodiscard]] std::vector<double> solve_histogram(const std::vector<double>& histogram);
+
+  /// The solver's reusable inference context.
+  [[nodiscard]] nn::ExecutionContext& context() { return ctx_; }
 
   [[nodiscard]] const phase_space::BinnerConfig& binner_config() const {
     return binner_.config();
@@ -46,6 +52,7 @@ class DlFieldSolver {
   nn::Sequential model_;
   data::MinMaxNormalizer normalizer_;
   phase_space::PhaseSpaceBinner binner_;
+  nn::ExecutionContext ctx_;
 };
 
 }  // namespace dlpic::core

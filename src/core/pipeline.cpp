@@ -17,8 +17,10 @@ namespace fs = std::filesystem;
 Pipeline::Pipeline(Preset preset, std::string artifacts_dir)
     : preset_(std::move(preset)), artifacts_dir_(std::move(artifacts_dir)) {
   fs::create_directories(artifacts_dir_);
-  DLPIC_LOG_INFO("pipeline preset '%s': %zu parallel workers (DLPIC_THREADS to cap)",
-                 preset_.name.c_str(), util::parallel_workers());
+  DLPIC_LOG_INFO(
+      "pipeline preset '%s': %zu parallel workers (DLPIC_THREADS to cap), one "
+      "execution context end to end",
+      preset_.name.c_str(), util::parallel_workers());
 }
 
 std::string Pipeline::dataset_path() const {
@@ -74,6 +76,10 @@ TrainedSolver Pipeline::train_arch(const std::string& arch, const DataSplits& sp
                                    bool force_retrain) {
   const std::string path = solver_path(arch);
   TrainedSolver out;
+  // Workspace slots are keyed by layer identity; evict the previous
+  // architecture's buffers so they cannot accumulate (or alias a freshly
+  // allocated layer at a recycled address).
+  ctx_.workspace().clear();
 
   if (!force_retrain && fs::exists(path)) {
     DLPIC_LOG_INFO("loading cached %s solver from %s", arch.c_str(), path.c_str());
@@ -94,7 +100,7 @@ TrainedSolver Pipeline::train_arch(const std::string& arch, const DataSplits& sp
     nn::Adam adam(lr);
     nn::Trainer trainer(tc);
     util::Timer t;
-    trainer.fit(model, adam, train_n, &val_n);
+    trainer.fit(model, adam, train_n, &val_n, nullptr, &ctx_);
     out.train_seconds = t.seconds();
     DLPIC_LOG_INFO("%s trained in %.1fs", arch.c_str(), out.train_seconds);
 
@@ -107,8 +113,8 @@ TrainedSolver Pipeline::train_arch(const std::string& arch, const DataSplits& sp
   const auto& nrm = out.solver->normalizer();
   nn::Dataset test1_n = nrm.apply_dataset(splits.test1);
   nn::Dataset test2_n = nrm.apply_dataset(splits.test2);
-  out.test1 = nn::Trainer::evaluate(out.solver->model(), test1_n);
-  out.test2 = nn::Trainer::evaluate(out.solver->model(), test2_n);
+  out.test1 = nn::Trainer::evaluate(out.solver->model(), test1_n, 256, &ctx_);
+  out.test2 = nn::Trainer::evaluate(out.solver->model(), test2_n, 256, &ctx_);
   return out;
 }
 

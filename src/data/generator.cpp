@@ -4,6 +4,8 @@
 
 #include "math/rng.hpp"
 #include "util/log.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
 
 namespace dlpic::data {
 
@@ -24,6 +26,10 @@ void DatasetGenerator::generate_run(double v0, double vth, uint64_t run_seed, si
   cfg.beams.vth = vth;
   cfg.seed = run_seed;
   cfg.nsteps = steps;
+  // Inside a serial-pinned sweep run the simulation must not touch the
+  // process-global worker cap (other runs execute concurrently); the pin
+  // already forces every inner loop serial.
+  if (util::in_serial_scope()) cfg.nthreads = 0;
 
   phase_space::PhaseSpaceBinner binner(config_.binner);
   pic::TraditionalPic sim(cfg);
@@ -36,20 +42,53 @@ void DatasetGenerator::generate_run(double v0, double vth, uint64_t run_seed, si
   sim.run();
 }
 
+uint64_t DatasetGenerator::run_seed(uint64_t index) const {
+  // Counter-based stream derivation: run `index` always draws the same
+  // seed, whatever worker executes it (and whichever order runs finish).
+  math::Rng seeder = math::Rng::stream(config_.seed, index);
+  return seeder.next_u64();
+}
+
 nn::Dataset DatasetGenerator::generate() const {
-  nn::Dataset out(config_.binner.nx * config_.binner.nv, config_.base.ncells);
+  const size_t in_dim = config_.binner.nx * config_.binner.nv;
+  const size_t out_dim = config_.base.ncells;
+
+  // Enumerate the sweep deterministically, then fan the independent runs
+  // out across workers. Each run fills a private per-run dataset; the
+  // fixed-order merge below makes the result byte-identical for every
+  // worker count.
+  struct RunSpec {
+    double v0, vth;
+    uint64_t seed;
+  };
+  std::vector<RunSpec> specs;
+  specs.reserve(config_.total_samples() / config_.steps_per_run);
   uint64_t stream = 0;
-  for (double v0 : config_.v0_values) {
-    for (double vth : config_.vth_values) {
-      for (size_t run = 0; run < config_.runs_per_combination; ++run, ++stream) {
-        // Derive a decorrelated seed per run via the RNG stream mechanism.
-        math::Rng seeder = math::Rng::stream(config_.seed, stream);
-        generate_run(v0, vth, seeder.next_u64(), config_.steps_per_run, out);
-      }
-      DLPIC_LOG_DEBUG("generated v0=%.3f vth=%.4f (%zu samples so far)", v0, vth,
-                      out.size());
-    }
-  }
+  for (double v0 : config_.v0_values)
+    for (double vth : config_.vth_values)
+      for (size_t run = 0; run < config_.runs_per_combination; ++run, ++stream)
+        specs.push_back({v0, vth, run_seed(stream)});
+
+  std::vector<nn::Dataset> parts(specs.size(), nn::Dataset(in_dim, out_dim));
+  util::Timer timer;
+  util::parallel_for(
+      0, specs.size(),
+      [&](size_t r) {
+        // Pin the run's PIC loops serial: outer-level parallelism over
+        // runs composes with the parallel kernels without nesting, and
+        // per-run results stay bitwise independent of the dispatch.
+        util::ScopedSerialExecution serial;
+        parts[r].reserve(config_.steps_per_run);
+        generate_run(specs[r].v0, specs[r].vth, specs[r].seed, config_.steps_per_run,
+                     parts[r]);
+      },
+      /*grain=*/1);
+
+  nn::Dataset out(in_dim, out_dim);
+  out.reserve(config_.total_samples());
+  for (const auto& part : parts) out.append(part);
+  DLPIC_LOG_DEBUG("generated %zu runs (%zu samples) on %zu workers in %.1fs",
+                  specs.size(), out.size(), util::parallel_workers(), timer.seconds());
   return out;
 }
 

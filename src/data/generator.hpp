@@ -35,18 +35,32 @@ struct GeneratorConfig {
 };
 
 /// Runs the parameter sweep and harvests samples.
+///
+/// Parallel execution model: every (v0, vth, run) simulation is
+/// independent, so generate() fans the runs out over the dlpic::util
+/// worker pool. Each run is pinned to a serial inner context
+/// (util::ScopedSerialExecution), so the PIC kernels inside never nest a
+/// second level of parallelism, and each run's RNG stream is derived from
+/// the master seed by the run's sweep index (counter-based, not a shared
+/// sequential RNG). Together these make the generated dataset
+/// byte-identical for every worker count.
 class DatasetGenerator {
  public:
   explicit DatasetGenerator(const GeneratorConfig& config);
 
-  /// Runs every (v0, vth, run) simulation and returns the full dataset with
-  /// raw histogram inputs [nv*nx] and raw E-field targets [ncells].
+  /// Runs every (v0, vth, run) simulation — in parallel across workers —
+  /// and returns the full dataset with raw histogram inputs [nv*nx] and
+  /// raw E-field targets [ncells], in deterministic sweep order.
   [[nodiscard]] nn::Dataset generate() const;
 
   /// Harvests `steps` samples from one simulation at (v0, vth, seed):
   /// appends rows to `out`. Exposed for tests and custom sweeps.
   void generate_run(double v0, double vth, uint64_t run_seed, size_t steps,
                     nn::Dataset& out) const;
+
+  /// The seed of sweep run `index` (counter-based stream off the master
+  /// seed: independent of worker count and execution order).
+  [[nodiscard]] uint64_t run_seed(uint64_t index) const;
 
   [[nodiscard]] const GeneratorConfig& config() const { return config_; }
 

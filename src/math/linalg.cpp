@@ -107,8 +107,10 @@ void gemm(bool trans_a, bool trans_b, size_t m, size_t n, size_t k, double alpha
   const size_t m_blocks = (m + kBlockM - 1) / kBlockM;
   const size_t n_blocks = (n + kBlockN - 1) / kBlockN;
   util::parallel_for_chunks(0, m_blocks * n_blocks, [&](size_t tile_lo, size_t tile_hi) {
-    std::vector<double> Ablk(kBlockM * kBlockK);
-    std::vector<double> Bblk(kBlockK * kBlockN);
+    // Per-thread pack buffers, reused across calls: the training hot loop
+    // performs zero steady-state heap allocations.
+    thread_local std::vector<double> Ablk(kBlockM * kBlockK);
+    thread_local std::vector<double> Bblk(kBlockK * kBlockN);
     // Tiles are handed out in row-major tile order, so a chunk is a series
     // of runs sharing one row block; pack (and alpha-scale) each A block
     // once per run instead of once per tile.

@@ -10,8 +10,10 @@ namespace dlpic::nn {
 /// max(0, x).
 class ReLU final : public Layer {
  public:
-  Tensor forward(const Tensor& input, bool training) override;
-  Tensor backward(const Tensor& grad_output) override;
+  using Layer::backward;
+  using Layer::forward;
+  Tensor& forward(ExecutionContext& ctx, const Tensor& input, bool training) override;
+  Tensor& backward(ExecutionContext& ctx, const Tensor& grad_output) override;
   [[nodiscard]] std::string type() const override { return "relu"; }
   [[nodiscard]] std::vector<size_t> output_shape(
       const std::vector<size_t>& input_shape) const override {
@@ -19,17 +21,16 @@ class ReLU final : public Layer {
   }
   void save(util::BinaryWriter& w) const override;
   static std::unique_ptr<ReLU> load(util::BinaryReader& r);
-
- private:
-  Tensor input_cache_;
 };
 
 /// x > 0 ? x : alpha*x.
 class LeakyReLU final : public Layer {
  public:
   explicit LeakyReLU(double alpha = 0.01) : alpha_(alpha) {}
-  Tensor forward(const Tensor& input, bool training) override;
-  Tensor backward(const Tensor& grad_output) override;
+  using Layer::backward;
+  using Layer::forward;
+  Tensor& forward(ExecutionContext& ctx, const Tensor& input, bool training) override;
+  Tensor& backward(ExecutionContext& ctx, const Tensor& grad_output) override;
   [[nodiscard]] std::string type() const override { return "leaky_relu"; }
   [[nodiscard]] std::vector<size_t> output_shape(
       const std::vector<size_t>& input_shape) const override {
@@ -41,14 +42,15 @@ class LeakyReLU final : public Layer {
 
  private:
   double alpha_;
-  Tensor input_cache_;
 };
 
 /// tanh(x).
 class Tanh final : public Layer {
  public:
-  Tensor forward(const Tensor& input, bool training) override;
-  Tensor backward(const Tensor& grad_output) override;
+  using Layer::backward;
+  using Layer::forward;
+  Tensor& forward(ExecutionContext& ctx, const Tensor& input, bool training) override;
+  Tensor& backward(ExecutionContext& ctx, const Tensor& grad_output) override;
   [[nodiscard]] std::string type() const override { return "tanh"; }
   [[nodiscard]] std::vector<size_t> output_shape(
       const std::vector<size_t>& input_shape) const override {
@@ -56,9 +58,6 @@ class Tanh final : public Layer {
   }
   void save(util::BinaryWriter& w) const override;
   static std::unique_ptr<Tanh> load(util::BinaryReader& r);
-
- private:
-  Tensor output_cache_;  // tanh' = 1 - y²
 };
 
 }  // namespace dlpic::nn

@@ -1,13 +1,26 @@
 #include "nn/conv2d.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <stdexcept>
 
 #include "math/linalg.hpp"
 #include "nn/init.hpp"
+#include "util/parallel.hpp"
 
 namespace dlpic::nn {
+
+namespace {
+// Workspace slot ids.
+constexpr int kSlotInput = 0;
+constexpr int kSlotOut = 1;
+constexpr int kSlotGradIn = 2;
+constexpr int kSlotCols = 3;    // per-worker im2col columns
+constexpr int kSlotDcols = 4;   // per-worker dY-columns
+constexpr int kSlotDw = 5;      // per-image weight-grad contributions
+constexpr int kSlotDb = 6;      // per-image bias-grad contributions
+}  // namespace
 
 void im2col(const double* img, size_t channels, size_t h, size_t w, size_t kh, size_t kw,
             size_t stride, size_t pad, double* cols) {
@@ -85,68 +98,119 @@ std::pair<size_t, size_t> Conv2D::out_dims(size_t h, size_t w) const {
           (w + 2 * cfg_.pad - cfg_.kernel_w) / cfg_.stride + 1};
 }
 
-Tensor Conv2D::forward(const Tensor& input, bool /*training*/) {
+Tensor& Conv2D::forward(ExecutionContext& ctx, const Tensor& input, bool /*training*/) {
   if (input.rank() != 4 || input.dim(1) != cfg_.in_channels)
     throw std::invalid_argument("Conv2D::forward: expected [n, " +
                                 std::to_string(cfg_.in_channels) + ", h, w], got " +
                                 input.shape_string());
-  input_cache_ = input;
+  util::ScopedWorkerCap cap(ctx.worker_cap());
   const size_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
   const auto [oh, ow] = out_dims(h, w);
   const size_t krows = cfg_.in_channels * cfg_.kernel_h * cfg_.kernel_w;
   const size_t plane = oh * ow;
 
-  Tensor out({n, cfg_.out_channels, oh, ow});
-  std::vector<double> cols(krows * plane);
-  for (size_t b = 0; b < n; ++b) {
-    im2col(input.data() + b * cfg_.in_channels * h * w, cfg_.in_channels, h, w,
-           cfg_.kernel_h, cfg_.kernel_w, cfg_.stride, cfg_.pad, cols.data());
-    // out[b] = W (oc x krows) * cols (krows x plane).
-    math::gemm(false, false, cfg_.out_channels, plane, krows, 1.0, weight_.data(), krows,
-               cols.data(), plane, 0.0, out.data() + b * cfg_.out_channels * plane, plane);
-    for (size_t oc = 0; oc < cfg_.out_channels; ++oc) {
-      double* dst = out.data() + (b * cfg_.out_channels + oc) * plane;
-      const double bv = bias_[oc];
-      for (size_t i = 0; i < plane; ++i) dst[i] += bv;
+  Tensor& xc = ctx.workspace().tensor(this, kSlotInput, {n, cfg_.in_channels, h, w});
+  detail::parallel_copy(input.data(), xc.data(), input.size());
+  Tensor& out = ctx.workspace().tensor(this, kSlotOut, {n, cfg_.out_channels, oh, ow});
+
+  // Parallelize over images: each worker lowers its images into a private
+  // im2col buffer and runs an independent GEMM into the image's disjoint
+  // output slice (GEMMs nested under a parallel region degrade to serial).
+  const size_t nworkers = util::worker_partition_count(n, 1);
+  auto& cols = ctx.workspace().scratch(this, kSlotCols, nworkers * krows * plane);
+  util::parallel_for_workers(0, n, [&](size_t worker, size_t lo, size_t hi) {
+    double* mycols = cols.data() + worker * krows * plane;
+    for (size_t b = lo; b < hi; ++b) {
+      im2col(xc.data() + b * cfg_.in_channels * h * w, cfg_.in_channels, h, w,
+             cfg_.kernel_h, cfg_.kernel_w, cfg_.stride, cfg_.pad, mycols);
+      // out[b] = W (oc x krows) * cols (krows x plane).
+      math::gemm(false, false, cfg_.out_channels, plane, krows, 1.0, weight_.data(), krows,
+                 mycols, plane, 0.0, out.data() + b * cfg_.out_channels * plane, plane);
+      for (size_t oc = 0; oc < cfg_.out_channels; ++oc) {
+        double* dst = out.data() + (b * cfg_.out_channels + oc) * plane;
+        const double bv = bias_[oc];
+        for (size_t i = 0; i < plane; ++i) dst[i] += bv;
+      }
     }
-  }
+  });
   return out;
 }
 
-Tensor Conv2D::backward(const Tensor& grad_output) {
-  const size_t n = input_cache_.dim(0), h = input_cache_.dim(2), w = input_cache_.dim(3);
+Tensor& Conv2D::backward(ExecutionContext& ctx, const Tensor& grad_output) {
+  // The cached input in the context is the only forward state (layers keep
+  // no per-call members, so one model may serve many contexts).
+  Tensor& xc = ctx.workspace().peek(this, kSlotInput);
+  if (xc.rank() != 4 || xc.dim(1) != cfg_.in_channels)
+    throw std::runtime_error("Conv2D::backward before forward");
+  const size_t n = xc.dim(0), h = xc.dim(2), w = xc.dim(3);
   const auto [oh, ow] = out_dims(h, w);
   if (grad_output.rank() != 4 || grad_output.dim(0) != n ||
       grad_output.dim(1) != cfg_.out_channels || grad_output.dim(2) != oh ||
       grad_output.dim(3) != ow)
     throw std::invalid_argument("Conv2D::backward: grad shape mismatch " +
                                 grad_output.shape_string());
+  util::ScopedWorkerCap cap(ctx.worker_cap());
 
   const size_t krows = cfg_.in_channels * cfg_.kernel_h * cfg_.kernel_w;
   const size_t plane = oh * ow;
-  Tensor grad_in(input_cache_.shape());
-  std::vector<double> cols(krows * plane);
-  std::vector<double> dcols(krows * plane);
+  const size_t wsize = cfg_.out_channels * krows;
+  Tensor& grad_in = ctx.workspace().tensor(this, kSlotGradIn, {n, cfg_.in_channels, h, w});
 
-  for (size_t b = 0; b < n; ++b) {
-    const double* gout = grad_output.data() + b * cfg_.out_channels * plane;
-    // dW += gout (oc x plane) * cols^T (plane x krows).
-    im2col(input_cache_.data() + b * cfg_.in_channels * h * w, cfg_.in_channels, h, w,
-           cfg_.kernel_h, cfg_.kernel_w, cfg_.stride, cfg_.pad, cols.data());
-    math::gemm(false, true, cfg_.out_channels, krows, plane, 1.0, gout, plane, cols.data(),
-               plane, 1.0, weight_grad_.data(), krows);
-    // db += row sums of gout.
-    for (size_t oc = 0; oc < cfg_.out_channels; ++oc) {
-      double acc = 0.0;
-      const double* src = gout + oc * plane;
-      for (size_t i = 0; i < plane; ++i) acc += src[i];
-      bias_grad_[oc] += acc;
+  // Phase 1 (parallel over images): per-image dW/db contributions into
+  // per-image buffers and the input gradient into the image's disjoint
+  // slice. Every image's result is computed by one task with fixed inner
+  // order, so the phase is bitwise independent of the worker count.
+  const size_t nworkers = util::worker_partition_count(n, 1);
+  auto& cols = ctx.workspace().scratch(this, kSlotCols, nworkers * krows * plane);
+  auto& dcols = ctx.workspace().scratch(this, kSlotDcols, nworkers * krows * plane);
+  auto& dwbuf = ctx.workspace().scratch(this, kSlotDw, n * wsize);
+  auto& dbbuf = ctx.workspace().scratch(this, kSlotDb, n * cfg_.out_channels);
+  util::parallel_for_workers(0, n, [&](size_t worker, size_t lo, size_t hi) {
+    double* mycols = cols.data() + worker * krows * plane;
+    double* mydcols = dcols.data() + worker * krows * plane;
+    for (size_t b = lo; b < hi; ++b) {
+      const double* gout = grad_output.data() + b * cfg_.out_channels * plane;
+      // dW_b = gout (oc x plane) * cols^T (plane x krows).
+      im2col(xc.data() + b * cfg_.in_channels * h * w, cfg_.in_channels, h, w,
+             cfg_.kernel_h, cfg_.kernel_w, cfg_.stride, cfg_.pad, mycols);
+      math::gemm(false, true, cfg_.out_channels, krows, plane, 1.0, gout, plane, mycols,
+                 plane, 0.0, dwbuf.data() + b * wsize, krows);
+      // db_b = row sums of gout.
+      for (size_t oc = 0; oc < cfg_.out_channels; ++oc) {
+        double acc = 0.0;
+        const double* src = gout + oc * plane;
+        for (size_t i = 0; i < plane; ++i) acc += src[i];
+        dbbuf[b * cfg_.out_channels + oc] = acc;
+      }
+      // dcols = W^T (krows x oc) * gout (oc x plane); scatter with col2im.
+      math::gemm(true, false, krows, plane, cfg_.out_channels, 1.0, weight_.data(), krows,
+                 gout, plane, 0.0, mydcols, plane);
+      double* gin = grad_in.data() + b * cfg_.in_channels * h * w;
+      std::memset(gin, 0, cfg_.in_channels * h * w * sizeof(double));
+      col2im(mydcols, cfg_.in_channels, h, w, cfg_.kernel_h, cfg_.kernel_w, cfg_.stride,
+             cfg_.pad, gin);
     }
-    // dcols = W^T (krows x oc) * gout (oc x plane); scatter back with col2im.
-    math::gemm(true, false, krows, plane, cfg_.out_channels, 1.0, weight_.data(), krows,
-               gout, plane, 0.0, dcols.data(), plane);
-    col2im(dcols.data(), cfg_.in_channels, h, w, cfg_.kernel_h, cfg_.kernel_w, cfg_.stride,
-           cfg_.pad, grad_in.data() + b * cfg_.in_channels * h * w);
+  });
+
+  // Phase 2: reduce the per-image contributions in fixed image order
+  // (parallel over gradient elements), keeping dW/db bitwise reproducible
+  // for any worker count.
+  double* wg = weight_grad_.data();
+  util::parallel_for_chunks(
+      0, wsize,
+      [&](size_t lo, size_t hi) {
+        for (size_t j = lo; j < hi; ++j) {
+          double acc = wg[j];
+          for (size_t b = 0; b < n; ++b) acc += dwbuf[b * wsize + j];
+          wg[j] = acc;
+        }
+      },
+      detail::kElemGrain / std::max<size_t>(1, n));
+  double* bg = bias_grad_.data();
+  for (size_t oc = 0; oc < cfg_.out_channels; ++oc) {
+    double acc = bg[oc];
+    for (size_t b = 0; b < n; ++b) acc += dbbuf[b * cfg_.out_channels + oc];
+    bg[oc] = acc;
   }
   return grad_in;
 }

@@ -26,9 +26,15 @@ class Conv2D final : public Layer {
   Conv2D(const Conv2DConfig& config, math::Rng& rng);
   explicit Conv2D(const Conv2DConfig& config);  // deserialization path
 
-  Tensor forward(const Tensor& input, bool training) override;
-  Tensor backward(const Tensor& grad_output) override;
+  using Layer::backward;
+  using Layer::forward;
+  Tensor& forward(ExecutionContext& ctx, const Tensor& input, bool training) override;
+  Tensor& backward(ExecutionContext& ctx, const Tensor& grad_output) override;
   std::vector<Param> params() override;
+  void zero_grad() override {
+    weight_grad_.zero();
+    bias_grad_.zero();
+  }
   [[nodiscard]] std::string type() const override { return "conv2d"; }
   [[nodiscard]] std::vector<size_t> output_shape(
       const std::vector<size_t>& input_shape) const override;
@@ -46,7 +52,9 @@ class Conv2D final : public Layer {
   Conv2DConfig cfg_;
   Tensor weight_, weight_grad_;  // [oc, ic*kh*kw]
   Tensor bias_, bias_grad_;      // [oc]
-  Tensor input_cache_;           // [n, ic, h, w]
+  // No per-call state: the cached input lives in the execution context, so
+  // one layer instance can serve concurrent forward passes on distinct
+  // contexts.
 };
 
 /// Lowers one image [C,H,W] into columns [C*kh*kw, out_h*out_w].

@@ -19,6 +19,19 @@ void Dataset::add(const std::vector<double>& input, const std::vector<double>& t
   ++count_;
 }
 
+void Dataset::reserve(size_t rows) {
+  inputs_.reserve(rows * input_dim_);
+  targets_.reserve(rows * target_dim_);
+}
+
+void Dataset::append(const Dataset& other) {
+  if (other.input_dim_ != input_dim_ || other.target_dim_ != target_dim_)
+    throw std::invalid_argument("Dataset::append: dimension mismatch");
+  inputs_.insert(inputs_.end(), other.inputs_.begin(), other.inputs_.end());
+  targets_.insert(targets_.end(), other.targets_.begin(), other.targets_.end());
+  count_ += other.count_;
+}
+
 const double* Dataset::input_row(size_t i) const {
   if (i >= count_) throw std::out_of_range("Dataset::input_row");
   return inputs_.data() + i * input_dim_;
@@ -100,12 +113,18 @@ bool DataLoader::next(Tensor& inputs, Tensor& targets) {
   if (remaining == 0) return false;
   size_t take = std::min(batch_size_, remaining);
   if (drop_last_ && take < batch_size_) return false;
-  std::vector<size_t> idx(order_.begin() + static_cast<long>(cursor_),
-                          order_.begin() + static_cast<long>(cursor_ + take));
+  const size_t in_dim = dataset_.input_dim();
+  const size_t tg_dim = dataset_.target_dim();
+  inputs.resize({take, in_dim});
+  targets.resize({take, tg_dim});
+  for (size_t r = 0; r < take; ++r) {
+    const size_t row = order_[cursor_ + r];
+    const double* in = dataset_.input_row(row);
+    const double* tg = dataset_.target_row(row);
+    std::copy(in, in + in_dim, inputs.data() + r * in_dim);
+    std::copy(tg, tg + tg_dim, targets.data() + r * tg_dim);
+  }
   cursor_ += take;
-  auto [x, y] = dataset_.gather(idx);
-  inputs = std::move(x);
-  targets = std::move(y);
   return true;
 }
 

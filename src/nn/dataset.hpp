@@ -20,6 +20,13 @@ class Dataset {
   /// Appends one sample (sizes must match the dataset dims).
   void add(const std::vector<double>& input, const std::vector<double>& target);
 
+  /// Pre-allocates storage for `rows` samples (parallel generation sizing).
+  void reserve(size_t rows);
+
+  /// Appends every row of `other` (dims must match). Used to merge
+  /// per-run datasets in deterministic order after a parallel sweep.
+  void append(const Dataset& other);
+
   [[nodiscard]] size_t size() const { return count_; }
   [[nodiscard]] size_t input_dim() const { return input_dim_; }
   [[nodiscard]] size_t target_dim() const { return target_dim_; }
@@ -59,7 +66,9 @@ class DataLoader {
   /// Reshuffles and restarts iteration (call once per epoch).
   void reset();
 
-  /// Fetches the next batch; returns false at epoch end.
+  /// Fetches the next batch; returns false at epoch end. Fills the given
+  /// tensors in place (they are resized, not reallocated, when their
+  /// capacity already fits — steady-state batches are allocation-free).
   bool next(Tensor& inputs, Tensor& targets);
 
  private:

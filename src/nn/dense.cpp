@@ -1,12 +1,21 @@
 #include "nn/dense.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 
 #include "math/linalg.hpp"
 #include "nn/init.hpp"
+#include "util/parallel.hpp"
 
 namespace dlpic::nn {
+
+namespace {
+// Workspace slot ids.
+constexpr int kSlotInput = 0;
+constexpr int kSlotOut = 1;
+constexpr int kSlotGradIn = 2;
+}  // namespace
 
 Dense::Dense(size_t in_features, size_t out_features, math::Rng& rng, bool linear_output)
     : Dense(in_features, out_features) {
@@ -27,41 +36,63 @@ Dense::Dense(size_t in_features, size_t out_features)
   if (in_ == 0 || out_ == 0) throw std::invalid_argument("Dense: zero-sized layer");
 }
 
-Tensor Dense::forward(const Tensor& input, bool /*training*/) {
+Tensor& Dense::forward(ExecutionContext& ctx, const Tensor& input, bool /*training*/) {
   if (input.rank() != 2 || input.dim(1) != in_)
     throw std::invalid_argument("Dense::forward: expected [batch, " + std::to_string(in_) +
                                 "], got " + input.shape_string());
-  input_cache_ = input;
+  util::ScopedWorkerCap cap(ctx.worker_cap());
   const size_t batch = input.dim(0);
-  Tensor out({batch, out_});
+
+  Tensor& xc = ctx.workspace().tensor(this, kSlotInput, {batch, in_});
+  detail::parallel_copy(input.data(), xc.data(), input.size());
+  Tensor& out = ctx.workspace().tensor(this, kSlotOut, {batch, out_});
   // out[b,o] = sum_i x[b,i] W[o,i]  ->  X (batch x in) * W^T (in x out).
-  math::gemm(false, true, batch, out_, in_, 1.0, input.data(), in_, weight_.data(), in_,
-             0.0, out.data(), out_);
-  for (size_t b = 0; b < batch; ++b) {
-    double* row = out.data() + b * out_;
-    const double* bias = bias_.data();
-    for (size_t o = 0; o < out_; ++o) row[o] += bias[o];
-  }
+  math::gemm(false, true, batch, out_, in_, 1.0, xc.data(), in_, weight_.data(), in_, 0.0,
+             out.data(), out_);
+  const double* bias = bias_.data();
+  util::parallel_for_chunks(
+      0, batch,
+      [&](size_t lo, size_t hi) {
+        for (size_t b = lo; b < hi; ++b) {
+          double* row = out.data() + b * out_;
+          for (size_t o = 0; o < out_; ++o) row[o] += bias[o];
+        }
+      },
+      detail::kElemGrain / std::max<size_t>(1, out_));
   return out;
 }
 
-Tensor Dense::backward(const Tensor& grad_output) {
-  const size_t batch = input_cache_.dim(0);
+Tensor& Dense::backward(ExecutionContext& ctx, const Tensor& grad_output) {
+  // The cached input in the context is the only forward state (layers keep
+  // no per-call members, so one model may serve many contexts).
+  Tensor& xc = ctx.workspace().peek(this, kSlotInput);
+  if (xc.rank() != 2 || xc.dim(1) != in_)
+    throw std::runtime_error("Dense::backward before forward");
+  const size_t batch = xc.dim(0);
   if (grad_output.rank() != 2 || grad_output.dim(0) != batch || grad_output.dim(1) != out_)
     throw std::invalid_argument("Dense::backward: grad shape mismatch " +
                                 grad_output.shape_string());
+  util::ScopedWorkerCap cap(ctx.worker_cap());
 
   // dW[o,i] += sum_b dY[b,o] X[b,i]  ->  dY^T (out x batch) * X (batch x in).
-  math::gemm(true, false, out_, in_, batch, 1.0, grad_output.data(), out_,
-             input_cache_.data(), in_, 1.0, weight_grad_.data(), in_);
-  // db[o] += sum_b dY[b,o].
-  for (size_t b = 0; b < batch; ++b) {
-    const double* row = grad_output.data() + b * out_;
-    double* bg = bias_grad_.data();
-    for (size_t o = 0; o < out_; ++o) bg[o] += row[o];
-  }
+  // Each dW tile is owned by one GEMM task with a fixed k-order, so the
+  // accumulation is bitwise identical for every worker count.
+  math::gemm(true, false, out_, in_, batch, 1.0, grad_output.data(), out_, xc.data(), in_,
+             1.0, weight_grad_.data(), in_);
+  // db[o] += sum_b dY[b,o]: parallel over outputs, fixed batch order per o.
+  double* bg = bias_grad_.data();
+  util::parallel_for_chunks(
+      0, out_,
+      [&](size_t lo, size_t hi) {
+        for (size_t o = lo; o < hi; ++o) {
+          double acc = 0.0;
+          for (size_t b = 0; b < batch; ++b) acc += grad_output.data()[b * out_ + o];
+          bg[o] += acc;
+        }
+      },
+      detail::kElemGrain / std::max<size_t>(1, batch));
   // dX = dY (batch x out) * W (out x in).
-  Tensor grad_in({batch, in_});
+  Tensor& grad_in = ctx.workspace().tensor(this, kSlotGradIn, {batch, in_});
   math::gemm(false, false, batch, in_, out_, 1.0, grad_output.data(), out_, weight_.data(),
              in_, 0.0, grad_in.data(), in_);
   return grad_in;

@@ -19,9 +19,15 @@ class Dense final : public Layer {
   /// Uninitialized-weight constructor used by deserialization.
   Dense(size_t in_features, size_t out_features);
 
-  Tensor forward(const Tensor& input, bool training) override;
-  Tensor backward(const Tensor& grad_output) override;
+  using Layer::backward;
+  using Layer::forward;
+  Tensor& forward(ExecutionContext& ctx, const Tensor& input, bool training) override;
+  Tensor& backward(ExecutionContext& ctx, const Tensor& grad_output) override;
   std::vector<Param> params() override;
+  void zero_grad() override {
+    weight_grad_.zero();
+    bias_grad_.zero();
+  }
   [[nodiscard]] std::string type() const override { return "dense"; }
   [[nodiscard]] std::vector<size_t> output_shape(
       const std::vector<size_t>& input_shape) const override;
@@ -37,7 +43,9 @@ class Dense final : public Layer {
   size_t in_, out_;
   Tensor weight_, weight_grad_;  // [out, in]
   Tensor bias_, bias_grad_;      // [out]
-  Tensor input_cache_;           // [batch, in]
+  // No per-call state: the cached input lives in the execution context, so
+  // one layer instance can serve concurrent forward passes on distinct
+  // contexts.
 };
 
 }  // namespace dlpic::nn

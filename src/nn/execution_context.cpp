@@ -1,0 +1,48 @@
+#include "nn/execution_context.hpp"
+
+namespace dlpic::nn {
+
+Tensor& Workspace::tensor(const void* owner, int slot, std::initializer_list<size_t> dims) {
+  Tensor& t = tensors_[Key{owner, slot}];
+  t.resize(dims.begin(), dims.size());
+  return t;
+}
+
+Tensor& Workspace::peek(const void* owner, int slot) { return tensors_[Key{owner, slot}]; }
+
+std::vector<double>& Workspace::scratch(const void* owner, int slot, size_t n) {
+  std::vector<double>& v = scratch_[Key{owner, slot}];
+  if (v.size() < n) v.resize(n);
+  return v;
+}
+
+std::vector<size_t>& Workspace::indices(const void* owner, int slot, size_t n) {
+  std::vector<size_t>& v = indices_[Key{owner, slot}];
+  v.resize(n);  // vector keeps capacity on shrink: grow-only storage
+  return v;
+}
+
+std::vector<size_t>& Workspace::indices_peek(const void* owner, int slot) {
+  return indices_[Key{owner, slot}];
+}
+
+void Workspace::clear() {
+  tensors_.clear();
+  scratch_.clear();
+  indices_.clear();
+}
+
+size_t Workspace::bytes() const {
+  size_t total = 0;
+  for (const auto& [k, t] : tensors_) total += t.size() * sizeof(double);
+  for (const auto& [k, v] : scratch_) total += v.capacity() * sizeof(double);
+  for (const auto& [k, v] : indices_) total += v.capacity() * sizeof(size_t);
+  return total;
+}
+
+ExecutionContext& ExecutionContext::thread_default() {
+  thread_local ExecutionContext ctx;
+  return ctx;
+}
+
+}  // namespace dlpic::nn

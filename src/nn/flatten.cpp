@@ -5,20 +5,37 @@
 
 namespace dlpic::nn {
 
-Tensor Flatten::forward(const Tensor& input, bool /*training*/) {
+namespace {
+// Workspace slot ids shared by the shape adapters.
+constexpr int kSlotOut = 0;
+constexpr int kSlotGradIn = 1;
+constexpr int kSlotShape = 2;  // input shape of the last forward
+}  // namespace
+
+Tensor& Flatten::forward(ExecutionContext& ctx, const Tensor& input, bool /*training*/) {
   if (input.rank() < 2)
     throw std::invalid_argument("Flatten::forward: rank must be >= 2");
-  input_shape_ = input.shape();
-  Tensor out = input;
+  util::ScopedWorkerCap cap(ctx.worker_cap());
+  // Forward state lives in the context (no per-call members), so one layer
+  // instance can serve concurrent forward passes on distinct contexts.
+  auto& shape = ctx.workspace().indices(this, kSlotShape, input.rank());
+  for (size_t i = 0; i < input.rank(); ++i) shape[i] = input.dim(i);
   size_t features = 1;
-  for (size_t i = 1; i < input_shape_.size(); ++i) features *= input_shape_[i];
-  out.reshape({input_shape_[0], features});
+  for (size_t i = 1; i < shape.size(); ++i) features *= shape[i];
+  Tensor& out = ctx.workspace().tensor(this, kSlotOut, {shape[0], features});
+  detail::parallel_copy(input.data(), out.data(), input.size());
   return out;
 }
 
-Tensor Flatten::backward(const Tensor& grad_output) {
-  Tensor grad_in = grad_output;
-  grad_in.reshape(input_shape_);
+Tensor& Flatten::backward(ExecutionContext& ctx, const Tensor& grad_output) {
+  auto& shape = ctx.workspace().indices_peek(this, kSlotShape);
+  if (shape.empty()) throw std::runtime_error("Flatten::backward before forward");
+  util::ScopedWorkerCap cap(ctx.worker_cap());
+  Tensor& grad_in = ctx.workspace().peek(this, kSlotGradIn);
+  grad_in.resize(shape.data(), shape.size());
+  if (grad_output.size() != grad_in.size())
+    throw std::invalid_argument("Flatten::backward: grad size mismatch");
+  detail::parallel_copy(grad_output.data(), grad_in.data(), grad_output.size());
   return grad_in;
 }
 
@@ -42,19 +59,24 @@ Reshape4::Reshape4(size_t channels, size_t height, size_t width)
     throw std::invalid_argument("Reshape4: zero-sized target shape");
 }
 
-Tensor Reshape4::forward(const Tensor& input, bool /*training*/) {
+Tensor& Reshape4::forward(ExecutionContext& ctx, const Tensor& input, bool /*training*/) {
   if (input.rank() != 2 || input.dim(1) != c_ * h_ * w_)
     throw std::invalid_argument("Reshape4::forward: expected [batch, " +
                                 std::to_string(c_ * h_ * w_) + "], got " +
                                 input.shape_string());
-  Tensor out = input;
-  out.reshape({input.dim(0), c_, h_, w_});
+  util::ScopedWorkerCap cap(ctx.worker_cap());
+  Tensor& out = ctx.workspace().tensor(this, kSlotOut, {input.dim(0), c_, h_, w_});
+  detail::parallel_copy(input.data(), out.data(), input.size());
   return out;
 }
 
-Tensor Reshape4::backward(const Tensor& grad_output) {
-  Tensor grad_in = grad_output;
-  grad_in.reshape({grad_output.dim(0), c_ * h_ * w_});
+Tensor& Reshape4::backward(ExecutionContext& ctx, const Tensor& grad_output) {
+  if (grad_output.rank() != 4 || grad_output.size() % (c_ * h_ * w_) != 0)
+    throw std::invalid_argument("Reshape4::backward: grad shape mismatch");
+  util::ScopedWorkerCap cap(ctx.worker_cap());
+  Tensor& grad_in =
+      ctx.workspace().tensor(this, kSlotGradIn, {grad_output.dim(0), c_ * h_ * w_});
+  detail::parallel_copy(grad_output.data(), grad_in.data(), grad_output.size());
   return grad_in;
 }
 

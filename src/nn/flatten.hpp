@@ -10,16 +10,16 @@ namespace dlpic::nn {
 /// Shape adapter with no parameters.
 class Flatten final : public Layer {
  public:
-  Tensor forward(const Tensor& input, bool training) override;
-  Tensor backward(const Tensor& grad_output) override;
+  using Layer::backward;
+  using Layer::forward;
+  Tensor& forward(ExecutionContext& ctx, const Tensor& input, bool training) override;
+  Tensor& backward(ExecutionContext& ctx, const Tensor& grad_output) override;
   [[nodiscard]] std::string type() const override { return "flatten"; }
   [[nodiscard]] std::vector<size_t> output_shape(
       const std::vector<size_t>& input_shape) const override;
   void save(util::BinaryWriter& w) const override;
   static std::unique_ptr<Flatten> load(util::BinaryReader& r);
-
- private:
-  std::vector<size_t> input_shape_;
+  // No per-call state: the input shape lives in the execution context.
 };
 
 /// Reshapes [batch, c*h*w] to [batch, c, h, w]; the input adapter placed at
@@ -28,8 +28,10 @@ class Reshape4 final : public Layer {
  public:
   Reshape4(size_t channels, size_t height, size_t width);
 
-  Tensor forward(const Tensor& input, bool training) override;
-  Tensor backward(const Tensor& grad_output) override;
+  using Layer::backward;
+  using Layer::forward;
+  Tensor& forward(ExecutionContext& ctx, const Tensor& input, bool training) override;
+  Tensor& backward(ExecutionContext& ctx, const Tensor& grad_output) override;
   [[nodiscard]] std::string type() const override { return "reshape4"; }
   [[nodiscard]] std::vector<size_t> output_shape(
       const std::vector<size_t>& input_shape) const override;

@@ -8,19 +8,22 @@
 namespace dlpic::nn {
 
 GradCheckResult check_gradients(Sequential& model, const Tensor& x, const Tensor& y,
-                                double eps, double tol, double floor_denom) {
+                                double eps, double tol, double floor_denom,
+                                ExecutionContext* ctx) {
   GradCheckResult result;
+  ExecutionContext local_ctx;
+  ExecutionContext& ec = ctx != nullptr ? *ctx : local_ctx;
 
   // Analytic gradients.
   MSELoss loss;
-  Tensor pred = model.forward(x, /*training=*/true);
+  const Tensor& pred = model.forward(ec, x, /*training=*/true);
   loss.forward(pred, y);
   model.zero_grad();
-  Tensor input_grad = model.backward(loss.backward());
+  Tensor input_grad = model.backward(ec, loss.backward());
 
   auto loss_at = [&](const Tensor& input) {
     MSELoss l;
-    Tensor p = model.forward(input, /*training=*/true);
+    const Tensor& p = model.forward(ec, input, /*training=*/true);
     return l.forward(p, y);
   };
 

@@ -21,8 +21,11 @@ struct GradCheckResult {
 /// Verifies d(MSE(model(x), y))/dtheta via central differences with step
 /// `eps`. `tol` is the relative-error acceptance threshold (denominator
 /// floored at `floor_denom` to avoid 0/0 blowups on tiny gradients).
+/// Every forward/backward runs through `ctx` when given (exercising the
+/// caller's workspace + worker policy); otherwise a local context is used.
 GradCheckResult check_gradients(Sequential& model, const Tensor& x, const Tensor& y,
                                 double eps = 1e-5, double tol = 1e-5,
-                                double floor_denom = 1e-7);
+                                double floor_denom = 1e-7,
+                                ExecutionContext* ctx = nullptr);
 
 }  // namespace dlpic::nn

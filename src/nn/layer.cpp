@@ -1,0 +1,16 @@
+#include "nn/layer.hpp"
+
+#include <cstring>
+
+#include "util/parallel.hpp"
+
+namespace dlpic::nn::detail {
+
+void parallel_copy(const double* src, double* dst, size_t n) {
+  util::parallel_for_chunks(
+      0, n,
+      [&](size_t lo, size_t hi) { std::memcpy(dst + lo, src + lo, (hi - lo) * sizeof(double)); },
+      kElemGrain);
+}
+
+}  // namespace dlpic::nn::detail

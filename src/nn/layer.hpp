@@ -2,16 +2,22 @@
 /// \file layer.hpp
 /// Abstract layer interface for the backprop engine.
 ///
-/// Contract: forward() caches whatever backward() needs; backward() consumes
-/// the gradient w.r.t. the layer output and returns the gradient w.r.t. the
-/// layer input while accumulating parameter gradients (call zero_grad()
-/// between optimizer steps). Layers are stateful and not thread-safe across
-/// concurrent forward calls — one model instance per thread.
+/// Contract: forward() caches whatever backward() needs in the execution
+/// context's workspace; backward() consumes the gradient w.r.t. the layer
+/// output and returns the gradient w.r.t. the layer input while accumulating
+/// parameter gradients (call zero_grad() between optimizer steps). The
+/// returned tensor references workspace storage owned by the context: it
+/// stays valid until the next forward/backward call of the same layer on
+/// that context. forward() and the matching backward() must use the same
+/// context. Parameters are shared; activation state lives in the context,
+/// so one model instance may serve several threads as long as each thread
+/// brings its own ExecutionContext (inference) and only one thread trains.
 
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "nn/execution_context.hpp"
 #include "nn/tensor.hpp"
 #include "util/binary_io.hpp"
 
@@ -29,13 +35,28 @@ class Layer {
  public:
   virtual ~Layer() = default;
 
-  /// Computes the layer output. `training` toggles train-only behavior
-  /// (e.g. dropout); inference passes false.
-  virtual Tensor forward(const Tensor& input, bool training) = 0;
+  /// Computes the layer output into workspace storage. `training` toggles
+  /// train-only behavior (e.g. dropout); inference passes false. Inner
+  /// loops dispatch through dlpic::util parallel_for under the context's
+  /// worker cap.
+  virtual Tensor& forward(ExecutionContext& ctx, const Tensor& input, bool training) = 0;
 
   /// Backpropagates: grad w.r.t. output -> grad w.r.t. input, accumulating
-  /// parameter gradients. Must be called after forward() on the same input.
-  virtual Tensor backward(const Tensor& grad_output) = 0;
+  /// parameter gradients. Must be called after forward() on the same
+  /// context. Parameter-gradient reductions are ordered independently of
+  /// the worker count, so results are bitwise reproducible across widths.
+  virtual Tensor& backward(ExecutionContext& ctx, const Tensor& grad_output) = 0;
+
+  /// Context-free convenience entry points (tests, exploratory code): run
+  /// on the thread-local default context and copy the result out. Derived
+  /// classes re-expose them with `using Layer::forward; using
+  /// Layer::backward;`.
+  Tensor forward(const Tensor& input, bool training) {
+    return forward(ExecutionContext::thread_default(), input, training);
+  }
+  Tensor backward(const Tensor& grad_output) {
+    return backward(ExecutionContext::thread_default(), grad_output);
+  }
 
   /// Learnable parameters (empty for activations/pooling).
   virtual std::vector<Param> params() { return {}; }
@@ -50,10 +71,23 @@ class Layer {
   /// Serializes layer hyperparameters + parameters.
   virtual void save(util::BinaryWriter& w) const = 0;
 
-  /// Zeroes accumulated parameter gradients.
-  void zero_grad() {
+  /// Zeroes accumulated parameter gradients. Parameterized layers override
+  /// with a direct member zero so the per-batch call is allocation-free
+  /// (the default builds the params() list).
+  virtual void zero_grad() {
     for (auto& p : params()) p.grad->zero();
   }
 };
+
+namespace detail {
+
+/// Elementwise copy src -> dst (same size) parallelized under the current
+/// worker width; the grain keeps small tensors serial.
+void parallel_copy(const double* src, double* dst, size_t n);
+
+/// Shared grain for elementwise layer loops (elements per task).
+constexpr size_t kElemGrain = 1 << 14;
+
+}  // namespace detail
 
 }  // namespace dlpic::nn

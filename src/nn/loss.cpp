@@ -16,23 +16,26 @@ void require_same_shape(const Tensor& a, const Tensor& b, const char* who) {
 
 double MSELoss::forward(const Tensor& pred, const Tensor& target) {
   require_same_shape(pred, target, "MSELoss");
-  diff_ = pred;
+  diff_.resize(pred.shape().data(), pred.shape().size());
   double acc = 0.0;
   double* d = diff_.data();
+  const double* p = pred.data();
   const double* t = target.data();
   for (size_t i = 0; i < diff_.size(); ++i) {
-    d[i] -= t[i];
+    d[i] = p[i] - t[i];
     acc += d[i] * d[i];
   }
   return acc / static_cast<double>(diff_.size());
 }
 
-Tensor MSELoss::backward() const {
+const Tensor& MSELoss::backward() {
   if (diff_.empty()) throw std::runtime_error("MSELoss::backward before forward");
-  Tensor grad = diff_;
+  grad_.resize(diff_.shape().data(), diff_.shape().size());
   const double scale = 2.0 / static_cast<double>(diff_.size());
-  scale_inplace(grad, scale);
-  return grad;
+  const double* d = diff_.data();
+  double* g = grad_.data();
+  for (size_t i = 0; i < grad_.size(); ++i) g[i] = d[i] * scale;
+  return grad_;
 }
 
 double mae_metric(const Tensor& pred, const Tensor& target) {

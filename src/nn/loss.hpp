@@ -11,14 +11,17 @@ namespace dlpic::nn {
 /// Mean squared error over all elements: mean((pred - target)^2).
 class MSELoss {
  public:
-  /// Loss value; caches (pred - target) for backward.
+  /// Loss value; caches (pred - target) for backward. Reuses internal
+  /// buffers: allocation-free in steady state (fixed batch shape).
   double forward(const Tensor& pred, const Tensor& target);
 
-  /// Gradient of the loss w.r.t. pred: 2*(pred - target)/N.
-  [[nodiscard]] Tensor backward() const;
+  /// Gradient of the loss w.r.t. pred: 2*(pred - target)/N. The returned
+  /// reference stays valid until the next forward/backward call.
+  [[nodiscard]] const Tensor& backward();
 
  private:
   Tensor diff_;
+  Tensor grad_;
 };
 
 /// Mean absolute error over all elements (paper Eq. 6 generalizes per-sample

@@ -1,62 +1,96 @@
 #include "nn/maxpool2d.hpp"
 
+#include <cstring>
 #include <memory>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace dlpic::nn {
+
+namespace {
+// Workspace slot ids.
+constexpr int kSlotOut = 0;
+constexpr int kSlotGradIn = 1;
+constexpr int kSlotArgmax = 2;
+constexpr int kSlotShape = 3;  // [n, c, h, w] of the last forward
+}  // namespace
 
 MaxPool2D::MaxPool2D(size_t pool) : pool_(pool) {
   if (pool_ < 1) throw std::invalid_argument("MaxPool2D: pool must be >= 1");
 }
 
-Tensor MaxPool2D::forward(const Tensor& input, bool /*training*/) {
+Tensor& MaxPool2D::forward(ExecutionContext& ctx, const Tensor& input, bool /*training*/) {
   if (input.rank() != 4)
     throw std::invalid_argument("MaxPool2D::forward: expected rank-4 input, got " +
                                 input.shape_string());
   const size_t n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
   if (h % pool_ != 0 || w % pool_ != 0)
     throw std::invalid_argument("MaxPool2D::forward: dims not divisible by pool size");
+  util::ScopedWorkerCap cap(ctx.worker_cap());
   const size_t oh = h / pool_, ow = w / pool_;
-  input_shape_ = input.shape();
+  // Forward state lives in the context (no per-call members), so one layer
+  // instance can serve concurrent forward passes on distinct contexts.
+  auto& shape = ctx.workspace().indices(this, kSlotShape, 4);
+  shape[0] = n;
+  shape[1] = c;
+  shape[2] = h;
+  shape[3] = w;
 
-  Tensor out({n, c, oh, ow});
-  argmax_.assign(out.size(), 0);
+  Tensor& out = ctx.workspace().tensor(this, kSlotOut, {n, c, oh, ow});
+  auto& argmax = ctx.workspace().indices(this, kSlotArgmax, out.size());
   const double* src = input.data();
   double* dst = out.data();
-  size_t oidx = 0;
-  for (size_t b = 0; b < n; ++b) {
-    for (size_t ch = 0; ch < c; ++ch) {
-      const size_t plane_off = (b * c + ch) * h * w;
-      for (size_t oi = 0; oi < oh; ++oi) {
-        for (size_t oj = 0; oj < ow; ++oj, ++oidx) {
-          double best = -1e300;
-          size_t best_idx = 0;
-          for (size_t pi = 0; pi < pool_; ++pi) {
-            const size_t row = oi * pool_ + pi;
-            for (size_t pj = 0; pj < pool_; ++pj) {
-              const size_t idx = plane_off + row * w + oj * pool_ + pj;
-              if (src[idx] > best) {
-                best = src[idx];
-                best_idx = idx;
+  // Parallel over (batch, channel) planes; each plane's outputs are disjoint.
+  util::parallel_for(
+      0, n * c,
+      [&](size_t p) {
+        const size_t plane_off = p * h * w;
+        size_t oidx = p * oh * ow;
+        for (size_t oi = 0; oi < oh; ++oi) {
+          for (size_t oj = 0; oj < ow; ++oj, ++oidx) {
+            double best = -1e300;
+            size_t best_idx = 0;
+            for (size_t pi = 0; pi < pool_; ++pi) {
+              const size_t row = oi * pool_ + pi;
+              for (size_t pj = 0; pj < pool_; ++pj) {
+                const size_t idx = plane_off + row * w + oj * pool_ + pj;
+                if (src[idx] > best) {
+                  best = src[idx];
+                  best_idx = idx;
+                }
               }
             }
+            dst[oidx] = best;
+            argmax[oidx] = best_idx;
           }
-          dst[oidx] = best;
-          argmax_[oidx] = best_idx;
         }
-      }
-    }
-  }
+      },
+      /*grain=*/1);
   return out;
 }
 
-Tensor MaxPool2D::backward(const Tensor& grad_output) {
-  if (grad_output.size() != argmax_.size())
+Tensor& MaxPool2D::backward(ExecutionContext& ctx, const Tensor& grad_output) {
+  auto& shape = ctx.workspace().indices_peek(this, kSlotShape);
+  if (shape.size() != 4) throw std::runtime_error("MaxPool2D::backward before forward");
+  util::ScopedWorkerCap cap(ctx.worker_cap());
+  const size_t n = shape[0], c = shape[1], h = shape[2], w = shape[3];
+  const size_t oplane = (h / pool_) * (w / pool_);
+  auto& argmax = ctx.workspace().indices_peek(this, kSlotArgmax);
+  if (grad_output.size() != argmax.size() || argmax.size() != n * c * oplane)
     throw std::invalid_argument("MaxPool2D::backward: grad size mismatch");
-  Tensor grad_in(input_shape_);
+  Tensor& grad_in = ctx.workspace().tensor(this, kSlotGradIn, {n, c, h, w});
   double* g = grad_in.data();
   const double* go = grad_output.data();
-  for (size_t i = 0; i < argmax_.size(); ++i) g[argmax_[i]] += go[i];
+  // Pool windows are non-overlapping, so each (batch, channel) plane's
+  // scatter touches only its own input plane: parallel over planes.
+  util::parallel_for(
+      0, n * c,
+      [&](size_t p) {
+        std::memset(g + p * h * w, 0, h * w * sizeof(double));
+        for (size_t i = p * oplane; i < (p + 1) * oplane; ++i) g[argmax[i]] += go[i];
+      },
+      /*grain=*/1);
   return grad_in;
 }
 

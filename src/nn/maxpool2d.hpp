@@ -13,8 +13,10 @@ class MaxPool2D final : public Layer {
  public:
   explicit MaxPool2D(size_t pool = 2);
 
-  Tensor forward(const Tensor& input, bool training) override;
-  Tensor backward(const Tensor& grad_output) override;
+  using Layer::backward;
+  using Layer::forward;
+  Tensor& forward(ExecutionContext& ctx, const Tensor& input, bool training) override;
+  Tensor& backward(ExecutionContext& ctx, const Tensor& grad_output) override;
   [[nodiscard]] std::string type() const override { return "maxpool2d"; }
   [[nodiscard]] std::vector<size_t> output_shape(
       const std::vector<size_t>& input_shape) const override;
@@ -25,8 +27,9 @@ class MaxPool2D final : public Layer {
 
  private:
   size_t pool_;
-  std::vector<size_t> argmax_;        // flat input index of each output max
-  std::vector<size_t> input_shape_;   // cached for backward
+  // No per-call state: the argmax indices and input shape live in the
+  // execution context, so one layer instance can serve concurrent forward
+  // passes on distinct contexts.
 };
 
 }  // namespace dlpic::nn

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace dlpic::nn {
 
 namespace {
@@ -33,13 +35,25 @@ void SGD::step(const std::vector<Param>& params) {
     const double* g = params[i].grad->data();
     double* vel = velocity_[i].data();
     const size_t n = params[i].value->size();
+    // Elementwise update: parallel chunks are disjoint, so the result is
+    // independent of the worker count.
     if (momentum_ > 0.0) {
-      for (size_t j = 0; j < n; ++j) {
-        vel[j] = momentum_ * vel[j] - lr_ * g[j];
-        w[j] += vel[j];
-      }
+      util::parallel_for_chunks(
+          0, n,
+          [&](size_t lo, size_t hi) {
+            for (size_t j = lo; j < hi; ++j) {
+              vel[j] = momentum_ * vel[j] - lr_ * g[j];
+              w[j] += vel[j];
+            }
+          },
+          detail::kElemGrain);
     } else {
-      for (size_t j = 0; j < n; ++j) w[j] -= lr_ * g[j];
+      util::parallel_for_chunks(
+          0, n,
+          [&](size_t lo, size_t hi) {
+            for (size_t j = lo; j < hi; ++j) w[j] -= lr_ * g[j];
+          },
+          detail::kElemGrain);
     }
   }
 }
@@ -63,13 +77,20 @@ void Adam::step(const std::vector<Param>& params) {
     double* m = m_[i].data();
     double* v = v_[i].data();
     const size_t n = params[i].value->size();
-    for (size_t j = 0; j < n; ++j) {
-      m[j] = beta1_ * m[j] + (1.0 - beta1_) * g[j];
-      v[j] = beta2_ * v[j] + (1.0 - beta2_) * g[j] * g[j];
-      const double mhat = m[j] / bc1;
-      const double vhat = v[j] / bc2;
-      w[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
-    }
+    // Elementwise update: parallel chunks are disjoint, so the result is
+    // independent of the worker count.
+    util::parallel_for_chunks(
+        0, n,
+        [&](size_t lo, size_t hi) {
+          for (size_t j = lo; j < hi; ++j) {
+            m[j] = beta1_ * m[j] + (1.0 - beta1_) * g[j];
+            v[j] = beta2_ * v[j] + (1.0 - beta2_) * g[j] * g[j];
+            const double mhat = m[j] / bc1;
+            const double vhat = v[j] / bc2;
+            w[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+          }
+        },
+        detail::kElemGrain);
   }
 }
 

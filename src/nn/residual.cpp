@@ -3,7 +3,15 @@
 #include <memory>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace dlpic::nn {
+
+namespace {
+// Workspace slot ids.
+constexpr int kSlotPre = 0;   // pre-activation of the inner layer
+constexpr int kSlotSkip = 1;  // copy of the block input for the skip path
+}  // namespace
 
 ResidualDense::ResidualDense(size_t width, size_t hidden)
     : width_(width), hidden_(hidden), inner_(width, hidden), outer_(hidden, width) {
@@ -20,29 +28,69 @@ ResidualDense::ResidualDense(size_t width, size_t hidden, math::Rng& rng)
   outer_ = Dense(hidden, width, rng, /*linear_output=*/true);
 }
 
-Tensor ResidualDense::forward(const Tensor& input, bool training) {
+Tensor& ResidualDense::forward(ExecutionContext& ctx, const Tensor& input, bool training) {
   if (input.rank() != 2 || input.dim(1) != width_)
     throw std::invalid_argument("ResidualDense::forward: expected [batch, " +
                                 std::to_string(width_) + "], got " + input.shape_string());
-  Tensor h = inner_.forward(input, training);
-  hidden_cache_ = h;  // pre-activation, needed for the ReLU mask in backward
+  util::ScopedWorkerCap cap(ctx.worker_cap());
+  const size_t batch = input.dim(0);
+  // Keep a copy of the input for the skip add: `input` may reference the
+  // upstream layer's workspace slot, which the inner layers do not touch,
+  // but the copy also serves composite stacking (block after block).
+  Tensor& skip = ctx.workspace().tensor(this, kSlotSkip, {batch, width_});
+  detail::parallel_copy(input.data(), skip.data(), input.size());
+
+  Tensor& h = inner_.forward(ctx, input, training);
+  Tensor& pre = ctx.workspace().tensor(this, kSlotPre, {batch, hidden_});
+  detail::parallel_copy(h.data(), pre.data(), h.size());
+  // ReLU applied in place on the inner layer's output slot (owned by this
+  // block); the pre-activation copy feeds the mask in backward.
   double* p = h.data();
-  for (size_t i = 0; i < h.size(); ++i)
-    if (p[i] < 0.0) p[i] = 0.0;
-  Tensor out = outer_.forward(h, training);
-  add_inplace(out, input);  // identity skip
+  util::parallel_for_chunks(
+      0, h.size(),
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+          if (p[i] < 0.0) p[i] = 0.0;
+      },
+      detail::kElemGrain);
+  Tensor& out = outer_.forward(ctx, h, training);
+  // Identity skip, in place on the outer layer's output slot.
+  double* o = out.data();
+  const double* s = skip.data();
+  util::parallel_for_chunks(
+      0, out.size(),
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) o[i] += s[i];
+      },
+      detail::kElemGrain);
   return out;
 }
 
-Tensor ResidualDense::backward(const Tensor& grad_output) {
+Tensor& ResidualDense::backward(ExecutionContext& ctx, const Tensor& grad_output) {
+  util::ScopedWorkerCap cap(ctx.worker_cap());
   // d/dx [x + f(x)] = I + f'(x): the skip adds grad_output directly.
-  Tensor g_hidden = outer_.backward(grad_output);
+  Tensor& g_hidden = outer_.backward(ctx, grad_output);
+  Tensor& pre = ctx.workspace().peek(this, kSlotPre);
+  if (!g_hidden.same_shape(pre))
+    throw std::runtime_error("ResidualDense::backward before forward");
   double* g = g_hidden.data();
-  const double* pre = hidden_cache_.data();
-  for (size_t i = 0; i < g_hidden.size(); ++i)
-    if (pre[i] <= 0.0) g[i] = 0.0;
-  Tensor grad_in = inner_.backward(g_hidden);
-  add_inplace(grad_in, grad_output);
+  const double* pp = pre.data();
+  util::parallel_for_chunks(
+      0, g_hidden.size(),
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i)
+          if (pp[i] <= 0.0) g[i] = 0.0;
+      },
+      detail::kElemGrain);
+  Tensor& grad_in = inner_.backward(ctx, g_hidden);
+  double* gi = grad_in.data();
+  const double* go = grad_output.data();
+  util::parallel_for_chunks(
+      0, grad_in.size(),
+      [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) gi[i] += go[i];
+      },
+      detail::kElemGrain);
   return grad_in;
 }
 

@@ -23,9 +23,15 @@ class ResidualDense final : public Layer {
   ResidualDense(size_t width, size_t hidden, math::Rng& rng);
   ResidualDense(size_t width, size_t hidden);  // deserialization path
 
-  Tensor forward(const Tensor& input, bool training) override;
-  Tensor backward(const Tensor& grad_output) override;
+  using Layer::backward;
+  using Layer::forward;
+  Tensor& forward(ExecutionContext& ctx, const Tensor& input, bool training) override;
+  Tensor& backward(ExecutionContext& ctx, const Tensor& grad_output) override;
   std::vector<Param> params() override;
+  void zero_grad() override {
+    inner_.zero_grad();
+    outer_.zero_grad();
+  }
   [[nodiscard]] std::string type() const override { return "residual_dense"; }
   [[nodiscard]] std::vector<size_t> output_shape(
       const std::vector<size_t>& input_shape) const override;
@@ -39,9 +45,9 @@ class ResidualDense final : public Layer {
 
  private:
   size_t width_, hidden_;
-  Dense inner_;         // width -> hidden
-  Dense outer_;         // hidden -> width
-  Tensor hidden_cache_;  // pre-activation of the inner layer
+  Dense inner_;  // width -> hidden
+  Dense outer_;  // hidden -> width; the pre-activation cache and the skip
+                 // input copy live in the context
 };
 
 }  // namespace dlpic::nn

@@ -22,18 +22,26 @@ Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
   return *this;
 }
 
-Tensor Sequential::forward(const Tensor& input, bool training) {
+Tensor& Sequential::forward(ExecutionContext& ctx, const Tensor& input, bool training) {
   if (layers_.empty()) throw std::runtime_error("Sequential::forward: empty model");
-  Tensor x = input;
-  for (auto& l : layers_) x = l->forward(x, training);
-  return x;
+  const Tensor* x = &input;
+  Tensor* out = nullptr;
+  for (auto& l : layers_) {
+    out = &l->forward(ctx, *x, training);
+    x = out;
+  }
+  return *out;
 }
 
-Tensor Sequential::backward(const Tensor& grad_output) {
+Tensor& Sequential::backward(ExecutionContext& ctx, const Tensor& grad_output) {
   if (layers_.empty()) throw std::runtime_error("Sequential::backward: empty model");
-  Tensor g = grad_output;
-  for (size_t i = layers_.size(); i-- > 0;) g = layers_[i]->backward(g);
-  return g;
+  const Tensor* g = &grad_output;
+  Tensor* out = nullptr;
+  for (size_t i = layers_.size(); i-- > 0;) {
+    out = &layers_[i]->backward(ctx, *g);
+    g = out;
+  }
+  return *out;
 }
 
 std::vector<Param> Sequential::params() {

@@ -29,13 +29,26 @@ class Sequential {
   [[nodiscard]] Layer& layer(size_t i) { return *layers_.at(i); }
   [[nodiscard]] const Layer& layer(size_t i) const { return *layers_.at(i); }
 
-  /// Forward pass through all layers.
-  Tensor forward(const Tensor& input, bool training = false);
+  /// Forward pass through all layers; returns a reference into the last
+  /// layer's workspace slot (valid until that layer runs again on `ctx`).
+  Tensor& forward(ExecutionContext& ctx, const Tensor& input, bool training = false);
 
-  /// Backward pass (call after forward with training = true).
-  Tensor backward(const Tensor& grad_output);
+  /// Backward pass (call after forward with training = true, same context).
+  Tensor& backward(ExecutionContext& ctx, const Tensor& grad_output);
 
-  /// Convenience inference call.
+  /// Context-free conveniences: run on the thread-local default context and
+  /// copy the result out.
+  Tensor forward(const Tensor& input, bool training = false) {
+    return forward(ExecutionContext::thread_default(), input, training);
+  }
+  Tensor backward(const Tensor& grad_output) {
+    return backward(ExecutionContext::thread_default(), grad_output);
+  }
+
+  /// Convenience inference calls.
+  Tensor& predict(ExecutionContext& ctx, const Tensor& input) {
+    return forward(ctx, input, /*training=*/false);
+  }
   Tensor predict(const Tensor& input) { return forward(input, /*training=*/false); }
 
   /// All learnable parameters, with names "layer<i>.<param>".

@@ -48,6 +48,21 @@ void Tensor::reshape(std::vector<size_t> new_shape) {
   shape_ = std::move(new_shape);
 }
 
+void Tensor::resize(const size_t* dims, size_t rank) {
+  if (shape_is(dims, rank)) return;
+  size_t vol = rank == 0 ? 0 : 1;
+  for (size_t i = 0; i < rank; ++i) vol *= dims[i];
+  shape_.assign(dims, dims + rank);
+  data_.resize(vol);
+}
+
+bool Tensor::shape_is(const size_t* dims, size_t rank) const {
+  if (shape_.size() != rank) return false;
+  for (size_t i = 0; i < rank; ++i)
+    if (shape_[i] != dims[i]) return false;
+  return true;
+}
+
 void Tensor::fill(double value) { std::fill(data_.begin(), data_.end(), value); }
 
 std::string Tensor::shape_string() const {

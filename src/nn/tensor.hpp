@@ -53,6 +53,16 @@ class Tensor {
   /// Reinterprets the shape without touching data (volume must match).
   void reshape(std::vector<size_t> new_shape);
 
+  /// Resizes to a (possibly different-volume) shape, preserving existing
+  /// leading elements. Backing storage only grows — shrinking keeps the
+  /// capacity — so repeatedly resizing a reused buffer to the same shape
+  /// performs no heap allocation (the workspace-tensor contract).
+  void resize(const size_t* dims, size_t rank);
+  void resize(std::initializer_list<size_t> dims) { resize(dims.begin(), dims.size()); }
+
+  /// True when the shape equals the given dims (no temporary vector).
+  [[nodiscard]] bool shape_is(const size_t* dims, size_t rank) const;
+
   /// Sets every element to `value`.
   void fill(double value);
 

@@ -16,14 +16,21 @@ Trainer::Trainer(TrainConfig config) : config_(config) {
 
 std::vector<EpochStats> Trainer::fit(Sequential& model, Optimizer& optimizer,
                                      const Dataset& train, const Dataset* val,
-                                     const EpochCallback& on_epoch) {
+                                     const EpochCallback& on_epoch, ExecutionContext* ctx) {
   if (train.size() == 0) throw std::invalid_argument("Trainer::fit: empty training set");
+
+  ExecutionContext local_ctx;
+  ExecutionContext& ec = ctx != nullptr ? *ctx : local_ctx;
 
   math::Rng shuffle_rng(config_.shuffle_seed);
   DataLoader loader(train, config_.batch_size, shuffle_rng, /*shuffle=*/true);
   MSELoss loss;
   std::vector<EpochStats> history;
   history.reserve(config_.epochs);
+
+  // Parameter list cached once: layers are stable for the whole fit, and
+  // rebuilding the (name-carrying) list per batch would allocate.
+  auto params = model.params();
 
   double best_val = 1e300;
   size_t bad_epochs = 0;
@@ -35,18 +42,18 @@ std::vector<EpochStats> Trainer::fit(Sequential& model, Optimizer& optimizer,
     size_t batches = 0;
     Tensor x, y;
     while (loader.next(x, y)) {
-      Tensor pred = model.forward(x, /*training=*/true);
+      const Tensor& pred = model.forward(ec, x, /*training=*/true);
       loss_sum += loss.forward(pred, y);
-      model.zero_grad();
-      model.backward(loss.backward());
-      optimizer.step(model.params());
+      for (auto& p : params) p.grad->zero();
+      model.backward(ec, loss.backward());
+      optimizer.step(params);
       ++batches;
     }
 
     EpochStats stats;
     stats.epoch = epoch;
     stats.train_loss = batches > 0 ? loss_sum / static_cast<double>(batches) : 0.0;
-    if (val != nullptr && val->size() > 0) stats.validation = evaluate(model, *val);
+    if (val != nullptr && val->size() > 0) stats.validation = evaluate(model, *val, 256, &ec);
     stats.seconds = timer.seconds();
     history.push_back(stats);
 
@@ -70,19 +77,21 @@ std::vector<EpochStats> Trainer::fit(Sequential& model, Optimizer& optimizer,
   return history;
 }
 
-Metrics Trainer::evaluate(Sequential& model, const Dataset& data, size_t batch_size) {
+Metrics Trainer::evaluate(Sequential& model, const Dataset& data, size_t batch_size,
+                          ExecutionContext* ctx) {
   if (data.size() == 0) throw std::invalid_argument("Trainer::evaluate: empty dataset");
+  ExecutionContext local_ctx;
+  ExecutionContext& ec = ctx != nullptr ? *ctx : local_ctx;
   Metrics m;
   m.samples = data.size();
   double se_sum = 0.0, ae_sum = 0.0;
   size_t elements = 0;
 
-  for (size_t start = 0; start < data.size(); start += batch_size) {
-    const size_t take = std::min(batch_size, data.size() - start);
-    std::vector<size_t> idx(take);
-    for (size_t i = 0; i < take; ++i) idx[i] = start + i;
-    auto [x, y] = data.gather(idx);
-    Tensor pred = model.predict(x);
+  math::Rng unused_rng(0);
+  DataLoader loader(data, batch_size, unused_rng, /*shuffle=*/false);
+  Tensor x, y;
+  while (loader.next(x, y)) {
+    const Tensor& pred = model.predict(ec, x);
     if (!pred.same_shape(y))
       throw std::runtime_error("Trainer::evaluate: model output shape " +
                                pred.shape_string() + " != target " + y.shape_string());

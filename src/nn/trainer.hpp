@@ -49,13 +49,19 @@ class Trainer {
   using EpochCallback = std::function<void(const EpochStats&)>;
 
   /// Trains `model` on `train` with `optimizer`; evaluates on `val` after
-  /// each epoch when provided. Returns per-epoch statistics.
+  /// each epoch when provided. Returns per-epoch statistics. All batches
+  /// run through `ctx` (the caller's reusable workspace + worker policy);
+  /// when null a trainer-local context is used. The steady-state epoch
+  /// loop performs no heap allocation, and results are bitwise identical
+  /// for any worker count.
   std::vector<EpochStats> fit(Sequential& model, Optimizer& optimizer, const Dataset& train,
                               const Dataset* val = nullptr,
-                              const EpochCallback& on_epoch = nullptr);
+                              const EpochCallback& on_epoch = nullptr,
+                              ExecutionContext* ctx = nullptr);
 
   /// Computes MSE/MAE/max-error of `model` on `data` (batched inference).
-  static Metrics evaluate(Sequential& model, const Dataset& data, size_t batch_size = 256);
+  static Metrics evaluate(Sequential& model, const Dataset& data, size_t batch_size = 256,
+                          ExecutionContext* ctx = nullptr);
 
   [[nodiscard]] const TrainConfig& config() const { return config_; }
 

@@ -18,6 +18,9 @@ namespace {
 constexpr size_t kUnset = static_cast<size_t>(-1);
 std::atomic<size_t> g_max_workers{kUnset};
 
+thread_local size_t t_serial_depth = 0;
+thread_local size_t t_thread_cap = 0;
+
 size_t hardware_workers() {
 #ifdef DLPIC_HAVE_OPENMP
   return static_cast<size_t>(omp_get_max_threads());
@@ -39,7 +42,25 @@ size_t max_workers() {
 
 void set_max_workers(size_t n) { g_max_workers.store(n, std::memory_order_relaxed); }
 
+bool in_serial_scope() { return t_serial_depth > 0; }
+
+ScopedSerialExecution::ScopedSerialExecution() { ++t_serial_depth; }
+ScopedSerialExecution::~ScopedSerialExecution() { --t_serial_depth; }
+
+ScopedWorkerCap::ScopedWorkerCap(size_t n) : previous_(t_thread_cap) {
+  if (n > 0) t_thread_cap = n;
+}
+ScopedWorkerCap::~ScopedWorkerCap() { t_thread_cap = previous_; }
+
 size_t parallel_workers() {
+  // A serial pin — explicit (ScopedSerialExecution) or implicit (already on
+  // a pool worker, where run_chunks would fall back to serial anyway) —
+  // reports width 1 so scratch-buffer sizing via worker_partition_count()
+  // matches how the chunks actually execute.
+  if (t_serial_depth > 0 || ThreadPool::on_worker_thread()) return 1;
+  // The calling thread's scoped cap (ExecutionContext worker policy) wins
+  // over the process-global setting.
+  if (t_thread_cap > 0) return t_thread_cap;
   const size_t cap = max_workers();
   return cap > 0 ? cap : hardware_workers();
 }

@@ -35,6 +35,40 @@ void set_max_workers(size_t n);
 /// The currently configured cap (0 = automatic).
 size_t max_workers();
 
+/// True when the calling thread is inside a ScopedSerialExecution region.
+bool in_serial_scope();
+
+/// RAII thread-local width override: parallel loops issued by the calling
+/// thread partition at most `n` wide for the scope's lifetime (0 = no-op,
+/// keeps the current width). Unlike ScopedMaxWorkers this touches no
+/// process-global state, so concurrent threads can hold different caps —
+/// the mechanism behind per-ExecutionContext worker policy. Nestable.
+class ScopedWorkerCap {
+ public:
+  explicit ScopedWorkerCap(size_t n);
+  ~ScopedWorkerCap();
+  ScopedWorkerCap(const ScopedWorkerCap&) = delete;
+  ScopedWorkerCap& operator=(const ScopedWorkerCap&) = delete;
+
+ private:
+  size_t previous_;
+};
+
+/// RAII thread-local serial pin: parallel loops issued by the calling thread
+/// run serially (parallel_workers() reports 1) for the scope's lifetime.
+/// Unlike ScopedMaxWorkers this touches no process-global state, so it is
+/// safe to apply concurrently from many threads — the mechanism behind
+/// "one serial inner context per dataset-generator run": independent PIC
+/// simulations fan out across the pool while each run's inner loops stay
+/// serial and bitwise reproducible for any outer worker count. Nestable.
+class ScopedSerialExecution {
+ public:
+  ScopedSerialExecution();
+  ~ScopedSerialExecution();
+  ScopedSerialExecution(const ScopedSerialExecution&) = delete;
+  ScopedSerialExecution& operator=(const ScopedSerialExecution&) = delete;
+};
+
 /// RAII worker-cap override: applies `n` for the scope's lifetime and
 /// restores the previous cap on destruction. n == 0 is a no-op (keeps the
 /// current setting), which lets callers plumb "0 = inherit" knobs through

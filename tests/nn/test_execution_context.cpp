@@ -1,0 +1,213 @@
+/// \file test_execution_context.cpp
+/// ExecutionContext/Workspace semantics: buffer reuse and pointer
+/// stability, gradient checks of conv2d/dense/maxpool2d through the
+/// workspace path at several worker widths, and the zero-steady-state-
+/// allocation guarantee of the training hot loop (verified by counting
+/// global operator new calls).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "math/rng.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/execution_context.hpp"
+#include "nn/gradcheck.hpp"
+#include "nn/loss.hpp"
+#include "nn/maxpool2d.hpp"
+#include "nn/model_zoo.hpp"
+#include "nn/optimizer.hpp"
+#include "util/parallel.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter. Counting (not size-tracking) is enough: the
+// steady-state assertion is "no calls at all".
+static std::atomic<size_t> g_alloc_count{0};
+
+void* operator new(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using namespace dlpic;
+using namespace dlpic::nn;
+
+Tensor random_tensor(std::vector<size_t> shape, uint64_t seed) {
+  math::Rng rng(seed);
+  Tensor t(std::move(shape));
+  for (size_t i = 0; i < t.size(); ++i) t[i] = rng.uniform(-1, 1);
+  return t;
+}
+
+TEST(Workspace, SlotReuseIsStableAndGrowOnly) {
+  Workspace ws;
+  int owner_a = 0, owner_b = 0;
+  Tensor& t1 = ws.tensor(&owner_a, 0, {4, 8});
+  t1.fill(3.0);
+  const double* p1 = t1.data();
+
+  // Same key, same shape -> same storage, contents preserved.
+  Tensor& t2 = ws.tensor(&owner_a, 0, {4, 8});
+  EXPECT_EQ(&t1, &t2);
+  EXPECT_EQ(p1, t2.data());
+  EXPECT_DOUBLE_EQ(t2[0], 3.0);
+
+  // Different slot / owner -> different storage.
+  Tensor& t3 = ws.tensor(&owner_a, 1, {4, 8});
+  Tensor& t4 = ws.tensor(&owner_b, 0, {4, 8});
+  EXPECT_NE(&t1, &t3);
+  EXPECT_NE(&t1, &t4);
+
+  // Shrinking keeps capacity: growing back to the original shape must not
+  // move the buffer.
+  ws.tensor(&owner_a, 0, {2, 8});
+  Tensor& t5 = ws.tensor(&owner_a, 0, {4, 8});
+  EXPECT_EQ(p1, t5.data());
+
+  EXPECT_GT(ws.bytes(), 0u);
+  ws.clear();
+  EXPECT_EQ(ws.bytes(), 0u);
+}
+
+TEST(Workspace, PeekDoesNotReshape) {
+  Workspace ws;
+  int owner = 0;
+  ws.tensor(&owner, 0, {3, 5}).fill(1.5);
+  Tensor& t = ws.peek(&owner, 0);
+  EXPECT_EQ(t.shape(), (std::vector<size_t>{3, 5}));
+  EXPECT_DOUBLE_EQ(t[0], 1.5);
+}
+
+TEST(ExecutionContext, LayerOutputsLiveInTheContext) {
+  math::Rng rng(41);
+  Dense layer(6, 3, rng);
+  ExecutionContext ctx_a, ctx_b;
+  auto x = random_tensor({2, 6}, 7);
+  Tensor& ya = layer.forward(ctx_a, x, false);
+  Tensor& yb = layer.forward(ctx_b, x, false);
+  EXPECT_NE(&ya, &yb);  // one activation set per context
+  for (size_t i = 0; i < ya.size(); ++i) EXPECT_DOUBLE_EQ(ya[i], yb[i]);
+}
+
+// Gradcheck through the workspace path at several worker widths. The width
+// only changes the dispatch, never the result, so tight tolerances hold.
+class GradcheckWidth : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GradcheckWidth, DenseThroughWorkspace) {
+  util::ScopedMaxWorkers cap(GetParam());
+  ExecutionContext ctx;
+  MlpSpec spec;
+  spec.input_dim = 6;
+  spec.output_dim = 3;
+  spec.hidden = 5;
+  spec.depth = 2;
+  Sequential model = build_mlp(spec);
+  auto x = random_tensor({3, 6}, 11);
+  auto y = random_tensor({3, 3}, 12);
+  auto result = check_gradients(model, x, y, 1e-5, 1e-5, 1e-7, &ctx);
+  EXPECT_TRUE(result.ok) << "param err " << result.max_param_rel_error << ", input err "
+                         << result.max_input_rel_error;
+}
+
+TEST_P(GradcheckWidth, ConvMaxPoolThroughWorkspace) {
+  util::ScopedMaxWorkers cap(GetParam());
+  ExecutionContext ctx;
+  CnnSpec spec;
+  spec.input_h = 8;
+  spec.input_w = 8;
+  spec.output_dim = 4;
+  spec.channels1 = 2;
+  spec.channels2 = 3;
+  spec.hidden = 6;
+  Sequential model = build_cnn(spec);
+  auto x = random_tensor({2, 64}, 13);
+  auto y = random_tensor({2, 4}, 14);
+  auto result = check_gradients(model, x, y, 1e-5, 2e-5, 1e-7, &ctx);
+  EXPECT_TRUE(result.ok) << "param err " << result.max_param_rel_error << ", input err "
+                         << result.max_input_rel_error;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, GradcheckWidth, ::testing::Values(1, 4));
+
+// The acceptance criterion of the workspace refactor: after warmup, a
+// training step (forward + loss + backward + optimizer) performs ZERO heap
+// allocations. Serial width keeps the thread pool out of the measurement —
+// pool task dispatch is outside the workspace contract.
+TEST(ZeroAllocation, DenseAndConvStepSteadyState) {
+  util::ScopedMaxWorkers cap(1);
+  math::Rng rng(42);
+  Dense dense(32, 16, rng);
+  Conv2DConfig ccfg;
+  ccfg.in_channels = 2;
+  ccfg.out_channels = 3;
+  Conv2D conv(ccfg, rng);
+  ExecutionContext ctx;
+  auto xd = random_tensor({8, 32}, 21);
+  auto gd = random_tensor({8, 16}, 22);
+  auto xc = random_tensor({4, 2, 8, 8}, 23);
+  auto gc = random_tensor({4, 3, 8, 8}, 24);
+
+  auto step = [&] {
+    dense.zero_grad();
+    Tensor& yd = dense.forward(ctx, xd, true);
+    (void)yd;
+    dense.backward(ctx, gd);
+    conv.zero_grad();
+    Tensor& yc = conv.forward(ctx, xc, true);
+    (void)yc;
+    conv.backward(ctx, gc);
+  };
+  for (int i = 0; i < 3; ++i) step();  // warm the workspace + GEMM buffers
+
+  const size_t before = g_alloc_count.load();
+  for (int i = 0; i < 10; ++i) step();
+  const size_t after = g_alloc_count.load();
+  EXPECT_EQ(after - before, 0u) << "steady-state layer steps allocated";
+}
+
+TEST(ZeroAllocation, FullTrainingStepSteadyState) {
+  util::ScopedMaxWorkers cap(1);
+  MlpSpec spec;
+  spec.input_dim = 24;
+  spec.output_dim = 6;
+  spec.hidden = 16;
+  Sequential model = build_mlp(spec);
+  ExecutionContext ctx;
+  MSELoss loss;
+  Adam adam(1e-3);
+  auto params = model.params();
+  auto x = random_tensor({16, 24}, 31);
+  auto y = random_tensor({16, 6}, 32);
+
+  auto step = [&] {
+    const Tensor& pred = model.forward(ctx, x, true);
+    loss.forward(pred, y);
+    for (auto& p : params) p.grad->zero();
+    model.backward(ctx, loss.backward());
+    adam.step(params);
+  };
+  for (int i = 0; i < 3; ++i) step();
+
+  const size_t before = g_alloc_count.load();
+  for (int i = 0; i < 20; ++i) step();
+  const size_t after = g_alloc_count.load();
+  EXPECT_EQ(after - before, 0u) << "steady-state training steps allocated";
+}
+
+}  // namespace
