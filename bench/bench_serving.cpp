@@ -1,0 +1,148 @@
+/// \file bench_serving.cpp
+/// Serving-path benchmarks: batched inference throughput (requests/sec) and
+/// client-observed latency (p50/p99) versus client count and max_batch,
+/// against the single-request serial baseline. Args are {clients, max_batch,
+/// worker_threads}; every run also reports mean_batch (the amortization the
+/// dynamic batcher achieved). Results land in BENCH_serving.json with the
+/// usual SHA/build metadata — compare items_per_second of
+/// bench_serve_batched/* against bench_serve_serial_single across commits.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "math/rng.hpp"
+#include "nn/execution_context.hpp"
+#include "nn/model_zoo.hpp"
+#include "nn/sequential.hpp"
+#include "serve/inference_server.hpp"
+
+namespace {
+
+using namespace dlpic;
+
+// Field-solver-shaped model: 32x32 phase-space histogram in, 64 grid cells
+// out. Small enough to iterate quickly, large enough that GEMM dominates.
+constexpr size_t kInputDim = 32 * 32;
+constexpr size_t kOutputDim = 64;
+constexpr size_t kRequestsPerClient = 32;
+
+nn::Sequential serving_model() {
+  nn::MlpSpec spec;
+  spec.input_dim = kInputDim;
+  spec.output_dim = kOutputDim;
+  spec.hidden = 256;
+  spec.depth = 3;
+  spec.seed = 2027;
+  return nn::build_mlp(spec);
+}
+
+std::vector<double> random_sample(uint64_t seed) {
+  math::Rng rng(seed);
+  std::vector<double> s(kInputDim);
+  for (auto& v : s) v = rng.uniform(0.0, 1.0);
+  return s;
+}
+
+double percentile(std::vector<double>& sorted_ascending, double p) {
+  if (sorted_ascending.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(p * static_cast<double>(sorted_ascending.size() - 1));
+  return sorted_ascending[idx];
+}
+
+/// Baseline: one client, no queue, one sample per forward pass on a fully
+/// serial context — the pre-serving deployment shape.
+void bench_serve_serial_single(benchmark::State& state) {
+  auto model = serving_model();
+  nn::ExecutionContext ctx(/*worker_cap=*/1);
+  const auto sample = random_sample(1);
+  nn::Tensor x({1, kInputDim});
+  std::copy(sample.begin(), sample.end(), x.data());
+  for (auto _ : state) {
+    const nn::Tensor& y = model.predict(ctx, x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["requests_per_s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+
+/// Batched serving: `clients` producer threads submit kRequestsPerClient
+/// requests each per iteration and wait for every future; client-observed
+/// latencies aggregate into p50/p99 counters.
+void bench_serve_batched(benchmark::State& state) {
+  const size_t clients = static_cast<size_t>(state.range(0));
+  const size_t max_batch = static_cast<size_t>(state.range(1));
+  const size_t worker_threads = static_cast<size_t>(state.range(2));
+
+  auto model = serving_model();
+  serve::ServerConfig cfg;
+  cfg.max_batch = max_batch;
+  cfg.max_wait_us = 200;
+  cfg.worker_threads = worker_threads;
+  // One parallel worker context; several contexts pinned serial.
+  cfg.context_worker_cap = worker_threads > 1 ? 1 : 0;
+  serve::InferenceServer server(model, kInputDim, cfg);
+
+  std::mutex latency_mutex;
+  std::vector<double> latencies_us;
+
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        const auto sample = random_sample(c + 1);
+        std::vector<double> local_us;
+        local_us.reserve(kRequestsPerClient);
+        for (size_t i = 0; i < kRequestsPerClient; ++i) {
+          const auto t0 = std::chrono::steady_clock::now();
+          auto future = server.submit(sample);
+          auto result = future.get();
+          const auto dt = std::chrono::steady_clock::now() - t0;
+          benchmark::DoNotOptimize(result.data());
+          local_us.push_back(
+              std::chrono::duration<double, std::micro>(dt).count());
+        }
+        std::lock_guard<std::mutex> lock(latency_mutex);
+        latencies_us.insert(latencies_us.end(), local_us.begin(), local_us.end());
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  const auto stats = server.stats();
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const double total_requests =
+      static_cast<double>(state.iterations() * clients * kRequestsPerClient);
+  state.SetItemsProcessed(static_cast<int64_t>(total_requests));
+  state.counters["requests_per_s"] = benchmark::Counter(total_requests, benchmark::Counter::kIsRate);
+  state.counters["p50_us"] = percentile(latencies_us, 0.50);
+  state.counters["p99_us"] = percentile(latencies_us, 0.99);
+  state.counters["mean_batch"] = stats.mean_batch();
+  state.counters["max_batch_observed"] = static_cast<double>(stats.max_batch_observed);
+}
+
+}  // namespace
+
+BENCHMARK(bench_serve_serial_single)->Unit(benchmark::kMicrosecond);
+
+// {clients, max_batch, worker_threads}: the batching sweep (1 worker,
+// parallel kernels) and the thread-scaling sweep (serial contexts).
+BENCHMARK(bench_serve_batched)
+    ->Args({1, 1, 1})    // no batching, one client: queue overhead reference
+    ->Args({4, 1, 1})    // concurrency without batching
+    ->Args({4, 8, 1})    // dynamic batching kicks in
+    ->Args({8, 8, 1})
+    ->Args({8, 32, 1})
+    ->Args({8, 8, 2})    // two serial-context workers
+    ->Args({16, 32, 2})
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+DLPIC_BENCHMARK_MAIN("serving");

@@ -28,8 +28,47 @@ DlFieldSolver::DlFieldSolver(nn::Sequential model, data::MinMaxNormalizer normal
   (void)model_.output_shape({1, input_dim});  // throws when incompatible
 }
 
+DlFieldSolver::DlFieldSolver(DlFieldSolver&& other) noexcept
+    // A running server references other's members, so it must be drained
+    // and destroyed before any member is moved from (hence the comma
+    // expression in the first initializer); it cannot be transferred.
+    : model_((other.stop_serving(), std::move(other.model_))),
+      normalizer_(other.normalizer_),
+      binner_(std::move(other.binner_)),
+      ctx_(std::move(other.ctx_)) {}
+
+DlFieldSolver& DlFieldSolver::operator=(DlFieldSolver&& other) noexcept {
+  if (this == &other) return *this;
+  stop_serving();
+  other.stop_serving();
+  model_ = std::move(other.model_);
+  normalizer_ = other.normalizer_;
+  binner_ = std::move(other.binner_);
+  ctx_ = std::move(other.ctx_);
+  return *this;
+}
+
 std::vector<double> DlFieldSolver::solve(const pic::Species& electrons) {
   return solve_histogram(binner_.bin(electrons));
+}
+
+serve::InferenceServer& DlFieldSolver::start_serving(const serve::ServerConfig& config) {
+  stop_serving();
+  server_ = std::make_unique<serve::InferenceServer>(model_, binner_.size(), config,
+                                                     &normalizer_);
+  return *server_;
+}
+
+void DlFieldSolver::stop_serving() { server_.reset(); }
+
+std::future<std::vector<double>> DlFieldSolver::solve_async(std::vector<double> histogram) {
+  if (!server_)
+    throw std::runtime_error("DlFieldSolver::solve_async: call start_serving() first");
+  return server_->submit(std::move(histogram));
+}
+
+std::future<std::vector<double>> DlFieldSolver::solve_async(const pic::Species& electrons) {
+  return solve_async(binner_.bin(electrons));
 }
 
 std::vector<double> DlFieldSolver::solve_histogram(const std::vector<double>& histogram) {

@@ -5,12 +5,15 @@
 /// network inference to produce the electric field on the grid — replacing
 /// charge deposition + Poisson solve + gradient of the traditional method.
 
+#include <future>
+#include <memory>
 #include <string>
 
 #include "data/normalizer.hpp"
 #include "nn/sequential.hpp"
 #include "phase_space/binner.hpp"
 #include "pic/species.hpp"
+#include "serve/inference_server.hpp"
 
 namespace dlpic::core {
 
@@ -22,6 +25,15 @@ class DlFieldSolver {
   /// the same histogram distribution the model was trained with.
   DlFieldSolver(nn::Sequential model, data::MinMaxNormalizer normalizer,
                 phase_space::BinnerConfig binner_config);
+
+  /// Moving a solver stops any serving session first (the server holds
+  /// references into the moved-from object); restart serving on the
+  /// destination if needed.
+  DlFieldSolver(DlFieldSolver&& other) noexcept;
+  DlFieldSolver& operator=(DlFieldSolver&& other) noexcept;
+  DlFieldSolver(const DlFieldSolver&) = delete;
+  DlFieldSolver& operator=(const DlFieldSolver&) = delete;
+  ~DlFieldSolver() = default;
 
   /// Predicts E on the grid from the particle phase space.
   /// The output size equals the model's output dimension (grid cells).
@@ -35,6 +47,32 @@ class DlFieldSolver {
 
   /// The solver's reusable inference context.
   [[nodiscard]] nn::ExecutionContext& context() { return ctx_; }
+
+  /// Starts (or restarts with a new config) the serving-backed mode: a
+  /// serve::InferenceServer over this solver's model and normalizer that
+  /// coalesces concurrent solve_async() calls into batched forward passes.
+  /// Returns the running server (also reachable via server()). The solver
+  /// must outlive the serving session and must not be moved while serving.
+  serve::InferenceServer& start_serving(const serve::ServerConfig& config = {});
+
+  /// Drains in-flight requests and stops the serving backend. No-op when
+  /// not serving.
+  void stop_serving();
+
+  /// True while the serving backend is up.
+  [[nodiscard]] bool serving() const { return server_ != nullptr; }
+
+  /// The running serving backend, or nullptr when not serving.
+  [[nodiscard]] serve::InferenceServer* server() { return server_.get(); }
+
+  /// Asynchronous solve_histogram() through the serving backend: submits
+  /// the raw (unnormalized) histogram and resolves to the predicted E.
+  /// Results are bitwise identical to the synchronous path. Throws
+  /// std::runtime_error when serving has not been started.
+  std::future<std::vector<double>> solve_async(std::vector<double> histogram);
+
+  /// Asynchronous solve(): bins the phase space, then submits it.
+  std::future<std::vector<double>> solve_async(const pic::Species& electrons);
 
   [[nodiscard]] const phase_space::BinnerConfig& binner_config() const {
     return binner_.config();
@@ -53,6 +91,7 @@ class DlFieldSolver {
   data::MinMaxNormalizer normalizer_;
   phase_space::PhaseSpaceBinner binner_;
   nn::ExecutionContext ctx_;
+  std::unique_ptr<serve::InferenceServer> server_;  // non-null while serving
 };
 
 }  // namespace dlpic::core

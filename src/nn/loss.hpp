@@ -2,7 +2,8 @@
 /// \file loss.hpp
 /// Training loss and evaluation metrics. The networks are trained on MSE;
 /// the paper reports MAE (Eq. 6) and maximum error (Table I), provided here
-/// as metrics.
+/// as metrics. All reductions run through util::ordered_block_sum/max, so
+/// loss and metric values are bitwise identical for every worker count.
 
 #include "nn/tensor.hpp"
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 
 namespace dlpic::nn {
 
@@ -71,6 +72,28 @@ std::string Tensor::shape_string() const {
   for (size_t i = 0; i < shape_.size(); ++i) os << (i ? ", " : "") << shape_[i];
   os << "]";
   return os.str();
+}
+
+void set_row(Tensor& batch, size_t row, const double* src, size_t n) {
+  if (batch.rank() != 2)
+    throw std::invalid_argument("set_row: expected a rank-2 batch tensor, got " +
+                                batch.shape_string());
+  if (row >= batch.dim(0)) throw std::out_of_range("set_row: row out of range");
+  if (n != batch.dim(1))
+    throw std::invalid_argument("set_row: sample width " + std::to_string(n) +
+                                " != batch row width " + std::to_string(batch.dim(1)));
+  std::copy(src, src + n, batch.data() + row * n);
+}
+
+void get_row(const Tensor& batch, size_t row, std::vector<double>& dst) {
+  if (batch.rank() != 2)
+    throw std::invalid_argument("get_row: expected a rank-2 batch tensor, got " +
+                                batch.shape_string());
+  if (row >= batch.dim(0)) throw std::out_of_range("get_row: row out of range");
+  const size_t width = batch.dim(1);
+  dst.resize(width);
+  const double* src = batch.data() + row * width;
+  std::copy(src, src + width, dst.begin());
 }
 
 void add_inplace(Tensor& a, const Tensor& b) {

@@ -83,6 +83,15 @@ class Tensor {
   std::vector<double> data_;
 };
 
+/// Copies an `n`-element sample into row `row` of a rank-2 batch tensor
+/// (`n` must equal `batch.dim(1)`; bounds-checked). Batch-assembly helper
+/// used by the serving batcher to gather queued samples into one tensor.
+void set_row(Tensor& batch, size_t row, const double* src, size_t n);
+
+/// Copies row `row` of a rank-2 batch tensor into `dst` (resized to the row
+/// width). The inverse of set_row; scatters batched results back out.
+void get_row(const Tensor& batch, size_t row, std::vector<double>& dst);
+
 /// Elementwise a += b (same shape required).
 void add_inplace(Tensor& a, const Tensor& b);
 

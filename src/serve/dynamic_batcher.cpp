@@ -1,0 +1,98 @@
+#include "serve/dynamic_batcher.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace dlpic::serve {
+
+namespace {
+// Workspace slot of the assembled batch input tensor.
+constexpr int kSlotBatchInput = 0;
+}  // namespace
+
+DynamicBatcher::DynamicBatcher(nn::Sequential& model, nn::ExecutionContext& context,
+                               size_t input_dim, BatcherConfig config,
+                               const data::MinMaxNormalizer* normalizer)
+    : model_(model),
+      ctx_(context),
+      input_dim_(input_dim),
+      config_(config),
+      normalizer_(normalizer) {
+  if (config_.max_batch == 0)
+    throw std::invalid_argument("DynamicBatcher: max_batch must be >= 1");
+  if (input_dim_ == 0) throw std::invalid_argument("DynamicBatcher: input_dim must be >= 1");
+}
+
+size_t DynamicBatcher::serve_once(RequestQueue& queue) {
+  const size_t n = queue.pop_batch(batch_, config_.max_batch,
+                                   std::chrono::microseconds(config_.max_wait_us));
+  if (n == 0) return 0;
+
+  // Count the popped requests before fulfilling (or rejecting) any promise
+  // so a client that has just observed its future resolve also sees its
+  // request in the stats.
+  requests_.fetch_add(n, std::memory_order_relaxed);
+  size_t prev = max_batch_observed_.load(std::memory_order_relaxed);
+  while (n > prev &&
+         !max_batch_observed_.compare_exchange_weak(prev, n, std::memory_order_relaxed)) {
+  }
+
+  // Fail malformed requests individually so one bad sample cannot poison the
+  // rest of the batch (submit() validates, but the queue is a public API).
+  size_t keep = 0;
+  for (size_t i = 0; i < batch_.size(); ++i) {
+    if (batch_[i].input.size() != input_dim_) {
+      batch_[i].result.set_exception(std::make_exception_ptr(std::invalid_argument(
+          "DynamicBatcher: request input size " + std::to_string(batch_[i].input.size()) +
+          " != model input dim " + std::to_string(input_dim_))));
+    } else {
+      if (keep != i) batch_[keep] = std::move(batch_[i]);
+      ++keep;
+    }
+  }
+  batch_.resize(keep);
+
+  // batches_ counts forward passes, so a batch emptied by validation does
+  // not count.
+  if (!batch_.empty()) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    run_batch();
+  }
+  batch_.clear();
+  return n;
+}
+
+void DynamicBatcher::run_batch() {
+  const size_t b = batch_.size();
+  try {
+    // Assemble [batch, input_dim] in the workspace: steady-state
+    // reacquisition at the same shape is allocation-free.
+    nn::Tensor& x = ctx_.workspace().tensor(this, kSlotBatchInput, {b, input_dim_});
+    for (size_t i = 0; i < b; ++i) nn::set_row(x, i, batch_[i].input.data(), input_dim_);
+    if (normalizer_) normalizer_->apply(x.data(), x.size());
+
+    const nn::Tensor& y = model_.predict(ctx_, x);
+    if (y.rank() != 2 || y.dim(0) != b)
+      throw std::runtime_error("DynamicBatcher: expected [batch, out] model output, got " +
+                               y.shape_string());
+    std::vector<double> row;
+    for (size_t i = 0; i < b; ++i) {
+      nn::get_row(y, i, row);
+      batch_[i].result.set_value(std::move(row));
+    }
+  } catch (...) {
+    // Deliver the failure to every request of the batch that has not been
+    // answered yet (set_value may have run for a prefix of the rows).
+    const auto error = std::current_exception();
+    for (auto& request : batch_) {
+      try {
+        request.result.set_exception(error);
+      } catch (const std::future_error&) {
+        // Already satisfied — keep the delivered value.
+      }
+    }
+  }
+}
+
+}  // namespace dlpic::serve

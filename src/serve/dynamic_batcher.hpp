@@ -1,0 +1,87 @@
+#pragma once
+/// \file dynamic_batcher.hpp
+/// Coalesces queued single-sample requests into one batch tensor, runs a
+/// single batched forward pass on an ExecutionContext, and scatters the
+/// output rows back to the requests' futures.
+///
+/// Determinism contract: every layer kernel computes each output row with an
+/// accumulation order independent of the batch dimension (GEMM tiles own
+/// their k-order; conv fans out per image), so a sample served in a batch of
+/// N is bitwise identical to the same sample served alone — batching is a
+/// pure throughput optimization, never a numerics change
+/// (tests/serve/test_serving.cpp enforces this).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "data/normalizer.hpp"
+#include "nn/execution_context.hpp"
+#include "nn/sequential.hpp"
+#include "serve/request_queue.hpp"
+
+namespace dlpic::serve {
+
+/// Batch-formation policy shared by DynamicBatcher and InferenceServer.
+struct BatcherConfig {
+  /// Largest batch one forward pass may carry (also the batch-tensor row
+  /// count the workspace steady-states at). Must be >= 1.
+  size_t max_batch = 16;
+  /// How long to hold an open batch waiting for more requests before
+  /// flushing it partially filled, in microseconds. 0 serves whatever is
+  /// immediately available.
+  uint32_t max_wait_us = 200;
+};
+
+/// One serving loop body: pop a batch, assemble the batch tensor in the
+/// context's workspace (allocation-free in steady state), run one forward
+/// pass, scatter rows to futures. Owned and driven by a single consumer
+/// thread; the referenced model may be shared with other batchers because
+/// all per-call state lives in this batcher's ExecutionContext.
+class DynamicBatcher {
+ public:
+  /// Binds the batcher to a shared `model` and its per-thread `context`.
+  /// `input_dim` is the flattened sample width the model expects. When
+  /// `normalizer` is non-null it is applied to the assembled batch before
+  /// inference (elementwise, so batching preserves per-sample results).
+  /// The model, context and normalizer must outlive the batcher.
+  DynamicBatcher(nn::Sequential& model, nn::ExecutionContext& context,
+                 size_t input_dim, BatcherConfig config,
+                 const data::MinMaxNormalizer* normalizer = nullptr);
+
+  /// Pops one batch from `queue` and serves it (blocking per the config's
+  /// batching window). Returns the number of requests served; 0 means the
+  /// queue is closed and drained — the consumer loop's exit signal.
+  size_t serve_once(RequestQueue& queue);
+
+  /// Batches served so far (atomic; readable from other threads).
+  [[nodiscard]] size_t batches_served() const {
+    return batches_.load(std::memory_order_relaxed);
+  }
+  /// Requests served so far (atomic; readable from other threads).
+  [[nodiscard]] size_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  /// Largest batch observed so far (atomic; readable from other threads).
+  [[nodiscard]] size_t max_batch_observed() const {
+    return max_batch_observed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Serves `batch_` (never empty): one forward pass + row scatter. On
+  /// failure every request in the batch receives the exception.
+  void run_batch();
+
+  nn::Sequential& model_;
+  nn::ExecutionContext& ctx_;
+  size_t input_dim_;
+  BatcherConfig config_;
+  const data::MinMaxNormalizer* normalizer_;
+  std::vector<Request> batch_;  // reused across serve_once calls
+  std::atomic<size_t> batches_{0};
+  std::atomic<size_t> requests_{0};
+  std::atomic<size_t> max_batch_observed_{0};
+};
+
+}  // namespace dlpic::serve

@@ -1,0 +1,114 @@
+#include "serve/inference_server.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace dlpic::serve {
+
+namespace {
+ServerConfig validated(ServerConfig config) {
+  if (config.max_batch == 0)
+    throw std::invalid_argument("InferenceServer: max_batch must be >= 1");
+  if (config.worker_threads == 0)
+    throw std::invalid_argument("InferenceServer: worker_threads must be >= 1");
+  return config;
+}
+}  // namespace
+
+InferenceServer::InferenceServer(nn::Sequential& model, size_t input_dim,
+                                 const ServerConfig& config,
+                                 const data::MinMaxNormalizer* normalizer)
+    : config_(validated(config)),
+      input_dim_(input_dim),
+      model_(model),
+      normalizer_(normalizer),
+      queue_(config_.queue_capacity) {
+  // Validates the model/batch-shape combination up front instead of failing
+  // inside a worker thread on the first request.
+  (void)model_.output_shape({config_.max_batch, input_dim_});
+  start_workers();
+}
+
+InferenceServer::InferenceServer(nn::Sequential&& model, size_t input_dim,
+                                 const ServerConfig& config,
+                                 const data::MinMaxNormalizer* normalizer)
+    : config_(validated(config)),
+      input_dim_(input_dim),
+      owned_model_(std::make_unique<nn::Sequential>(std::move(model))),
+      model_(*owned_model_),
+      normalizer_(normalizer),
+      queue_(config_.queue_capacity) {
+  (void)model_.output_shape({config_.max_batch, input_dim_});
+  start_workers();
+}
+
+void InferenceServer::start_workers() {
+  contexts_.reserve(config_.worker_threads);
+  batchers_.reserve(config_.worker_threads);
+  workers_.reserve(config_.worker_threads);
+  BatcherConfig bc;
+  bc.max_batch = config_.max_batch;
+  bc.max_wait_us = config_.max_wait_us;
+  for (size_t w = 0; w < config_.worker_threads; ++w) {
+    contexts_.push_back(std::make_unique<nn::ExecutionContext>(config_.context_worker_cap));
+    batchers_.push_back(std::make_unique<DynamicBatcher>(model_, *contexts_.back(),
+                                                         input_dim_, bc, normalizer_));
+  }
+  try {
+    for (size_t w = 0; w < config_.worker_threads; ++w) {
+      DynamicBatcher* batcher = batchers_[w].get();
+      workers_.emplace_back([this, batcher] {
+        // serve_once returns 0 only when the queue is closed and drained.
+        while (batcher->serve_once(queue_) > 0) {
+        }
+      });
+    }
+  } catch (...) {
+    // A failed thread spawn (e.g. EAGAIN) must not leave joinable threads
+    // behind: the constructor body threw, so ~InferenceServer never runs
+    // and destroying workers_ would std::terminate. Stop what started and
+    // surface the original error.
+    queue_.close();
+    for (auto& worker : workers_)
+      if (worker.joinable()) worker.join();
+    throw;
+  }
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+std::future<std::vector<double>> InferenceServer::submit(std::vector<double> input) {
+  if (input.size() != input_dim_)
+    throw std::invalid_argument("InferenceServer::submit: input size " +
+                                std::to_string(input.size()) + " != input dim " +
+                                std::to_string(input_dim_));
+  return queue_.push(std::move(input));
+}
+
+void InferenceServer::shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  if (stopped_) return;
+  queue_.close();  // wakes every batcher; they drain the queue, then exit
+  for (auto& worker : workers_)
+    if (worker.joinable()) worker.join();
+  stopped_ = true;
+}
+
+bool InferenceServer::running() const {
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  return !stopped_;
+}
+
+ServerStats InferenceServer::stats() const {
+  ServerStats s;
+  for (const auto& batcher : batchers_) {
+    s.requests += batcher->requests_served();
+    s.batches += batcher->batches_served();
+    s.max_batch_observed = std::max(s.max_batch_observed, batcher->max_batch_observed());
+  }
+  return s;
+}
+
+}  // namespace dlpic::serve

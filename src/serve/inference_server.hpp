@@ -1,0 +1,126 @@
+#pragma once
+/// \file inference_server.hpp
+/// Batched inference server: one immutable trained model, a request queue,
+/// and a pool of batcher threads each running on its own ExecutionContext.
+/// This is the deployment shape of the DL field solver — many concurrent
+/// clients submit single-sample field-solve requests and the server
+/// amortizes them into batched forward passes.
+///
+/// Threading model: parameters live in the shared model; all per-call
+/// activation state lives in each worker's private ExecutionContext, so the
+/// workers never synchronize on the model. Two scaling modes compose:
+///   - few workers x parallel kernels (context_worker_cap = 0): each batch
+///     fans its GEMMs out across the process-wide pool;
+///   - many workers x serial contexts (context_worker_cap = 1): independent
+///     batches run truly concurrently, one core each.
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "data/normalizer.hpp"
+#include "nn/execution_context.hpp"
+#include "nn/sequential.hpp"
+#include "serve/dynamic_batcher.hpp"
+#include "serve/request_queue.hpp"
+
+namespace dlpic::serve {
+
+/// Server tuning knobs (batch formation, worker topology, backpressure).
+struct ServerConfig {
+  /// Largest batch one forward pass may carry. Must be >= 1.
+  size_t max_batch = 16;
+  /// Batching window: how long an open batch waits for more requests before
+  /// a partial flush, in microseconds.
+  uint32_t max_wait_us = 200;
+  /// Batcher threads, each with a private ExecutionContext. Must be >= 1.
+  size_t worker_threads = 1;
+  /// Worker cap of each batcher's context: 0 inherits the global width
+  /// (parallel kernels), 1 pins each batch serial (thread-level scaling).
+  size_t context_worker_cap = 0;
+  /// Bounded queue capacity; submit() blocks while full. 0 = unbounded.
+  size_t queue_capacity = 0;
+};
+
+/// Aggregate serving counters (summed over all batcher threads).
+struct ServerStats {
+  size_t requests = 0;            ///< requests served (including failed ones)
+  size_t batches = 0;             ///< forward passes run
+  size_t max_batch_observed = 0;  ///< largest coalesced batch seen
+  /// Mean requests per forward pass — the batching amortization factor.
+  [[nodiscard]] double mean_batch() const {
+    return batches > 0 ? static_cast<double>(requests) / static_cast<double>(batches) : 0.0;
+  }
+};
+
+/// Owns the serving stack: request queue + batcher threads + per-thread
+/// contexts over one shared model. Construction starts the workers;
+/// destruction (or shutdown()) closes the queue, drains every in-flight
+/// request and joins the workers — submitted futures are always fulfilled.
+///
+/// The model must not be trained or otherwise mutated while the server is
+/// running; inference itself keeps all mutable state in the per-worker
+/// contexts.
+class InferenceServer {
+ public:
+  /// Serves `model` owned by the caller, which must outlive the server.
+  /// `input_dim` is the flattened sample width; a non-null `normalizer`
+  /// (also caller-owned) is applied to every batch before inference.
+  InferenceServer(nn::Sequential& model, size_t input_dim,
+                  const ServerConfig& config = {},
+                  const data::MinMaxNormalizer* normalizer = nullptr);
+
+  /// Takes ownership of `model` and serves it.
+  InferenceServer(nn::Sequential&& model, size_t input_dim,
+                  const ServerConfig& config = {},
+                  const data::MinMaxNormalizer* normalizer = nullptr);
+
+  /// Graceful shutdown (see shutdown()).
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Enqueues one flattened sample and returns the future of its output
+  /// row. Throws std::invalid_argument on a size mismatch and
+  /// std::runtime_error after shutdown. Blocks while a bounded queue is
+  /// full (backpressure).
+  std::future<std::vector<double>> submit(std::vector<double> input);
+
+  /// Closes the queue, serves every request already submitted, then joins
+  /// the workers. Idempotent and thread-safe; the destructor calls it.
+  void shutdown();
+
+  /// True until shutdown() first runs.
+  [[nodiscard]] bool running() const;
+
+  /// Counters summed over all batcher threads (safe while serving).
+  [[nodiscard]] ServerStats stats() const;
+
+  /// The configuration the server was started with.
+  [[nodiscard]] const ServerConfig& config() const { return config_; }
+
+  /// Flattened sample width accepted by submit().
+  [[nodiscard]] size_t input_dim() const { return input_dim_; }
+
+ private:
+  void start_workers();
+
+  ServerConfig config_;
+  size_t input_dim_;
+  std::unique_ptr<nn::Sequential> owned_model_;  // only for the owning ctor
+  nn::Sequential& model_;
+  const data::MinMaxNormalizer* normalizer_;
+  RequestQueue queue_;
+  std::vector<std::unique_ptr<nn::ExecutionContext>> contexts_;
+  std::vector<std::unique_ptr<DynamicBatcher>> batchers_;
+  std::vector<std::thread> workers_;
+  mutable std::mutex shutdown_mutex_;
+  bool stopped_ = false;
+};
+
+}  // namespace dlpic::serve

@@ -1,0 +1,66 @@
+#include "serve/request_queue.hpp"
+
+#include <stdexcept>
+
+namespace dlpic::serve {
+
+std::future<std::vector<double>> RequestQueue::push(std::vector<double> input) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (capacity_ > 0)
+    cv_push_.wait(lock, [&] { return closed_ || queue_.size() < capacity_; });
+  if (closed_) throw std::runtime_error("RequestQueue::push: queue is closed");
+  queue_.emplace_back();
+  queue_.back().input = std::move(input);
+  auto future = queue_.back().result.get_future();
+  lock.unlock();
+  cv_pop_.notify_one();
+  return future;
+}
+
+size_t RequestQueue::pop_batch(std::vector<Request>& out, size_t max_batch,
+                               std::chrono::microseconds max_wait) {
+  out.clear();
+  if (max_batch == 0) return 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_pop_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return 0;  // closed and fully drained
+  // The batching window opens when the first request is in hand: keep
+  // collecting until the batch is full, the deadline passes, or close().
+  const auto deadline = std::chrono::steady_clock::now() + max_wait;
+  for (;;) {
+    const size_t before = out.size();
+    while (!queue_.empty() && out.size() < max_batch) {
+      out.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    // Wake producers blocked on a bounded queue before (possibly) waiting
+    // out the window: the batch can only keep filling if they get to push.
+    if (capacity_ > 0 && out.size() != before) cv_push_.notify_all();
+    if (out.size() >= max_batch || closed_) break;
+    if (!cv_pop_.wait_until(lock, deadline,
+                            [&] { return closed_ || !queue_.empty(); }))
+      break;  // deadline passed: flush the partial batch
+  }
+  return out.size();
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_pop_.notify_all();
+  cv_push_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace dlpic::serve

@@ -1,0 +1,78 @@
+#pragma once
+/// \file request_queue.hpp
+/// Thread-safe queue of single-sample inference requests — the front door of
+/// the serving subsystem. Producers (client threads) push flattened input
+/// samples and receive a std::future for the result; consumers (batcher
+/// threads) pop coalesced batches under a condition variable with a
+/// max-batch / max-wait policy.
+///
+/// Lifecycle: push() hands back a future tied to the request's promise. A
+/// consumer fulfils the promise after running inference. close() stops new
+/// work while letting consumers drain what is already queued, which is how
+/// InferenceServer shuts down without dropping in-flight requests.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+namespace dlpic::serve {
+
+/// One queued inference request: the flattened input sample plus the promise
+/// the batcher fulfils (value on success, exception on failure).
+struct Request {
+  /// Flattened input sample (e.g. a phase-space histogram, row-major).
+  std::vector<double> input;
+  /// Fulfilled by the batcher with the model output row for this sample.
+  std::promise<std::vector<double>> result;
+};
+
+/// Lock-guarded, condition-variable request queue with optional bounded
+/// capacity (backpressure) and batch-popping semantics.
+///
+/// Thread-safety: every member is safe to call concurrently from any number
+/// of producer and consumer threads.
+class RequestQueue {
+ public:
+  /// `capacity` bounds the number of queued (not yet popped) requests;
+  /// push() blocks while the queue is full. 0 means unbounded.
+  explicit RequestQueue(size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Enqueues one request and returns the future for its result. Blocks
+  /// while a bounded queue is full. Throws std::runtime_error once the
+  /// queue is closed.
+  std::future<std::vector<double>> push(std::vector<double> input);
+
+  /// Pops up to `max_batch` requests into `out` (cleared first). Blocks
+  /// until at least one request is available or the queue is closed; once
+  /// the first request of the batch is in hand it keeps collecting until
+  /// `max_batch` requests are gathered, `max_wait` elapses (partial-batch
+  /// flush) or the queue is closed. Returns the number popped; 0 means
+  /// closed-and-drained, the consumer's signal to exit.
+  size_t pop_batch(std::vector<Request>& out, size_t max_batch,
+                   std::chrono::microseconds max_wait);
+
+  /// Rejects subsequent push() calls and wakes every waiter. Requests
+  /// already queued remain poppable so consumers can drain them (graceful
+  /// shutdown). Idempotent.
+  void close();
+
+  /// True once close() has been called.
+  [[nodiscard]] bool closed() const;
+
+  /// Requests currently queued (racy snapshot, diagnostics only).
+  [[nodiscard]] size_t size() const;
+
+ private:
+  size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_pop_;   // signaled on push / close
+  std::condition_variable cv_push_;  // signaled on pop / close (bounded mode)
+  std::deque<Request> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace dlpic::serve

@@ -15,10 +15,12 @@
 /// OS threads actually execute the chunks, which keeps parallel results
 /// reproducible for a fixed width.
 
+#include <algorithm>
 #include <cstddef>
 #include <functional>
 #include <memory>
 #include <type_traits>
+#include <vector>
 
 namespace dlpic::util {
 
@@ -148,6 +150,72 @@ void parallel_for_workers(size_t begin, size_t end, Body&& body, size_t grain = 
         (*static_cast<B*>(ctx))(worker, lo, hi);
       },
       (void*)std::addressof(body));
+}
+
+/// Fixed block width of ordered_block_sum / ordered_block_max. A constant
+/// (never derived from the worker count) so the reduction tree — and
+/// therefore the floating-point result — is identical for every width.
+constexpr size_t kOrderedReduceBlock = 8192;
+
+namespace detail {
+
+/// Shared stage of the ordered block reductions: evaluates `body(lo, hi)`
+/// over the fixed kOrderedReduceBlock partition of [0, n) in parallel,
+/// storing one partial per block in the calling thread's grow-only buffer.
+/// Returns the partials pointer and writes the block count; only the final
+/// (serial, in-block-order) combine differs between reductions.
+template <class Body>
+const double* ordered_block_partials(size_t n, Body& body, size_t& blocks) {
+  blocks = (n + kOrderedReduceBlock - 1) / kOrderedReduceBlock;
+  thread_local std::vector<double> partials;
+  if (partials.size() < blocks) partials.resize(blocks);
+  // Capture the calling thread's buffer by pointer: the body may run on
+  // pool workers, whose own thread_local buffer is a different object.
+  double* parts = partials.data();
+  parallel_for(
+      0, blocks,
+      [&body, parts, n](size_t block) {
+        const size_t lo = block * kOrderedReduceBlock;
+        parts[block] = body(lo, std::min(n, lo + kOrderedReduceBlock));
+      },
+      /*grain=*/1);
+  return parts;
+}
+
+}  // namespace detail
+
+/// Worker-count-invariant ordered sum: `body(lo, hi)` returns the partial
+/// over [lo, hi) accumulated in ascending-index order; partials are computed
+/// over fixed kOrderedReduceBlock-wide blocks (in parallel) and summed in
+/// block order. Because the block partition depends only on `n`, the result
+/// is bitwise identical for 1, 2 or any number of workers; for
+/// n <= kOrderedReduceBlock it equals the plain serial loop. Steady-state
+/// allocation-free (the partial buffer is thread_local and grow-only).
+template <class Body>
+double ordered_block_sum(size_t n, Body&& body) {
+  if (n == 0) return 0.0;
+  if (n <= kOrderedReduceBlock) return body(size_t{0}, n);
+  size_t blocks = 0;
+  const double* parts = detail::ordered_block_partials(n, body, blocks);
+  double acc = 0.0;
+  for (size_t block = 0; block < blocks; ++block) acc += parts[block];
+  return acc;
+}
+
+/// Worker-count-invariant max-reduction over fixed blocks; `body(lo, hi)`
+/// returns the maximum over [lo, hi). `init` seeds the reduction (e.g. 0.0
+/// for absolute errors). Same invariance and allocation guarantees as
+/// ordered_block_sum (max is order-insensitive, but the fixed partition
+/// keeps the parallel dispatch uniform).
+template <class Body>
+double ordered_block_max(size_t n, double init, Body&& body) {
+  if (n == 0) return init;
+  if (n <= kOrderedReduceBlock) return std::max(init, body(size_t{0}, n));
+  size_t blocks = 0;
+  const double* parts = detail::ordered_block_partials(n, body, blocks);
+  double m = init;
+  for (size_t block = 0; block < blocks; ++block) m = std::max(m, parts[block]);
+  return m;
 }
 
 /// Type-erased overloads kept for callers holding an actual std::function.

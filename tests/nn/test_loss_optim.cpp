@@ -9,6 +9,7 @@
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/sequential.hpp"
+#include "util/parallel.hpp"
 
 namespace {
 
@@ -129,6 +130,49 @@ TEST(Training, SmallMlpLearnsLinearMap) {
     adam.step(model.params());
   }
   EXPECT_LT(final_loss, 1e-3);
+}
+
+// The loss/metric reductions run through util::ordered_block_sum/max with a
+// fixed block partition, so values — and the MSE gradient — are bitwise
+// identical for every worker count. Sized well above the reduction block
+// width so the parallel path is actually exercised.
+TEST(LossParallelism, ReductionsAreWorkerCountInvariant) {
+  Rng rng(321);
+  const size_t n = 3 * dlpic::util::kOrderedReduceBlock + 1234;
+  Tensor pred({n});
+  Tensor target({n});
+  for (size_t i = 0; i < n; ++i) {
+    pred[i] = rng.uniform(-2, 2);
+    target[i] = rng.uniform(-2, 2);
+  }
+
+  struct Result {
+    double mse_loss, mse, mae, max_err;
+    std::vector<double> grad;
+  };
+  auto run = [&](size_t workers) {
+    dlpic::util::ScopedMaxWorkers cap(workers);
+    MSELoss loss;
+    Result r;
+    r.mse_loss = loss.forward(pred, target);
+    r.grad = loss.backward().vec();
+    r.mse = mse_metric(pred, target);
+    r.mae = mae_metric(pred, target);
+    r.max_err = max_error_metric(pred, target);
+    return r;
+  };
+
+  const Result serial = run(1);
+  for (size_t workers : {2u, 8u}) {
+    const Result parallel = run(workers);
+    EXPECT_EQ(serial.mse_loss, parallel.mse_loss) << workers << " workers";
+    EXPECT_EQ(serial.mse, parallel.mse) << workers << " workers";
+    EXPECT_EQ(serial.mae, parallel.mae) << workers << " workers";
+    EXPECT_EQ(serial.max_err, parallel.max_err) << workers << " workers";
+    ASSERT_EQ(serial.grad.size(), parallel.grad.size());
+    for (size_t i = 0; i < serial.grad.size(); ++i)
+      ASSERT_EQ(serial.grad[i], parallel.grad[i]) << "grad[" << i << "] at " << workers;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,129 @@
+/// \file test_request_queue.cpp
+/// RequestQueue semantics: batch popping respects max_batch, the batching
+/// window flushes partial batches on timeout, close() wakes blocked
+/// consumers while letting queued requests drain, and bounded capacity
+/// applies backpressure to producers.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "serve/request_queue.hpp"
+
+namespace {
+
+using namespace dlpic::serve;
+using namespace std::chrono_literals;
+
+std::vector<double> sample(double v) { return std::vector<double>(4, v); }
+
+TEST(RequestQueue, PopsWhatWasPushed) {
+  RequestQueue q;
+  auto f0 = q.push(sample(1.0));
+  auto f1 = q.push(sample(2.0));
+  EXPECT_EQ(q.size(), 2u);
+
+  std::vector<Request> batch;
+  const size_t n = q.pop_batch(batch, 8, 0us);
+  ASSERT_EQ(n, 2u);
+  EXPECT_DOUBLE_EQ(batch[0].input[0], 1.0);
+  EXPECT_DOUBLE_EQ(batch[1].input[0], 2.0);
+  EXPECT_EQ(q.size(), 0u);
+
+  // The futures resolve through the popped requests' promises.
+  batch[0].result.set_value(sample(10.0));
+  batch[1].result.set_value(sample(20.0));
+  EXPECT_DOUBLE_EQ(f0.get()[0], 10.0);
+  EXPECT_DOUBLE_EQ(f1.get()[0], 20.0);
+}
+
+TEST(RequestQueue, RespectsMaxBatch) {
+  RequestQueue q;
+  for (int i = 0; i < 5; ++i) (void)q.push(sample(i));
+  std::vector<Request> batch;
+  EXPECT_EQ(q.pop_batch(batch, 2, 0us), 2u);
+  EXPECT_EQ(q.pop_batch(batch, 2, 0us), 2u);
+  EXPECT_EQ(q.pop_batch(batch, 2, 0us), 1u);
+}
+
+TEST(RequestQueue, TimeoutFlushesPartialBatch) {
+  RequestQueue q;
+  (void)q.push(sample(1.0));
+  (void)q.push(sample(2.0));
+  std::vector<Request> batch;
+  // Asks for 8 but only 2 are coming: the batching window must close after
+  // max_wait and flush the partial batch instead of blocking forever.
+  const auto t0 = std::chrono::steady_clock::now();
+  const size_t n = q.pop_batch(batch, 8, 20ms);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(n, 2u);
+  EXPECT_LT(elapsed, 5s);  // sanity: it returned by timeout, not by hanging
+}
+
+TEST(RequestQueue, BatchKeepsCollectingUntilFull) {
+  RequestQueue q;
+  (void)q.push(sample(0.0));
+  std::thread late_producer([&] {
+    std::this_thread::sleep_for(5ms);
+    for (int i = 1; i < 4; ++i) (void)q.push(sample(i));
+  });
+  std::vector<Request> batch;
+  // The window is generous; the batch must fill to 4 as requests trickle in.
+  const size_t n = q.pop_batch(batch, 4, 2'000'000us);
+  late_producer.join();
+  EXPECT_EQ(n, 4u);
+}
+
+TEST(RequestQueue, CloseDrainsThenSignalsExit) {
+  RequestQueue q;
+  for (int i = 0; i < 3; ++i) (void)q.push(sample(i));
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_THROW((void)q.push(sample(9.0)), std::runtime_error);
+
+  std::vector<Request> batch;
+  EXPECT_EQ(q.pop_batch(batch, 8, 0us), 3u);  // queued work still poppable
+  EXPECT_EQ(q.pop_batch(batch, 8, 0us), 0u);  // drained: consumer exit signal
+}
+
+TEST(RequestQueue, CloseWakesBlockedConsumer) {
+  RequestQueue q;
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    std::vector<Request> batch;
+    // Blocks on the empty queue (the wait is not bounded by max_wait until
+    // the first request arrives) — close() must wake it.
+    EXPECT_EQ(q.pop_batch(batch, 4, 10'000'000us), 0u);
+    returned = true;
+  });
+  std::this_thread::sleep_for(10ms);
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(returned);
+}
+
+TEST(RequestQueue, BoundedCapacityAppliesBackpressure) {
+  RequestQueue q(/*capacity=*/2);
+  (void)q.push(sample(0.0));
+  (void)q.push(sample(1.0));
+
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    (void)q.push(sample(2.0));  // blocks until a pop frees a slot
+    third_pushed = true;
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(third_pushed);
+
+  std::vector<Request> batch;
+  EXPECT_EQ(q.pop_batch(batch, 2, 0us), 2u);
+  producer.join();
+  EXPECT_TRUE(third_pushed);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+}  // namespace

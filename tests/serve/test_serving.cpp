@@ -1,0 +1,244 @@
+/// \file test_serving.cpp
+/// End-to-end serving correctness: batched inference is bitwise identical to
+/// single-sample serial inference (the batcher's determinism contract) under
+/// concurrent producers, graceful shutdown serves every in-flight request,
+/// and the max_wait window flushes partial batches. Also covers the
+/// DlFieldSolver serving-backed mode against its synchronous path.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/dl_field_solver.hpp"
+#include "math/rng.hpp"
+#include "nn/execution_context.hpp"
+#include "nn/model_zoo.hpp"
+#include "nn/sequential.hpp"
+#include "serve/inference_server.hpp"
+
+namespace {
+
+using namespace dlpic;
+using serve::InferenceServer;
+using serve::ServerConfig;
+
+constexpr size_t kInputDim = 64;
+constexpr size_t kOutputDim = 16;
+
+nn::Sequential make_model(uint64_t seed = 7) {
+  nn::MlpSpec spec;
+  spec.input_dim = kInputDim;
+  spec.output_dim = kOutputDim;
+  spec.hidden = 32;
+  spec.depth = 2;
+  spec.seed = seed;
+  return nn::build_mlp(spec);
+}
+
+std::vector<std::vector<double>> make_samples(size_t count, uint64_t seed = 99) {
+  math::Rng rng(seed);
+  std::vector<std::vector<double>> samples(count);
+  for (auto& s : samples) {
+    s.resize(kInputDim);
+    for (auto& v : s) v = rng.uniform(0.0, 100.0);
+  }
+  return samples;
+}
+
+/// Reference path: one sample at a time on a fully serial context.
+std::vector<std::vector<double>> serial_reference(nn::Sequential& model,
+                                                  const std::vector<std::vector<double>>& in) {
+  nn::ExecutionContext ctx(/*worker_cap=*/1);
+  std::vector<std::vector<double>> out(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    nn::Tensor x({1, kInputDim});
+    std::copy(in[i].begin(), in[i].end(), x.data());
+    out[i] = model.predict(ctx, x).vec();
+  }
+  return out;
+}
+
+TEST(InferenceServer, BatchedMatchesSerialSingleSampleBitwise) {
+  auto model = make_model();
+  const size_t kClients = 4, kPerClient = 8;
+  auto samples = make_samples(kClients * kPerClient);
+  const auto expected = serial_reference(model, samples);
+
+  ServerConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_wait_us = 50'000;  // generous window so real batches form
+  cfg.worker_threads = 2;
+  InferenceServer server(model, kInputDim, cfg);
+
+  // Concurrent producers: each client submits its slice and keeps the
+  // futures in submission order.
+  std::vector<std::vector<std::future<std::vector<double>>>> futures(kClients);
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      futures[c].reserve(kPerClient);
+      for (size_t i = 0; i < kPerClient; ++i)
+        futures[c].push_back(server.submit(samples[c * kPerClient + i]));
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  for (size_t c = 0; c < kClients; ++c) {
+    for (size_t i = 0; i < kPerClient; ++i) {
+      const auto result = futures[c][i].get();
+      const auto& reference = expected[c * kPerClient + i];
+      ASSERT_EQ(result.size(), reference.size());
+      for (size_t k = 0; k < result.size(); ++k)
+        ASSERT_EQ(result[k], reference[k])
+            << "client " << c << " sample " << i << " element " << k
+            << " differs from serial single-sample inference";
+    }
+  }
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.requests, kClients * kPerClient);
+  EXPECT_GT(stats.max_batch_observed, 1u) << "no batching happened";
+  EXPECT_LE(stats.max_batch_observed, cfg.max_batch);
+}
+
+TEST(InferenceServer, GracefulShutdownServesInFlightRequests) {
+  auto model = make_model();
+  auto samples = make_samples(5, 123);
+  const auto expected = serial_reference(model, samples);
+
+  ServerConfig cfg;
+  cfg.max_batch = 64;           // never fills
+  cfg.max_wait_us = 5'000'000;  // the batch window would hold for 5 s
+  InferenceServer server(model, kInputDim, cfg);
+
+  std::vector<std::future<std::vector<double>>> futures;
+  for (const auto& s : samples) futures.push_back(server.submit(s));
+
+  // Shutdown long before the window closes: the queue must drain and every
+  // future must resolve with a real result.
+  server.shutdown();
+  EXPECT_FALSE(server.running());
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    EXPECT_EQ(futures[i].get(), expected[i]);
+  }
+  EXPECT_THROW((void)server.submit(samples[0]), std::runtime_error);
+  server.shutdown();  // idempotent
+}
+
+TEST(InferenceServer, MaxWaitFlushesPartialBatch) {
+  auto model = make_model();
+  auto samples = make_samples(3, 456);
+  const auto expected = serial_reference(model, samples);
+
+  ServerConfig cfg;
+  cfg.max_batch = 64;         // cannot fill from 3 requests
+  cfg.max_wait_us = 100'000;  // 100 ms window, then partial flush
+  InferenceServer server(model, kInputDim, cfg);
+
+  std::vector<std::future<std::vector<double>>> futures;
+  for (const auto& s : samples) futures.push_back(server.submit(s));
+  for (size_t i = 0; i < futures.size(); ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(10)), std::future_status::ready)
+        << "partial batch was never flushed";
+    EXPECT_EQ(futures[i].get(), expected[i]);
+  }
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.requests, 3u);
+  EXPECT_GE(stats.batches, 1u);
+}
+
+TEST(InferenceServer, SubmitValidatesInputSize) {
+  auto model = make_model();
+  InferenceServer server(model, kInputDim);
+  EXPECT_THROW((void)server.submit(std::vector<double>(kInputDim - 1, 0.0)),
+               std::invalid_argument);
+}
+
+TEST(InferenceServer, RejectsIncompatibleModelUpFront) {
+  auto model = make_model();
+  EXPECT_THROW(InferenceServer(model, kInputDim + 1), std::invalid_argument);
+}
+
+TEST(InferenceServer, OwningConstructorServes) {
+  auto samples = make_samples(2, 777);
+  auto reference_model = make_model(42);
+  const auto expected = serial_reference(reference_model, samples);
+
+  ServerConfig cfg;
+  cfg.max_wait_us = 0;  // serve immediately
+  InferenceServer server(make_model(42), kInputDim, cfg);
+  for (size_t i = 0; i < samples.size(); ++i)
+    EXPECT_EQ(server.submit(samples[i]).get(), expected[i]);
+}
+
+TEST(InferenceServer, ManySerialWorkersStayBitwiseExact) {
+  // Thread-level scaling mode: 4 batcher threads, each context pinned
+  // serial. Results must still match the serial reference exactly.
+  auto model = make_model();
+  auto samples = make_samples(32, 888);
+  const auto expected = serial_reference(model, samples);
+
+  ServerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 1'000;
+  cfg.worker_threads = 4;
+  cfg.context_worker_cap = 1;
+  InferenceServer server(model, kInputDim, cfg);
+
+  std::vector<std::future<std::vector<double>>> futures;
+  for (const auto& s : samples) futures.push_back(server.submit(s));
+  for (size_t i = 0; i < futures.size(); ++i) EXPECT_EQ(futures[i].get(), expected[i]);
+}
+
+TEST(DlFieldSolverServing, AsyncMatchesSyncBitwise) {
+  phase_space::BinnerConfig bc;
+  bc.nx = 8;
+  bc.nv = 8;
+  core::DlFieldSolver solver(make_model(11), data::MinMaxNormalizer(0.0, 100.0), bc);
+
+  math::Rng rng(5);
+  std::vector<std::vector<double>> histograms(12);
+  for (auto& h : histograms) {
+    h.resize(bc.nx * bc.nv);
+    for (auto& v : h) v = rng.uniform(0.0, 100.0);
+  }
+  std::vector<std::vector<double>> expected;
+  for (const auto& h : histograms) expected.push_back(solver.solve_histogram(h));
+
+  EXPECT_THROW((void)solver.solve_async(histograms[0]), std::runtime_error);
+
+  serve::ServerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_wait_us = 10'000;
+  auto& server = solver.start_serving(cfg);
+  EXPECT_TRUE(solver.serving());
+
+  std::vector<std::future<std::vector<double>>> futures;
+  for (const auto& h : histograms) futures.push_back(solver.solve_async(h));
+  for (size_t i = 0; i < futures.size(); ++i) EXPECT_EQ(futures[i].get(), expected[i]);
+  EXPECT_GE(server.stats().requests, histograms.size());
+
+  solver.stop_serving();
+  EXPECT_FALSE(solver.serving());
+  EXPECT_THROW((void)solver.solve_async(histograms[0]), std::runtime_error);
+}
+
+TEST(DlFieldSolverServing, SpeciesOverloadMatchesSolve) {
+  phase_space::BinnerConfig bc;
+  bc.nx = 8;
+  bc.nv = 8;
+  core::DlFieldSolver solver(make_model(13), data::MinMaxNormalizer(0.0, 10.0), bc);
+  pic::Species s("e", -1.0, 1.0);
+  math::Rng rng(17);
+  for (int i = 0; i < 500; ++i) s.add(rng.uniform(0.0, bc.length), rng.uniform(-0.5, 0.5));
+  const auto expected = solver.solve(s);
+
+  solver.start_serving();
+  EXPECT_EQ(solver.solve_async(s).get(), expected);
+}
+
+}  // namespace
