@@ -9,8 +9,10 @@
 
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <string>
 
+#include "nn/backend.hpp"
 #include "util/env.hpp"
 #include "util/parallel.hpp"
 
@@ -40,6 +42,34 @@ inline benchmark::Counter gflops(double flops_per_iteration) {
                             benchmark::Counter::OneK::kIs1000);
 }
 
+/// Applies the kernel backend selected by a benchmark argument (0 = scalar,
+/// 1 = avx2) for the benchmark's duration and mirrors it into the "avx2"
+/// counter. When AVX2 is requested but unavailable on this host, run()
+/// returns false and the caller must SkipWithError + return.
+class BackendGuard {
+ public:
+  BackendGuard(benchmark::State& state, int arg_index)
+      : requested_(state.range(arg_index)) {
+    const nn::KernelBackend* backend =
+        requested_ == 0 ? &nn::scalar_backend() : nn::avx2_backend();
+    available_ = backend != nullptr;
+    scope_.emplace(backend);
+    state.counters["avx2"] = benchmark::Counter(static_cast<double>(requested_));
+  }
+
+  /// False when the requested backend is unavailable (avx2 on a scalar-only
+  /// host): `if (!guard.run(state)) return;`.
+  bool run(benchmark::State& state) {
+    if (!available_) state.SkipWithError("requested backend unavailable on this host");
+    return available_;
+  }
+
+ private:
+  long requested_;
+  bool available_ = false;
+  std::optional<nn::ScopedBackend> scope_;
+};
+
 /// Runs all registered benchmarks with the normal console table AND a JSON
 /// file reporter writing BENCH_<name>.json (into DLPIC_BENCH_DIR, default
 /// the working directory). An explicit --benchmark_out=... on the command
@@ -58,6 +88,13 @@ inline int run(int argc, char** argv, const std::string& name) {
   benchmark::AddCustomContext("dlpic_build_type", DLPIC_BUILD_TYPE);
   benchmark::AddCustomContext("dlpic_workers", std::to_string(util::parallel_workers()));
   benchmark::AddCustomContext("dlpic_threads_env", util::env_string_or("DLPIC_THREADS", ""));
+  // Default backend selection for this run; benches that sweep a backend
+  // argument additionally tag each entry (the "avx2" counter / arg column),
+  // so scalar and SIMD points stay separable in the perf trajectory.
+  benchmark::AddCustomContext("dlpic_backend", nn::default_backend().name());
+  benchmark::AddCustomContext("dlpic_backend_env", util::env_string_or("DLPIC_BACKEND", ""));
+  benchmark::AddCustomContext("dlpic_avx2_available",
+                              nn::avx2_backend() != nullptr ? "1" : "0");
 
   std::vector<std::string> arg_store(argv, argv + argc);
   bool has_out = false;

@@ -3,10 +3,12 @@
 /// throughput, dense and conv layer forward/backward, end-to-end MLP
 /// inference latency at ci and paper scales, and the ExecutionContext
 /// training step (forward + backward through reusable workspace tensors).
-/// The *_step benches take a second argument: the worker cap for the
+/// The *_step benches take a second argument — the worker cap for the
 /// context's parallel kernels (1 = serial reference, 0 = all hardware
-/// workers) — compare 1 vs 4 for the conv forward+backward speedup the
-/// workspace refactor targets.
+/// workers) — and a final argument selecting the kernel backend (0 =
+/// scalar, 1 = avx2; avx2 rows are skipped on hosts without it). Compare
+/// worker 1 vs 4 for the parallel speedup and backend 0 vs 1 for the SIMD
+/// speedup; bench_gemm sweeps {size, backend}.
 
 #include <benchmark/benchmark.h>
 
@@ -48,6 +50,8 @@ class WorkerCapGuard {
 
 void bench_gemm(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
+  benchjson::BackendGuard backend(state, 1);
+  if (!backend.run(state)) return;
   math::Rng rng(888);
   std::vector<double> A(n * n), B(n * n), C(n * n);
   for (auto& v : A) v = rng.uniform(-1, 1);
@@ -151,6 +155,8 @@ void bench_cnn_inference_ci(benchmark::State& state) {
 void bench_conv_step(benchmark::State& state) {
   const size_t hw = static_cast<size_t>(state.range(0));
   WorkerCapGuard guard(state);
+  benchjson::BackendGuard backend(state, 2);
+  if (!backend.run(state)) return;
   math::Rng rng(892);
   nn::Conv2DConfig cfg;
   cfg.in_channels = 8;
@@ -173,6 +179,8 @@ void bench_conv_step(benchmark::State& state) {
 void bench_dense_step(benchmark::State& state) {
   const size_t width = static_cast<size_t>(state.range(0));
   WorkerCapGuard guard(state);
+  benchjson::BackendGuard backend(state, 2);
+  if (!backend.run(state)) return;
   math::Rng rng(893);
   nn::Dense layer(width, width, rng);
   nn::ExecutionContext ctx;
@@ -194,6 +202,8 @@ void bench_dense_step(benchmark::State& state) {
 /// on one reusable context — the steady-state hot loop of Trainer::fit.
 void bench_mlp_train_step(benchmark::State& state) {
   WorkerCapGuard guard(state);
+  benchjson::BackendGuard backend(state, 2);
+  if (!backend.run(state)) return;
   nn::MlpSpec spec;
   spec.input_dim = 32 * 32;
   spec.output_dim = 64;
@@ -217,21 +227,43 @@ void bench_mlp_train_step(benchmark::State& state) {
 
 }  // namespace
 
-BENCHMARK(bench_gemm)->Arg(64)->Arg(256)->Arg(512);
+// Second argument of the swept benches selects the kernel backend
+// (0 = scalar, 1 = avx2; avx2 rows are skipped on hosts without it).
+BENCHMARK(bench_gemm)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({512, 0})
+    ->Args({512, 1});
 BENCHMARK(bench_dense_forward)->Arg(128)->Arg(1024);
 BENCHMARK(bench_dense_backward)->Arg(128)->Arg(1024);
 BENCHMARK(bench_conv_forward)->Arg(16)->Arg(32);
 BENCHMARK(bench_mlp_inference_ci);
 BENCHMARK(bench_mlp_inference_paper);
 BENCHMARK(bench_cnn_inference_ci);
+// {shape, worker cap, backend}: worker sweep on each backend.
 BENCHMARK(bench_conv_step)
-    ->Args({32, 1})
-    ->Args({32, 2})
-    ->Args({32, 4})
-    ->Args({32, 0})
-    ->Args({64, 1})
-    ->Args({64, 4});
-BENCHMARK(bench_dense_step)->Args({1024, 1})->Args({1024, 4})->Args({1024, 0});
-BENCHMARK(bench_mlp_train_step)->Args({0, 1})->Args({0, 4})->Args({0, 0});
+    ->Args({32, 1, 0})
+    ->Args({32, 1, 1})
+    ->Args({32, 2, 0})
+    ->Args({32, 4, 0})
+    ->Args({32, 4, 1})
+    ->Args({32, 0, 1})
+    ->Args({64, 1, 0})
+    ->Args({64, 1, 1})
+    ->Args({64, 4, 1});
+BENCHMARK(bench_dense_step)
+    ->Args({1024, 1, 0})
+    ->Args({1024, 1, 1})
+    ->Args({1024, 4, 0})
+    ->Args({1024, 4, 1})
+    ->Args({1024, 0, 1});
+BENCHMARK(bench_mlp_train_step)
+    ->Args({0, 1, 0})
+    ->Args({0, 1, 1})
+    ->Args({0, 4, 0})
+    ->Args({0, 4, 1})
+    ->Args({0, 0, 1});
 
 DLPIC_BENCHMARK_MAIN("micro_nn");

@@ -3,10 +3,12 @@
 /// deposition and field gather per shape order, leap-frog push, Poisson
 /// solvers across grid sizes, and phase-space binning per order.
 ///
-/// The particle kernels take a second argument: the worker cap for
+/// The particle kernels take a second argument — the worker cap for
 /// dlpic::util parallel loops (1 = the serial reference path, 0 = all
-/// hardware workers). ns/particle-step is exported as a counter and the
-/// whole table is mirrored into BENCH_micro_pic.json.
+/// hardware workers) — and a third selecting the kernel backend (0 =
+/// scalar, 1 = avx2; avx2 rows are skipped on hosts without it).
+/// ns/particle-step is exported as a counter and the whole table is
+/// mirrored into BENCH_micro_pic.json.
 
 #include <benchmark/benchmark.h>
 
@@ -59,6 +61,8 @@ void bench_deposit(benchmark::State& state, pic::Shape shape) {
   auto species = make_species(grid, nparticles);
   auto rho = grid.make_field();
   WorkerCapGuard cap(state);
+  benchjson::BackendGuard backend(state, 2);
+  if (!backend.run(state)) return;
   for (auto _ : state) {
     rho.assign(rho.size(), 0.0);
     pic::deposit_charge(grid, shape, species, rho);
@@ -78,6 +82,8 @@ void bench_gather(benchmark::State& state, pic::Shape shape) {
   auto species = make_species(grid, nparticles);
   std::vector<double> E(64, 0.01), Ep;
   WorkerCapGuard cap(state);
+  benchjson::BackendGuard backend(state, 2);
+  if (!backend.run(state)) return;
   for (auto _ : state) {
     pic::gather_to_particles(grid, shape, E, species, Ep);
     benchmark::DoNotOptimize(Ep.data());
@@ -96,6 +102,8 @@ void bench_leapfrog(benchmark::State& state, pic::Shape shape) {
   auto species = make_species(grid, nparticles);
   std::vector<double> E(64, 0.01);
   WorkerCapGuard cap(state);
+  benchjson::BackendGuard backend(state, 2);
+  if (!backend.run(state)) return;
   for (auto _ : state) {
     pic::leapfrog_step(grid, shape, E, species, 0.2);
     benchmark::DoNotOptimize(species.x().data());
@@ -116,6 +124,8 @@ void bench_particle_phase(benchmark::State& state) {
   std::vector<double> E(64, 0.01);
   auto rho = grid.make_field();
   WorkerCapGuard cap(state);
+  benchjson::BackendGuard backend(state, 2);
+  if (!backend.run(state)) return;
   size_t step = 0;
   for (auto _ : state) {
     if (step > 0 && step % 25 == 0) pic::sort_by_cell(grid, species);
@@ -183,9 +193,17 @@ void bench_binner_cic(benchmark::State& s) {
 
 }  // namespace
 
-// Second argument: worker cap (1 = serial reference, 0 = all hardware).
-#define DLPIC_THREAD_SWEEP(fn) \
-  BENCHMARK(fn)->Args({64000, 1})->Args({64000, 2})->Args({64000, 4})->Args({64000, 0})
+// {particles, worker cap, backend}: worker sweep on the scalar backend plus
+// serial/parallel avx2 points (1 = serial reference, 0 = all hardware).
+#define DLPIC_THREAD_SWEEP(fn)   \
+  BENCHMARK(fn)                  \
+      ->Args({64000, 1, 0})      \
+      ->Args({64000, 1, 1})      \
+      ->Args({64000, 2, 0})      \
+      ->Args({64000, 4, 0})      \
+      ->Args({64000, 4, 1})      \
+      ->Args({64000, 0, 0})      \
+      ->Args({64000, 0, 1})
 
 DLPIC_THREAD_SWEEP(bench_deposit_ngp);
 DLPIC_THREAD_SWEEP(bench_deposit_cic);

@@ -2,10 +2,14 @@
 /// Serving-path benchmarks: batched inference throughput (requests/sec) and
 /// client-observed latency (p50/p99) versus client count and max_batch,
 /// against the single-request serial baseline. Args are {clients, max_batch,
-/// worker_threads}; every run also reports mean_batch (the amortization the
-/// dynamic batcher achieved). Results land in BENCH_serving.json with the
-/// usual SHA/build metadata — compare items_per_second of
-/// bench_serve_batched/* against bench_serve_serial_single across commits.
+/// worker_threads, burst, pad}: `burst` pipelines that many outstanding
+/// submissions per client (1 = the old submit-then-wait loop) so batch
+/// formation is not throttled by client round-trips, and `pad` != 0 enables
+/// fixed-shape micro-batch padding (pad_to_batch = max_batch). Every run
+/// also reports mean_batch (the amortization the dynamic batcher achieved).
+/// Results land in BENCH_serving.json with the usual SHA/build metadata —
+/// compare items_per_second of bench_serve_batched/* against
+/// bench_serve_serial_single across commits.
 
 #include <benchmark/benchmark.h>
 
@@ -73,12 +77,15 @@ void bench_serve_serial_single(benchmark::State& state) {
 }
 
 /// Batched serving: `clients` producer threads submit kRequestsPerClient
-/// requests each per iteration and wait for every future; client-observed
-/// latencies aggregate into p50/p99 counters.
+/// requests each per iteration — pipelined `burst` at a time, so with
+/// burst > 1 a client keeps several requests outstanding and the batcher
+/// can actually fill batches instead of waiting on client round-trips.
+/// Client-observed latencies (submit -> result) aggregate into p50/p99.
 void bench_serve_batched(benchmark::State& state) {
   const size_t clients = static_cast<size_t>(state.range(0));
   const size_t max_batch = static_cast<size_t>(state.range(1));
   const size_t worker_threads = static_cast<size_t>(state.range(2));
+  const size_t burst = static_cast<size_t>(state.range(3));
 
   auto model = serving_model();
   serve::ServerConfig cfg;
@@ -87,6 +94,7 @@ void bench_serve_batched(benchmark::State& state) {
   cfg.worker_threads = worker_threads;
   // One parallel worker context; several contexts pinned serial.
   cfg.context_worker_cap = worker_threads > 1 ? 1 : 0;
+  cfg.pad_to_batch = state.range(4) != 0 ? max_batch : 0;
   serve::InferenceServer server(model, kInputDim, cfg);
 
   std::mutex latency_mutex;
@@ -100,14 +108,25 @@ void bench_serve_batched(benchmark::State& state) {
         const auto sample = random_sample(c + 1);
         std::vector<double> local_us;
         local_us.reserve(kRequestsPerClient);
-        for (size_t i = 0; i < kRequestsPerClient; ++i) {
-          const auto t0 = std::chrono::steady_clock::now();
-          auto future = server.submit(sample);
-          auto result = future.get();
-          const auto dt = std::chrono::steady_clock::now() - t0;
-          benchmark::DoNotOptimize(result.data());
-          local_us.push_back(
-              std::chrono::duration<double, std::micro>(dt).count());
+        std::vector<std::chrono::steady_clock::time_point> t0;
+        std::vector<std::future<std::vector<double>>> futures;
+        t0.reserve(burst);
+        futures.reserve(burst);
+        for (size_t i = 0; i < kRequestsPerClient; i += burst) {
+          const size_t wave = std::min(burst, kRequestsPerClient - i);
+          t0.clear();
+          futures.clear();
+          for (size_t b = 0; b < wave; ++b) {
+            t0.push_back(std::chrono::steady_clock::now());
+            futures.push_back(server.submit(sample));
+          }
+          for (size_t b = 0; b < wave; ++b) {
+            auto result = futures[b].get();
+            const auto dt = std::chrono::steady_clock::now() - t0[b];
+            benchmark::DoNotOptimize(result.data());
+            local_us.push_back(
+                std::chrono::duration<double, std::micro>(dt).count());
+          }
         }
         std::lock_guard<std::mutex> lock(latency_mutex);
         latencies_us.insert(latencies_us.end(), local_us.begin(), local_us.end());
@@ -132,16 +151,20 @@ void bench_serve_batched(benchmark::State& state) {
 
 BENCHMARK(bench_serve_serial_single)->Unit(benchmark::kMicrosecond);
 
-// {clients, max_batch, worker_threads}: the batching sweep (1 worker,
-// parallel kernels) and the thread-scaling sweep (serial contexts).
+// {clients, max_batch, worker_threads, burst, pad}: the batching sweep
+// (1 worker, parallel kernels), the thread-scaling sweep (serial contexts),
+// and the pipelined-client sweep (burst > 1) with and without fixed-shape
+// padding.
 BENCHMARK(bench_serve_batched)
-    ->Args({1, 1, 1})    // no batching, one client: queue overhead reference
-    ->Args({4, 1, 1})    // concurrency without batching
-    ->Args({4, 8, 1})    // dynamic batching kicks in
-    ->Args({8, 8, 1})
-    ->Args({8, 32, 1})
-    ->Args({8, 8, 2})    // two serial-context workers
-    ->Args({16, 32, 2})
+    ->Args({1, 1, 1, 1, 0})    // no batching, one client: queue overhead reference
+    ->Args({4, 1, 1, 1, 0})    // concurrency without batching
+    ->Args({4, 8, 1, 1, 0})    // dynamic batching kicks in
+    ->Args({8, 8, 1, 1, 0})
+    ->Args({8, 8, 1, 8, 0})    // pipelined clients: batches actually fill
+    ->Args({8, 8, 1, 8, 1})    // + fixed-shape padding (pad_to_batch = 8)
+    ->Args({8, 32, 1, 8, 0})
+    ->Args({8, 8, 2, 8, 0})    // two serial-context workers, pipelined
+    ->Args({16, 32, 2, 8, 1})
     ->Unit(benchmark::kMicrosecond)
     ->UseRealTime();
 

@@ -5,6 +5,9 @@
 #include <cstring>
 #include <stdexcept>
 
+// The kernel-backend seam is owned by the nn layer but deliberately depends
+// on nothing, so the math layer can dispatch through it without a cycle.
+#include "nn/backend.hpp"
 #include "util/parallel.hpp"
 
 namespace dlpic::math {
@@ -12,7 +15,7 @@ namespace dlpic::math {
 namespace {
 
 // Cache-blocking parameters tuned for typical L1/L2 sizes; the micro-kernel
-// updates a 4x4 register tile.
+// (KernelBackend::gemm_block) updates register tiles inside these panels.
 constexpr size_t kBlockM = 64;
 constexpr size_t kBlockN = 64;
 constexpr size_t kBlockK = 256;
@@ -28,60 +31,6 @@ void pack_block(bool trans, const double* src, size_t ld, size_t row0, size_t co
     // Logical element (row0+i, col0+j) lives at src[(col0+j)*ld + (row0+i)].
     for (size_t i = 0; i < rows; ++i)
       for (size_t j = 0; j < cols; ++j) dst[i * cols + j] = src[(col0 + j) * ld + (row0 + i)];
-  }
-}
-
-// C block += Ablk (mb x kb, packed) * Bblk (kb x nb, packed).
-void kernel_block(size_t mb, size_t nb, size_t kb, const double* Ablk, const double* Bblk,
-                  double* C, size_t ldc) {
-  size_t i = 0;
-  for (; i + 4 <= mb; i += 4) {
-    size_t j = 0;
-    for (; j + 4 <= nb; j += 4) {
-      double c00 = 0, c01 = 0, c02 = 0, c03 = 0;
-      double c10 = 0, c11 = 0, c12 = 0, c13 = 0;
-      double c20 = 0, c21 = 0, c22 = 0, c23 = 0;
-      double c30 = 0, c31 = 0, c32 = 0, c33 = 0;
-      const double* a0 = Ablk + (i + 0) * kb;
-      const double* a1 = Ablk + (i + 1) * kb;
-      const double* a2 = Ablk + (i + 2) * kb;
-      const double* a3 = Ablk + (i + 3) * kb;
-      for (size_t p = 0; p < kb; ++p) {
-        const double b0 = Bblk[p * nb + j + 0];
-        const double b1 = Bblk[p * nb + j + 1];
-        const double b2 = Bblk[p * nb + j + 2];
-        const double b3 = Bblk[p * nb + j + 3];
-        const double av0 = a0[p], av1 = a1[p], av2 = a2[p], av3 = a3[p];
-        c00 += av0 * b0; c01 += av0 * b1; c02 += av0 * b2; c03 += av0 * b3;
-        c10 += av1 * b0; c11 += av1 * b1; c12 += av1 * b2; c13 += av1 * b3;
-        c20 += av2 * b0; c21 += av2 * b1; c22 += av2 * b2; c23 += av2 * b3;
-        c30 += av3 * b0; c31 += av3 * b1; c32 += av3 * b2; c33 += av3 * b3;
-      }
-      double* c0 = C + (i + 0) * ldc + j;
-      double* c1 = C + (i + 1) * ldc + j;
-      double* c2 = C + (i + 2) * ldc + j;
-      double* c3 = C + (i + 3) * ldc + j;
-      c0[0] += c00; c0[1] += c01; c0[2] += c02; c0[3] += c03;
-      c1[0] += c10; c1[1] += c11; c1[2] += c12; c1[3] += c13;
-      c2[0] += c20; c2[1] += c21; c2[2] += c22; c2[3] += c23;
-      c3[0] += c30; c3[1] += c31; c3[2] += c32; c3[3] += c33;
-    }
-    for (; j < nb; ++j) {
-      for (size_t ii = i; ii < i + 4; ++ii) {
-        double acc = 0;
-        const double* a = Ablk + ii * kb;
-        for (size_t p = 0; p < kb; ++p) acc += a[p] * Bblk[p * nb + j];
-        C[ii * ldc + j] += acc;
-      }
-    }
-  }
-  for (; i < mb; ++i) {
-    for (size_t j = 0; j < nb; ++j) {
-      double acc = 0;
-      const double* a = Ablk + i * kb;
-      for (size_t p = 0; p < kb; ++p) acc += a[p] * Bblk[p * nb + j];
-      C[i * ldc + j] += acc;
-    }
   }
 }
 
@@ -106,6 +55,9 @@ void gemm(bool trans_a, bool trans_b, size_t m, size_t n, size_t k, double alpha
   // needed on the output.
   const size_t m_blocks = (m + kBlockM - 1) / kBlockM;
   const size_t n_blocks = (n + kBlockN - 1) / kBlockN;
+  // Resolve the backend on the calling thread and capture it: chunk bodies
+  // run on pool workers, where the thread-local selection is not in scope.
+  const nn::KernelBackend* backend = &nn::active_backend();
   util::parallel_for_chunks(0, m_blocks * n_blocks, [&](size_t tile_lo, size_t tile_hi) {
     // Per-thread pack buffers, reused across calls: the training hot loop
     // performs zero steady-state heap allocations.
@@ -129,7 +81,8 @@ void gemm(bool trans_a, bool trans_b, size_t m, size_t n, size_t k, double alpha
           const size_t j0 = (tt % n_blocks) * kBlockN;
           const size_t nb = std::min(kBlockN, n - j0);
           pack_block(trans_b, B, ldb, p0, j0, kb, nb, Bblk.data());
-          kernel_block(mb, nb, kb, Ablk.data(), Bblk.data(), C + i0 * ldc + j0, ldc);
+          backend->gemm_block(mb, nb, kb, Ablk.data(), Bblk.data(), C + i0 * ldc + j0,
+                              ldc);
         }
       }
       t = run_end;
@@ -159,13 +112,11 @@ void gemv(size_t m, size_t n, double alpha, const double* A, const double* x,
 }
 
 void axpy(size_t n, double alpha, const double* x, double* y) {
-  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  nn::active_backend().axpy(n, alpha, x, y);
 }
 
 double dot(size_t n, const double* x, const double* y) {
-  double acc = 0.0;
-  for (size_t i = 0; i < n; ++i) acc += x[i] * y[i];
-  return acc;
+  return nn::active_backend().dot(n, x, y);
 }
 
 double nrm2(size_t n, const double* x) { return std::sqrt(dot(n, x, x)); }

@@ -1,0 +1,154 @@
+#include "nn/backend.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <string>
+
+#include "util/env.hpp"
+#include "util/log.hpp"
+
+namespace dlpic::nn {
+
+// ---------------------------------------------------------------------------
+// Base-class elementwise kernels: the scalar reference implementations. The
+// scalar backend inherits them unchanged; the AVX2 backend overrides the
+// profitable ones and must mirror this exact operation order to stay bitwise
+// compatible (see backend.hpp).
+
+void KernelBackend::copy(size_t n, const double* x, double* y) const {
+  std::memcpy(y, x, n * sizeof(double));
+}
+
+void KernelBackend::axpy(size_t n, double alpha, const double* x, double* y) const {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+double KernelBackend::dot(size_t n, const double* x, const double* y) const {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+void KernelBackend::add_bias_rows(size_t rows, size_t cols, const double* bias,
+                                  double* out) const {
+  for (size_t r = 0; r < rows; ++r) {
+    double* row = out + r * cols;
+    for (size_t c = 0; c < cols; ++c) row[c] += bias[c];
+  }
+}
+
+double KernelBackend::squared_diff_sum(size_t n, const double* p, const double* t,
+                                       double* diff) const {
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    diff[i] = p[i] - t[i];
+    s += diff[i] * diff[i];
+  }
+  return s;
+}
+
+void KernelBackend::relu_forward(size_t n, const double* x, double* y) const {
+  for (size_t i = 0; i < n; ++i) y[i] = x[i] < 0.0 ? 0.0 : x[i];
+}
+
+void KernelBackend::relu_backward(size_t n, const double* y, const double* gout,
+                                  double* gin) const {
+  for (size_t i = 0; i < n; ++i) gin[i] = y[i] <= 0.0 ? 0.0 : gout[i];
+}
+
+void KernelBackend::leaky_relu_forward(size_t n, double alpha, const double* x,
+                                       double* xc, double* y) const {
+  for (size_t i = 0; i < n; ++i) {
+    xc[i] = x[i];
+    y[i] = x[i] < 0.0 ? alpha * x[i] : x[i];
+  }
+}
+
+void KernelBackend::leaky_relu_backward(size_t n, double alpha, const double* x,
+                                        const double* gout, double* gin) const {
+  for (size_t i = 0; i < n; ++i) gin[i] = x[i] <= 0.0 ? alpha * gout[i] : gout[i];
+}
+
+void KernelBackend::tanh_forward(size_t n, const double* x, double* y) const {
+  for (size_t i = 0; i < n; ++i) y[i] = std::tanh(x[i]);
+}
+
+void KernelBackend::tanh_backward(size_t n, const double* y, const double* gout,
+                                  double* gin) const {
+  for (size_t i = 0; i < n; ++i) gin[i] = gout[i] * (1.0 - y[i] * y[i]);
+}
+
+void KernelBackend::sgd_update(size_t n, double lr, const double* g, double* w) const {
+  for (size_t i = 0; i < n; ++i) w[i] -= lr * g[i];
+}
+
+void KernelBackend::sgd_momentum_update(size_t n, double lr, double momentum,
+                                        const double* g, double* vel, double* w) const {
+  for (size_t i = 0; i < n; ++i) {
+    vel[i] = momentum * vel[i] - lr * g[i];
+    w[i] += vel[i];
+  }
+}
+
+void KernelBackend::adam_update(size_t n, double lr, double beta1, double beta2,
+                                double bc1, double bc2, double eps, const double* g,
+                                double* m, double* v, double* w) const {
+  for (size_t i = 0; i < n; ++i) {
+    m[i] = beta1 * m[i] + (1.0 - beta1) * g[i];
+    v[i] = beta2 * v[i] + (1.0 - beta2) * g[i] * g[i];
+    const double mhat = m[i] / bc1;
+    const double vhat = v[i] / bc2;
+    w[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Selection.
+
+namespace {
+
+thread_local const KernelBackend* t_active_backend = nullptr;
+
+const KernelBackend* resolve_default() {
+  const std::string request = util::env_string_or("DLPIC_BACKEND", "auto");
+  if (request == "scalar") return &scalar_backend();
+  if (request == "avx2") {
+    if (const KernelBackend* be = avx2_backend()) return be;
+    DLPIC_LOG_WARN(
+        "DLPIC_BACKEND=avx2 but this build/CPU has no AVX2 backend; "
+        "falling back to scalar");
+    return &scalar_backend();
+  }
+  if (!request.empty() && request != "auto")
+    DLPIC_LOG_WARN("unknown DLPIC_BACKEND '%s' (want scalar|avx2|auto); using auto",
+                   request.c_str());
+  if (const KernelBackend* be = avx2_backend()) return be;
+  return &scalar_backend();
+}
+
+}  // namespace
+
+const KernelBackend& default_backend() {
+  static const KernelBackend* backend = resolve_default();
+  return *backend;
+}
+
+const KernelBackend& active_backend() {
+  return t_active_backend != nullptr ? *t_active_backend : default_backend();
+}
+
+const KernelBackend* backend_by_name(const char* name) {
+  if (name == nullptr) return nullptr;
+  const std::string n(name);
+  if (n == "scalar") return &scalar_backend();
+  if (n == "avx2") return avx2_backend();
+  return nullptr;
+}
+
+ScopedBackend::ScopedBackend(const KernelBackend* backend) : previous_(t_active_backend) {
+  if (backend != nullptr) t_active_backend = backend;
+}
+
+ScopedBackend::~ScopedBackend() { t_active_backend = previous_; }
+
+}  // namespace dlpic::nn

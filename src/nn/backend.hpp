@@ -1,0 +1,167 @@
+#pragma once
+/// \file backend.hpp
+/// Pluggable compute-kernel backend: one vtable of hot inner loops shared by
+/// the whole execution stack (math/linalg GEMM micro-kernel, the elementwise
+/// nn layer/optimizer/loss kernels, and the PIC gather/deposit/leapfrog
+/// ranges). Two implementations ship: a portable scalar backend
+/// (backend_scalar.*) and an AVX2+FMA backend (backend_avx2.*, compiled with
+/// target flags on x86-64 and selected at runtime via cpuid).
+///
+/// Selection rules:
+///  - default_backend() resolves once per process from the DLPIC_BACKEND
+///    environment variable: "scalar", "avx2" (falls back to scalar with a
+///    warning when the CPU or build lacks AVX2), or "auto"/unset (avx2 when
+///    available, else scalar).
+///  - active_backend() is the thread's current backend: a ScopedBackend
+///    override when one is in scope, otherwise the process default.
+///    ExecutionContext::set_backend() pins a context to a backend; every
+///    layer call applies it through ScopedBackend, mirroring the worker-cap
+///    plumbing.
+///  - Kernels that fan out over the thread pool must capture the backend
+///    pointer BEFORE dispatching (thread-locals do not propagate to pool
+///    workers); every routed call site in this repo does.
+///
+/// Determinism contract: within one backend, results are bitwise invariant
+/// under the worker count (all reductions keep fixed k-/block-order and the
+/// elementwise kernels are pure maps). Switching backends may change bits in
+/// GEMM-backed results (the AVX2 micro-kernel uses FMA), while the routed
+/// elementwise, optimizer and PIC kernels mirror the scalar operation order
+/// exactly and stay bitwise identical across backends
+/// (tests/nn/test_backend_parity.cpp enforces both properties).
+///
+/// This header deliberately depends on nothing but <cstddef> so the lower
+/// layers (math, pic) can include it without cycles.
+
+#include <cstddef>
+
+namespace dlpic::nn {
+
+/// Abstract kernel backend. Granularity: one virtual call per *range* (a
+/// GEMM panel, an elementwise chunk, a particle range), never per element,
+/// so dispatch cost is immeasurable against the loop bodies.
+class KernelBackend {
+ public:
+  virtual ~KernelBackend() = default;
+
+  /// Stable identifier ("scalar", "avx2") — recorded in BENCH_*.json.
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  // ------------------------------------------------------------- GEMM ----
+  /// C (mb x nb, row stride ldc) += Apanel * Bpanel over packed panels:
+  /// Apanel is mb x kb with row i at i*kb (alpha pre-applied by the packer),
+  /// Bpanel is kb x nb with row p at p*nb. The k-order per output element is
+  /// ascending p for every implementation, which keeps GEMM results
+  /// batch-size- and worker-count-invariant.
+  virtual void gemm_block(size_t mb, size_t nb, size_t kb, const double* Apanel,
+                          const double* Bpanel, double* C, size_t ldc) const = 0;
+
+  // ----------------------------------------------- elementwise / BLAS-1 ----
+  /// y[i] = x[i].
+  virtual void copy(size_t n, const double* x, double* y) const;
+  /// y[i] += alpha * x[i].
+  virtual void axpy(size_t n, double alpha, const double* x, double* y) const;
+  /// Ascending-index dot product partial (serial; callers block-order it).
+  [[nodiscard]] virtual double dot(size_t n, const double* x, const double* y) const;
+  /// out[r*cols + c] += bias[c] for every row — the dense-layer bias add.
+  virtual void add_bias_rows(size_t rows, size_t cols, const double* bias,
+                             double* out) const;
+  /// diff[i] = p[i] - t[i]; returns sum of diff[i]^2 accumulated in
+  /// ascending-index order (the MSE loss body, fed fixed-size blocks by
+  /// util::ordered_block_sum so the grouping never depends on workers).
+  virtual double squared_diff_sum(size_t n, const double* p, const double* t,
+                                  double* diff) const;
+
+  // ------------------------------------------------------- activations ----
+  /// y[i] = max(x[i], 0) with the scalar's exact signed-zero behavior.
+  virtual void relu_forward(size_t n, const double* x, double* y) const;
+  /// gin[i] = y[i] <= 0 ? 0 : gout[i] (y is the cached forward output).
+  virtual void relu_backward(size_t n, const double* y, const double* gout,
+                             double* gin) const;
+  /// xc[i] = x[i] (backward cache); y[i] = x[i] < 0 ? alpha*x[i] : x[i].
+  virtual void leaky_relu_forward(size_t n, double alpha, const double* x, double* xc,
+                                  double* y) const;
+  /// gin[i] = x[i] <= 0 ? alpha*gout[i] : gout[i].
+  virtual void leaky_relu_backward(size_t n, double alpha, const double* x,
+                                   const double* gout, double* gin) const;
+  /// y[i] = tanh(x[i]) — libm scalar in every backend (bitwise stable).
+  virtual void tanh_forward(size_t n, const double* x, double* y) const;
+  /// gin[i] = gout[i] * (1 - y[i]*y[i]).
+  virtual void tanh_backward(size_t n, const double* y, const double* gout,
+                             double* gin) const;
+
+  // --------------------------------------------------------- optimizers ----
+  /// w[i] -= lr * g[i].
+  virtual void sgd_update(size_t n, double lr, const double* g, double* w) const;
+  /// vel[i] = momentum*vel[i] - lr*g[i]; w[i] += vel[i].
+  virtual void sgd_momentum_update(size_t n, double lr, double momentum,
+                                   const double* g, double* vel, double* w) const;
+  /// One Adam element update with precomputed bias corrections bc1/bc2;
+  /// operation order matches the scalar reference exactly (bitwise-stable
+  /// across backends).
+  virtual void adam_update(size_t n, double lr, double beta1, double beta2, double bc1,
+                           double bc2, double eps, const double* g, double* m, double* v,
+                           double* w) const;
+
+  // ------------------------------------------------------- PIC kernels ----
+  // Shape index matches pic::Shape: 0 = NGP, 1 = CIC, 2 = TSC (kept as an
+  // int so this header does not depend on the pic layer). The functions are
+  // plain pointers: the PIC drivers fetch them once per call and invoke them
+  // from parallel chunk bodies with zero virtual dispatch in the loop.
+
+  /// out[p] = field gathered at x[p]*inv_dx for p in [lo, hi).
+  using PicGatherFn = void (*)(const double* E, const double* x, double* out, size_t lo,
+                               size_t hi, double inv_dx, long ncells);
+  /// v[p] += qm_half_dt * gather(x[p]) for p in [lo, hi) — the half-step
+  /// velocity stagger.
+  using PicStaggerFn = void (*)(const double* E, const double* x, double* v, size_t lo,
+                                size_t hi, double inv_dx, long ncells, double qm_half_dt);
+  /// Fused kick+drift: v[p] += qm_dt*gather(x[p]); x[p] = wrap(x[p]+v[p]*dt)
+  /// into [0, length) with the Grid1D::wrap_position fmod formula.
+  using PicLeapfrogFn = void (*)(const double* E, double* x, double* v, size_t lo,
+                                 size_t hi, double inv_dx, long ncells, double qm_dt,
+                                 double dt, double length);
+  /// buf[stencil nodes of x[p]] += value * weights, scattered in ascending
+  /// particle order (callers pass per-worker private buffers; the fixed
+  /// scatter order keeps the ordered reduction worker-count-invariant).
+  using PicDepositFn = void (*)(double* buf, const double* x, size_t lo, size_t hi,
+                                double inv_dx, long ncells, double value);
+
+  [[nodiscard]] virtual PicGatherFn pic_gather(int shape) const = 0;
+  [[nodiscard]] virtual PicStaggerFn pic_stagger(int shape) const = 0;
+  [[nodiscard]] virtual PicLeapfrogFn pic_leapfrog(int shape) const = 0;
+  [[nodiscard]] virtual PicDepositFn pic_deposit(int shape) const = 0;
+};
+
+/// The portable scalar backend (always available).
+const KernelBackend& scalar_backend();
+
+/// The AVX2+FMA backend, or nullptr when the build or the CPU lacks it.
+const KernelBackend* avx2_backend();
+
+/// Process default resolved once from DLPIC_BACKEND (see file header).
+const KernelBackend& default_backend();
+
+/// The calling thread's backend: innermost ScopedBackend override when one
+/// is active, otherwise default_backend().
+const KernelBackend& active_backend();
+
+/// Looks a backend up by name ("scalar" | "avx2"); nullptr when unknown or
+/// unavailable on this host.
+const KernelBackend* backend_by_name(const char* name);
+
+/// RAII thread-local backend override (the mechanism behind per-
+/// ExecutionContext backend policy). A null pointer is a no-op — the
+/// current selection stays active — so callers can plumb "nullptr =
+/// inherit" knobs through unconditionally. Nestable.
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(const KernelBackend* backend);
+  ~ScopedBackend();
+  ScopedBackend(const ScopedBackend&) = delete;
+  ScopedBackend& operator=(const ScopedBackend&) = delete;
+
+ private:
+  const KernelBackend* previous_;
+};
+
+}  // namespace dlpic::nn

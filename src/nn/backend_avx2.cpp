@@ -1,0 +1,470 @@
+#include "nn/backend_avx2.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__) && (defined(__GNUC__) || defined(__clang__))
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+#include "nn/backend_scalar.hpp"
+
+namespace dlpic::nn {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Vector PIC stencils. Four particles per step; int32 node indices (the node
+// count fits int32 by Grid1D construction), weights evaluated with the exact
+// scalar formulas and operation order. Loop tails delegate to the scalar
+// shape templates, so every PIC kernel here is bitwise identical to the
+// scalar backend.
+
+/// wrap_near for a vector of indices at most one box outside [0, n).
+inline __m128i wrap_near32(__m128i i, __m128i n) {
+  const __m128i neg = _mm_cmplt_epi32(i, _mm_setzero_si128());
+  i = _mm_add_epi32(i, _mm_and_si128(neg, n));
+  const __m128i lt = _mm_cmplt_epi32(i, n);
+  return _mm_sub_epi32(i, _mm_andnot_si128(lt, n));
+}
+
+struct NgpStencil {
+  static constexpr int support = 1;
+  __m128i node[1];
+  __m256d w[1];
+  NgpStencil(__m256d xi, __m128i n) {
+    const __m256d fl = _mm256_floor_pd(_mm256_add_pd(xi, _mm256_set1_pd(0.5)));
+    node[0] = wrap_near32(_mm256_cvttpd_epi32(fl), n);
+    w[0] = _mm256_set1_pd(1.0);
+  }
+};
+
+struct CicStencil {
+  static constexpr int support = 2;
+  __m128i node[2];
+  __m256d w[2];
+  CicStencil(__m256d xi, __m128i n) {
+    const __m256d fl = _mm256_floor_pd(xi);
+    const __m128i i = _mm256_cvttpd_epi32(fl);
+    node[0] = wrap_near32(i, n);
+    node[1] = wrap_near32(_mm_add_epi32(i, _mm_set1_epi32(1)), n);
+    const __m256d frac = _mm256_sub_pd(xi, fl);
+    w[0] = _mm256_sub_pd(_mm256_set1_pd(1.0), frac);
+    w[1] = frac;
+  }
+};
+
+struct TscStencil {
+  static constexpr int support = 3;
+  __m128i node[3];
+  __m256d w[3];
+  TscStencil(__m256d xi, __m128i n) {
+    const __m256d fl = _mm256_floor_pd(_mm256_add_pd(xi, _mm256_set1_pd(0.5)));
+    const __m128i i = _mm256_cvttpd_epi32(fl);
+    node[0] = wrap_near32(_mm_sub_epi32(i, _mm_set1_epi32(1)), n);
+    node[1] = wrap_near32(i, n);
+    node[2] = wrap_near32(_mm_add_epi32(i, _mm_set1_epi32(1)), n);
+    const __m256d d = _mm256_sub_pd(xi, fl);
+    const __m256d half = _mm256_set1_pd(0.5);
+    const __m256d dm = _mm256_sub_pd(half, d);   // 0.5 - d
+    const __m256d dp = _mm256_add_pd(half, d);   // 0.5 + d
+    // Scalar order: 0.5*(0.5-d)*(0.5-d) evaluates left to right.
+    w[0] = _mm256_mul_pd(_mm256_mul_pd(half, dm), dm);
+    w[1] = _mm256_sub_pd(_mm256_set1_pd(0.75), _mm256_mul_pd(d, d));
+    w[2] = _mm256_mul_pd(_mm256_mul_pd(half, dp), dp);
+  }
+};
+
+/// Gathers and weight-sums one stencil: matches the scalar gather_at
+/// accumulation exactly (acc starts at +0.0 and adds E*w in ascending node
+/// order with no FMA — starting from the first product instead would flip
+/// the sign bit when E[node]*w is -0.0, since 0.0 + -0.0 == +0.0).
+template <class St>
+inline __m256d gather_stencil(const double* E, const St& st) {
+  __m256d acc = _mm256_setzero_pd();
+  for (int s = 0; s < St::support; ++s)
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_i32gather_pd(E, st.node[s], 8), st.w[s]));
+  return acc;
+}
+
+template <class St, pic::Shape S>
+void gather_range_avx2(const double* E, const double* x, double* out, size_t lo,
+                       size_t hi, double inv_dx, long ncells) {
+  const __m128i n = _mm_set1_epi32(static_cast<int>(ncells));
+  const __m256d vinv = _mm256_set1_pd(inv_dx);
+  size_t p = lo;
+  for (; p + 4 <= hi; p += 4) {
+    const __m256d xi = _mm256_mul_pd(_mm256_loadu_pd(x + p), vinv);
+    _mm256_storeu_pd(out + p, gather_stencil(E, St(xi, n)));
+  }
+  backend_detail::gather_range<S>(E, x, out, p, hi, inv_dx, ncells);
+}
+
+template <class St, pic::Shape S>
+void stagger_range_avx2(const double* E, const double* x, double* v, size_t lo,
+                        size_t hi, double inv_dx, long ncells, double qm_half_dt) {
+  const __m128i n = _mm_set1_epi32(static_cast<int>(ncells));
+  const __m256d vinv = _mm256_set1_pd(inv_dx);
+  const __m256d vqm = _mm256_set1_pd(qm_half_dt);
+  size_t p = lo;
+  for (; p + 4 <= hi; p += 4) {
+    const __m256d xi = _mm256_mul_pd(_mm256_loadu_pd(x + p), vinv);
+    const __m256d Ep = gather_stencil(E, St(xi, n));
+    _mm256_storeu_pd(v + p, _mm256_add_pd(_mm256_loadu_pd(v + p), _mm256_mul_pd(vqm, Ep)));
+  }
+  backend_detail::stagger_range<S>(E, x, v, p, hi, inv_dx, ncells, qm_half_dt);
+}
+
+template <class St, pic::Shape S>
+void leapfrog_range_avx2(const double* E, double* x, double* v, size_t lo, size_t hi,
+                         double inv_dx, long ncells, double qm_dt, double dt,
+                         double length) {
+  const __m128i n = _mm_set1_epi32(static_cast<int>(ncells));
+  const __m256d vinv = _mm256_set1_pd(inv_dx);
+  const __m256d vqm = _mm256_set1_pd(qm_dt);
+  const __m256d vdt = _mm256_set1_pd(dt);
+  size_t p = lo;
+  for (; p + 4 <= hi; p += 4) {
+    const __m256d xv = _mm256_loadu_pd(x + p);
+    const __m256d xi = _mm256_mul_pd(xv, vinv);
+    const __m256d Ep = gather_stencil(E, St(xi, n));
+    const __m256d vn = _mm256_add_pd(_mm256_loadu_pd(v + p), _mm256_mul_pd(vqm, Ep));
+    _mm256_storeu_pd(v + p, vn);
+    // Drift, then the scalar fmod wrap per lane (fmod has no vector form;
+    // keeping it scalar keeps the result bitwise equal to the scalar path).
+    alignas(32) double xn[4];
+    _mm256_store_pd(xn, _mm256_add_pd(xv, _mm256_mul_pd(vn, vdt)));
+    x[p + 0] = backend_detail::wrap_position(xn[0], length);
+    x[p + 1] = backend_detail::wrap_position(xn[1], length);
+    x[p + 2] = backend_detail::wrap_position(xn[2], length);
+    x[p + 3] = backend_detail::wrap_position(xn[3], length);
+  }
+  backend_detail::leapfrog_range<S>(E, x, v, p, hi, inv_dx, ncells, qm_dt, dt, length);
+}
+
+template <class St, pic::Shape S>
+void deposit_range_avx2(double* buf, const double* x, size_t lo, size_t hi,
+                        double inv_dx, long ncells, double value) {
+  const __m128i n = _mm_set1_epi32(static_cast<int>(ncells));
+  const __m256d vinv = _mm256_set1_pd(inv_dx);
+  size_t p = lo;
+  for (; p + 4 <= hi; p += 4) {
+    const __m256d xi = _mm256_mul_pd(_mm256_loadu_pd(x + p), vinv);
+    const St st(xi, n);
+    alignas(16) int idx[St::support][4];
+    alignas(32) double w[St::support][4];
+    for (int s = 0; s < St::support; ++s) {
+      _mm_store_si128(reinterpret_cast<__m128i*>(idx[s]), st.node[s]);
+      _mm256_store_pd(w[s], st.w[s]);
+    }
+    // Scatter serially in ascending particle order — identical to the
+    // scalar loop, so per-worker deposit buffers stay bitwise reproducible.
+    for (int lane = 0; lane < 4; ++lane)
+      for (int s = 0; s < St::support; ++s)
+        buf[static_cast<size_t>(idx[s][lane])] += value * w[s][lane];
+  }
+  backend_detail::deposit_range<S>(buf, x, p, hi, inv_dx, ncells, value);
+}
+
+// ---------------------------------------------------------------------------
+// The backend.
+
+class Avx2Backend final : public ScalarBackend {
+ public:
+  [[nodiscard]] const char* name() const override { return "avx2"; }
+
+  // 8-column FMA micro-kernel over 4-row register sub-tiles (11 live ymm:
+  // 8 accumulators + 2 B vectors + 1 A broadcast). Remainders fall back to
+  // the plain accumulate loops.
+  void gemm_block(size_t mb, size_t nb, size_t kb, const double* Apanel,
+                  const double* Bpanel, double* C, size_t ldc) const override {
+    size_t i = 0;
+    for (; i + 4 <= mb; i += 4) {
+      const double* a0 = Apanel + (i + 0) * kb;
+      const double* a1 = Apanel + (i + 1) * kb;
+      const double* a2 = Apanel + (i + 2) * kb;
+      const double* a3 = Apanel + (i + 3) * kb;
+      size_t j = 0;
+      for (; j + 8 <= nb; j += 8) {
+        __m256d c00 = _mm256_setzero_pd(), c01 = _mm256_setzero_pd();
+        __m256d c10 = _mm256_setzero_pd(), c11 = _mm256_setzero_pd();
+        __m256d c20 = _mm256_setzero_pd(), c21 = _mm256_setzero_pd();
+        __m256d c30 = _mm256_setzero_pd(), c31 = _mm256_setzero_pd();
+        for (size_t p = 0; p < kb; ++p) {
+          const double* brow = Bpanel + p * nb + j;
+          const __m256d b0 = _mm256_loadu_pd(brow);
+          const __m256d b1 = _mm256_loadu_pd(brow + 4);
+          __m256d av = _mm256_set1_pd(a0[p]);
+          c00 = _mm256_fmadd_pd(av, b0, c00);
+          c01 = _mm256_fmadd_pd(av, b1, c01);
+          av = _mm256_set1_pd(a1[p]);
+          c10 = _mm256_fmadd_pd(av, b0, c10);
+          c11 = _mm256_fmadd_pd(av, b1, c11);
+          av = _mm256_set1_pd(a2[p]);
+          c20 = _mm256_fmadd_pd(av, b0, c20);
+          c21 = _mm256_fmadd_pd(av, b1, c21);
+          av = _mm256_set1_pd(a3[p]);
+          c30 = _mm256_fmadd_pd(av, b0, c30);
+          c31 = _mm256_fmadd_pd(av, b1, c31);
+        }
+        double* c0 = C + (i + 0) * ldc + j;
+        double* c1 = C + (i + 1) * ldc + j;
+        double* c2 = C + (i + 2) * ldc + j;
+        double* c3 = C + (i + 3) * ldc + j;
+        _mm256_storeu_pd(c0, _mm256_add_pd(_mm256_loadu_pd(c0), c00));
+        _mm256_storeu_pd(c0 + 4, _mm256_add_pd(_mm256_loadu_pd(c0 + 4), c01));
+        _mm256_storeu_pd(c1, _mm256_add_pd(_mm256_loadu_pd(c1), c10));
+        _mm256_storeu_pd(c1 + 4, _mm256_add_pd(_mm256_loadu_pd(c1 + 4), c11));
+        _mm256_storeu_pd(c2, _mm256_add_pd(_mm256_loadu_pd(c2), c20));
+        _mm256_storeu_pd(c2 + 4, _mm256_add_pd(_mm256_loadu_pd(c2 + 4), c21));
+        _mm256_storeu_pd(c3, _mm256_add_pd(_mm256_loadu_pd(c3), c30));
+        _mm256_storeu_pd(c3 + 4, _mm256_add_pd(_mm256_loadu_pd(c3 + 4), c31));
+      }
+      for (; j + 4 <= nb; j += 4) {
+        __m256d c0 = _mm256_setzero_pd(), c1 = _mm256_setzero_pd();
+        __m256d c2 = _mm256_setzero_pd(), c3 = _mm256_setzero_pd();
+        for (size_t p = 0; p < kb; ++p) {
+          const __m256d b0 = _mm256_loadu_pd(Bpanel + p * nb + j);
+          c0 = _mm256_fmadd_pd(_mm256_set1_pd(a0[p]), b0, c0);
+          c1 = _mm256_fmadd_pd(_mm256_set1_pd(a1[p]), b0, c1);
+          c2 = _mm256_fmadd_pd(_mm256_set1_pd(a2[p]), b0, c2);
+          c3 = _mm256_fmadd_pd(_mm256_set1_pd(a3[p]), b0, c3);
+        }
+        double* r0 = C + (i + 0) * ldc + j;
+        double* r1 = C + (i + 1) * ldc + j;
+        double* r2 = C + (i + 2) * ldc + j;
+        double* r3 = C + (i + 3) * ldc + j;
+        _mm256_storeu_pd(r0, _mm256_add_pd(_mm256_loadu_pd(r0), c0));
+        _mm256_storeu_pd(r1, _mm256_add_pd(_mm256_loadu_pd(r1), c1));
+        _mm256_storeu_pd(r2, _mm256_add_pd(_mm256_loadu_pd(r2), c2));
+        _mm256_storeu_pd(r3, _mm256_add_pd(_mm256_loadu_pd(r3), c3));
+      }
+      for (; j < nb; ++j) {
+        for (size_t ii = i; ii < i + 4; ++ii) {
+          double acc = 0;
+          const double* a = Apanel + ii * kb;
+          for (size_t p = 0; p < kb; ++p) acc += a[p] * Bpanel[p * nb + j];
+          C[ii * ldc + j] += acc;
+        }
+      }
+    }
+    for (; i < mb; ++i) {
+      const double* a = Apanel + i * kb;
+      size_t j = 0;
+      for (; j + 4 <= nb; j += 4) {
+        __m256d c0 = _mm256_setzero_pd();
+        for (size_t p = 0; p < kb; ++p)
+          c0 = _mm256_fmadd_pd(_mm256_set1_pd(a[p]), _mm256_loadu_pd(Bpanel + p * nb + j), c0);
+        double* r = C + i * ldc + j;
+        _mm256_storeu_pd(r, _mm256_add_pd(_mm256_loadu_pd(r), c0));
+      }
+      for (; j < nb; ++j) {
+        double acc = 0;
+        for (size_t p = 0; p < kb; ++p) acc += a[p] * Bpanel[p * nb + j];
+        C[i * ldc + j] += acc;
+      }
+    }
+  }
+
+  void axpy(size_t n, double alpha, const double* x, double* y) const override {
+    const __m256d va = _mm256_set1_pd(alpha);
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+      _mm256_storeu_pd(
+          y + i, _mm256_add_pd(_mm256_loadu_pd(y + i),
+                               _mm256_mul_pd(va, _mm256_loadu_pd(x + i))));
+    for (; i < n; ++i) y[i] += alpha * x[i];
+  }
+
+  void add_bias_rows(size_t rows, size_t cols, const double* bias,
+                     double* out) const override {
+    for (size_t r = 0; r < rows; ++r) {
+      double* row = out + r * cols;
+      size_t c = 0;
+      for (; c + 4 <= cols; c += 4)
+        _mm256_storeu_pd(row + c, _mm256_add_pd(_mm256_loadu_pd(row + c),
+                                                _mm256_loadu_pd(bias + c)));
+      for (; c < cols; ++c) row[c] += bias[c];
+    }
+  }
+
+  void relu_forward(size_t n, const double* x, double* y) const override {
+    const __m256d zero = _mm256_setzero_pd();
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const __m256d xv = _mm256_loadu_pd(x + i);
+      const __m256d neg = _mm256_cmp_pd(xv, zero, _CMP_LT_OQ);
+      _mm256_storeu_pd(y + i, _mm256_andnot_pd(neg, xv));
+    }
+    for (; i < n; ++i) y[i] = x[i] < 0.0 ? 0.0 : x[i];
+  }
+
+  void relu_backward(size_t n, const double* y, const double* gout,
+                     double* gin) const override {
+    const __m256d zero = _mm256_setzero_pd();
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const __m256d mask = _mm256_cmp_pd(_mm256_loadu_pd(y + i), zero, _CMP_LE_OQ);
+      _mm256_storeu_pd(gin + i, _mm256_andnot_pd(mask, _mm256_loadu_pd(gout + i)));
+    }
+    for (; i < n; ++i) gin[i] = y[i] <= 0.0 ? 0.0 : gout[i];
+  }
+
+  void leaky_relu_forward(size_t n, double alpha, const double* x, double* xc,
+                          double* y) const override {
+    const __m256d zero = _mm256_setzero_pd();
+    const __m256d va = _mm256_set1_pd(alpha);
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const __m256d xv = _mm256_loadu_pd(x + i);
+      _mm256_storeu_pd(xc + i, xv);
+      const __m256d neg = _mm256_cmp_pd(xv, zero, _CMP_LT_OQ);
+      _mm256_storeu_pd(y + i, _mm256_blendv_pd(xv, _mm256_mul_pd(va, xv), neg));
+    }
+    for (; i < n; ++i) {
+      xc[i] = x[i];
+      y[i] = x[i] < 0.0 ? alpha * x[i] : x[i];
+    }
+  }
+
+  void leaky_relu_backward(size_t n, double alpha, const double* x, const double* gout,
+                           double* gin) const override {
+    const __m256d zero = _mm256_setzero_pd();
+    const __m256d va = _mm256_set1_pd(alpha);
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const __m256d mask = _mm256_cmp_pd(_mm256_loadu_pd(x + i), zero, _CMP_LE_OQ);
+      const __m256d gv = _mm256_loadu_pd(gout + i);
+      _mm256_storeu_pd(gin + i, _mm256_blendv_pd(gv, _mm256_mul_pd(va, gv), mask));
+    }
+    for (; i < n; ++i) gin[i] = x[i] <= 0.0 ? alpha * gout[i] : gout[i];
+  }
+
+  void tanh_backward(size_t n, const double* y, const double* gout,
+                     double* gin) const override {
+    const __m256d one = _mm256_set1_pd(1.0);
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const __m256d yv = _mm256_loadu_pd(y + i);
+      _mm256_storeu_pd(gin + i,
+                       _mm256_mul_pd(_mm256_loadu_pd(gout + i),
+                                     _mm256_sub_pd(one, _mm256_mul_pd(yv, yv))));
+    }
+    for (; i < n; ++i) gin[i] = gout[i] * (1.0 - y[i] * y[i]);
+  }
+
+  void sgd_update(size_t n, double lr, const double* g, double* w) const override {
+    const __m256d vlr = _mm256_set1_pd(lr);
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+      _mm256_storeu_pd(
+          w + i, _mm256_sub_pd(_mm256_loadu_pd(w + i),
+                               _mm256_mul_pd(vlr, _mm256_loadu_pd(g + i))));
+    for (; i < n; ++i) w[i] -= lr * g[i];
+  }
+
+  void sgd_momentum_update(size_t n, double lr, double momentum, const double* g,
+                           double* vel, double* w) const override {
+    const __m256d vlr = _mm256_set1_pd(lr);
+    const __m256d vmom = _mm256_set1_pd(momentum);
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const __m256d vn =
+          _mm256_sub_pd(_mm256_mul_pd(vmom, _mm256_loadu_pd(vel + i)),
+                        _mm256_mul_pd(vlr, _mm256_loadu_pd(g + i)));
+      _mm256_storeu_pd(vel + i, vn);
+      _mm256_storeu_pd(w + i, _mm256_add_pd(_mm256_loadu_pd(w + i), vn));
+    }
+    for (; i < n; ++i) {
+      vel[i] = momentum * vel[i] - lr * g[i];
+      w[i] += vel[i];
+    }
+  }
+
+  void adam_update(size_t n, double lr, double beta1, double beta2, double bc1,
+                   double bc2, double eps, const double* g, double* m, double* v,
+                   double* w) const override {
+    const __m256d vb1 = _mm256_set1_pd(beta1), vob1 = _mm256_set1_pd(1.0 - beta1);
+    const __m256d vb2 = _mm256_set1_pd(beta2), vob2 = _mm256_set1_pd(1.0 - beta2);
+    const __m256d vbc1 = _mm256_set1_pd(bc1), vbc2 = _mm256_set1_pd(bc2);
+    const __m256d vlr = _mm256_set1_pd(lr), veps = _mm256_set1_pd(eps);
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const __m256d gv = _mm256_loadu_pd(g + i);
+      // Exact scalar order: (1-b2)*g*g associates as ((1-b2)*g)*g.
+      const __m256d mn = _mm256_add_pd(_mm256_mul_pd(vb1, _mm256_loadu_pd(m + i)),
+                                       _mm256_mul_pd(vob1, gv));
+      const __m256d vn = _mm256_add_pd(
+          _mm256_mul_pd(vb2, _mm256_loadu_pd(v + i)),
+          _mm256_mul_pd(_mm256_mul_pd(vob2, gv), gv));
+      _mm256_storeu_pd(m + i, mn);
+      _mm256_storeu_pd(v + i, vn);
+      const __m256d mhat = _mm256_div_pd(mn, vbc1);
+      const __m256d vhat = _mm256_div_pd(vn, vbc2);
+      const __m256d step = _mm256_div_pd(_mm256_mul_pd(vlr, mhat),
+                                         _mm256_add_pd(_mm256_sqrt_pd(vhat), veps));
+      _mm256_storeu_pd(w + i, _mm256_sub_pd(_mm256_loadu_pd(w + i), step));
+    }
+    for (; i < n; ++i) {
+      m[i] = beta1 * m[i] + (1.0 - beta1) * g[i];
+      v[i] = beta2 * v[i] + (1.0 - beta2) * g[i] * g[i];
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      w[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+    }
+  }
+
+  [[nodiscard]] PicGatherFn pic_gather(int shape) const override {
+    switch (shape) {
+      case 0: return &gather_range_avx2<NgpStencil, pic::Shape::NGP>;
+      case 1: return &gather_range_avx2<CicStencil, pic::Shape::CIC>;
+      default: return &gather_range_avx2<TscStencil, pic::Shape::TSC>;
+    }
+  }
+
+  [[nodiscard]] PicStaggerFn pic_stagger(int shape) const override {
+    switch (shape) {
+      case 0: return &stagger_range_avx2<NgpStencil, pic::Shape::NGP>;
+      case 1: return &stagger_range_avx2<CicStencil, pic::Shape::CIC>;
+      default: return &stagger_range_avx2<TscStencil, pic::Shape::TSC>;
+    }
+  }
+
+  [[nodiscard]] PicLeapfrogFn pic_leapfrog(int shape) const override {
+    switch (shape) {
+      case 0: return &leapfrog_range_avx2<NgpStencil, pic::Shape::NGP>;
+      case 1: return &leapfrog_range_avx2<CicStencil, pic::Shape::CIC>;
+      default: return &leapfrog_range_avx2<TscStencil, pic::Shape::TSC>;
+    }
+  }
+
+  [[nodiscard]] PicDepositFn pic_deposit(int shape) const override {
+    switch (shape) {
+      case 0: return &deposit_range_avx2<NgpStencil, pic::Shape::NGP>;
+      case 1: return &deposit_range_avx2<CicStencil, pic::Shape::CIC>;
+      default: return &deposit_range_avx2<TscStencil, pic::Shape::TSC>;
+    }
+  }
+};
+
+}  // namespace
+
+const KernelBackend* avx2_backend() {
+  // The backend is compiled in; still require the running CPU to report
+  // AVX2+FMA before handing it out.
+  static const bool supported =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  static const Avx2Backend backend;
+  return supported ? &backend : nullptr;
+}
+
+}  // namespace dlpic::nn
+
+#else  // no AVX2/FMA in this build: the scalar backend serves everything.
+
+namespace dlpic::nn {
+
+const KernelBackend* avx2_backend() { return nullptr; }
+
+}  // namespace dlpic::nn
+
+#endif

@@ -1,0 +1,97 @@
+#include "nn/backend_scalar.hpp"
+
+namespace dlpic::nn {
+
+// The 4x4 register-tile micro-kernel previously private to math::gemm. The
+// k-order per output element is ascending p, matching every other backend.
+void ScalarBackend::gemm_block(size_t mb, size_t nb, size_t kb, const double* Apanel,
+                               const double* Bpanel, double* C, size_t ldc) const {
+  size_t i = 0;
+  for (; i + 4 <= mb; i += 4) {
+    size_t j = 0;
+    for (; j + 4 <= nb; j += 4) {
+      double c00 = 0, c01 = 0, c02 = 0, c03 = 0;
+      double c10 = 0, c11 = 0, c12 = 0, c13 = 0;
+      double c20 = 0, c21 = 0, c22 = 0, c23 = 0;
+      double c30 = 0, c31 = 0, c32 = 0, c33 = 0;
+      const double* a0 = Apanel + (i + 0) * kb;
+      const double* a1 = Apanel + (i + 1) * kb;
+      const double* a2 = Apanel + (i + 2) * kb;
+      const double* a3 = Apanel + (i + 3) * kb;
+      for (size_t p = 0; p < kb; ++p) {
+        const double b0 = Bpanel[p * nb + j + 0];
+        const double b1 = Bpanel[p * nb + j + 1];
+        const double b2 = Bpanel[p * nb + j + 2];
+        const double b3 = Bpanel[p * nb + j + 3];
+        const double av0 = a0[p], av1 = a1[p], av2 = a2[p], av3 = a3[p];
+        c00 += av0 * b0; c01 += av0 * b1; c02 += av0 * b2; c03 += av0 * b3;
+        c10 += av1 * b0; c11 += av1 * b1; c12 += av1 * b2; c13 += av1 * b3;
+        c20 += av2 * b0; c21 += av2 * b1; c22 += av2 * b2; c23 += av2 * b3;
+        c30 += av3 * b0; c31 += av3 * b1; c32 += av3 * b2; c33 += av3 * b3;
+      }
+      double* c0 = C + (i + 0) * ldc + j;
+      double* c1 = C + (i + 1) * ldc + j;
+      double* c2 = C + (i + 2) * ldc + j;
+      double* c3 = C + (i + 3) * ldc + j;
+      c0[0] += c00; c0[1] += c01; c0[2] += c02; c0[3] += c03;
+      c1[0] += c10; c1[1] += c11; c1[2] += c12; c1[3] += c13;
+      c2[0] += c20; c2[1] += c21; c2[2] += c22; c2[3] += c23;
+      c3[0] += c30; c3[1] += c31; c3[2] += c32; c3[3] += c33;
+    }
+    for (; j < nb; ++j) {
+      for (size_t ii = i; ii < i + 4; ++ii) {
+        double acc = 0;
+        const double* a = Apanel + ii * kb;
+        for (size_t p = 0; p < kb; ++p) acc += a[p] * Bpanel[p * nb + j];
+        C[ii * ldc + j] += acc;
+      }
+    }
+  }
+  for (; i < mb; ++i) {
+    for (size_t j = 0; j < nb; ++j) {
+      double acc = 0;
+      const double* a = Apanel + i * kb;
+      for (size_t p = 0; p < kb; ++p) acc += a[p] * Bpanel[p * nb + j];
+      C[i * ldc + j] += acc;
+    }
+  }
+}
+
+KernelBackend::PicGatherFn ScalarBackend::pic_gather(int shape) const {
+  switch (shape) {
+    case 0: return &backend_detail::gather_range<pic::Shape::NGP>;
+    case 1: return &backend_detail::gather_range<pic::Shape::CIC>;
+    default: return &backend_detail::gather_range<pic::Shape::TSC>;
+  }
+}
+
+KernelBackend::PicStaggerFn ScalarBackend::pic_stagger(int shape) const {
+  switch (shape) {
+    case 0: return &backend_detail::stagger_range<pic::Shape::NGP>;
+    case 1: return &backend_detail::stagger_range<pic::Shape::CIC>;
+    default: return &backend_detail::stagger_range<pic::Shape::TSC>;
+  }
+}
+
+KernelBackend::PicLeapfrogFn ScalarBackend::pic_leapfrog(int shape) const {
+  switch (shape) {
+    case 0: return &backend_detail::leapfrog_range<pic::Shape::NGP>;
+    case 1: return &backend_detail::leapfrog_range<pic::Shape::CIC>;
+    default: return &backend_detail::leapfrog_range<pic::Shape::TSC>;
+  }
+}
+
+KernelBackend::PicDepositFn ScalarBackend::pic_deposit(int shape) const {
+  switch (shape) {
+    case 0: return &backend_detail::deposit_range<pic::Shape::NGP>;
+    case 1: return &backend_detail::deposit_range<pic::Shape::CIC>;
+    default: return &backend_detail::deposit_range<pic::Shape::TSC>;
+  }
+}
+
+const KernelBackend& scalar_backend() {
+  static const ScalarBackend backend;
+  return backend;
+}
+
+}  // namespace dlpic::nn

@@ -1,0 +1,82 @@
+#pragma once
+/// \file backend_scalar.hpp
+/// The portable scalar KernelBackend plus the shape-templated PIC range
+/// kernels it is built from. The range templates live here (not in the .cpp)
+/// so the AVX2 backend reuses them verbatim for loop tails and for shapes it
+/// does not vectorize — which is what keeps the two backends bitwise
+/// identical on the PIC path.
+///
+/// Only backend implementation files include this header; everything else
+/// goes through the KernelBackend interface in backend.hpp.
+
+#include <cmath>
+#include <cstddef>
+
+#include "nn/backend.hpp"
+#include "pic/shape_kernels.hpp"
+
+namespace dlpic::nn {
+
+namespace backend_detail {
+
+/// Periodic wrap of a pushed position into [0, L): the exact
+/// pic::Grid1D::wrap_position formula, inlined so the fused leapfrog kernel
+/// needs no Grid reference. Both backends use this same scalar formula.
+inline double wrap_position(double x, double length) {
+  double y = std::fmod(x, length);
+  if (y < 0.0) y += length;
+  if (y >= length) y -= length;
+  return y;
+}
+
+template <pic::Shape S>
+void gather_range(const double* E, const double* x, double* out, size_t lo, size_t hi,
+                  double inv_dx, long ncells) {
+  for (size_t p = lo; p < hi; ++p)
+    out[p] = pic::gather_at<S>(E, x[p] * inv_dx, ncells);
+}
+
+template <pic::Shape S>
+void stagger_range(const double* E, const double* x, double* v, size_t lo, size_t hi,
+                   double inv_dx, long ncells, double qm_half_dt) {
+  for (size_t p = lo; p < hi; ++p)
+    v[p] += qm_half_dt * pic::gather_at<S>(E, x[p] * inv_dx, ncells);
+}
+
+template <pic::Shape S>
+void leapfrog_range(const double* E, double* x, double* v, size_t lo, size_t hi,
+                    double inv_dx, long ncells, double qm_dt, double dt, double length) {
+  for (size_t p = lo; p < hi; ++p) {
+    const double Ep = pic::gather_at<S>(E, x[p] * inv_dx, ncells);
+    v[p] += qm_dt * Ep;
+    x[p] = wrap_position(x[p] + v[p] * dt, length);
+  }
+}
+
+template <pic::Shape S>
+void deposit_range(double* buf, const double* x, size_t lo, size_t hi, double inv_dx,
+                   long ncells, double value) {
+  for (size_t p = lo; p < hi; ++p)
+    pic::scatter_at<S>(buf, x[p] * inv_dx, ncells, value);
+}
+
+}  // namespace backend_detail
+
+/// Portable reference backend: blocked 4x4 register-tile GEMM micro-kernel
+/// and the scalar elementwise/PIC kernels inherited from KernelBackend.
+/// Non-final: the AVX2 backend derives from it so non-vectorized kernels
+/// (tanh forward, dot, the MSE body) fall through to the scalar reference.
+class ScalarBackend : public KernelBackend {
+ public:
+  [[nodiscard]] const char* name() const override { return "scalar"; }
+
+  void gemm_block(size_t mb, size_t nb, size_t kb, const double* Apanel,
+                  const double* Bpanel, double* C, size_t ldc) const override;
+
+  [[nodiscard]] PicGatherFn pic_gather(int shape) const override;
+  [[nodiscard]] PicStaggerFn pic_stagger(int shape) const override;
+  [[nodiscard]] PicLeapfrogFn pic_leapfrog(int shape) const override;
+  [[nodiscard]] PicDepositFn pic_deposit(int shape) const override;
+};
+
+}  // namespace dlpic::nn

@@ -104,6 +104,8 @@ Tensor& Conv2D::forward(ExecutionContext& ctx, const Tensor& input, bool /*train
                                 std::to_string(cfg_.in_channels) + ", h, w], got " +
                                 input.shape_string());
   util::ScopedWorkerCap cap(ctx.worker_cap());
+  ScopedBackend backend_scope(ctx.backend());
+  const KernelBackend* be = &ctx.resolved_backend();
   const size_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
   const auto [oh, ow] = out_dims(h, w);
   const size_t krows = cfg_.in_channels * cfg_.kernel_h * cfg_.kernel_w;
@@ -119,6 +121,9 @@ Tensor& Conv2D::forward(ExecutionContext& ctx, const Tensor& input, bool /*train
   const size_t nworkers = util::worker_partition_count(n, 1);
   auto& cols = ctx.workspace().scratch(this, kSlotCols, nworkers * krows * plane);
   util::parallel_for_workers(0, n, [&](size_t worker, size_t lo, size_t hi) {
+    // Chunks run on pool threads: re-pin the context's backend there so the
+    // nested (serial) per-image GEMMs dispatch through it too.
+    ScopedBackend worker_backend(be);
     double* mycols = cols.data() + worker * krows * plane;
     for (size_t b = lo; b < hi; ++b) {
       im2col(xc.data() + b * cfg_.in_channels * h * w, cfg_.in_channels, h, w,
@@ -150,6 +155,8 @@ Tensor& Conv2D::backward(ExecutionContext& ctx, const Tensor& grad_output) {
     throw std::invalid_argument("Conv2D::backward: grad shape mismatch " +
                                 grad_output.shape_string());
   util::ScopedWorkerCap cap(ctx.worker_cap());
+  ScopedBackend backend_scope(ctx.backend());
+  const KernelBackend* be = &ctx.resolved_backend();
 
   const size_t krows = cfg_.in_channels * cfg_.kernel_h * cfg_.kernel_w;
   const size_t plane = oh * ow;
@@ -166,6 +173,7 @@ Tensor& Conv2D::backward(ExecutionContext& ctx, const Tensor& grad_output) {
   auto& dwbuf = ctx.workspace().scratch(this, kSlotDw, n * wsize);
   auto& dbbuf = ctx.workspace().scratch(this, kSlotDb, n * cfg_.out_channels);
   util::parallel_for_workers(0, n, [&](size_t worker, size_t lo, size_t hi) {
+    ScopedBackend worker_backend(be);
     double* mycols = cols.data() + worker * krows * plane;
     double* mydcols = dcols.data() + worker * krows * plane;
     for (size_t b = lo; b < hi; ++b) {

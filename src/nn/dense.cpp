@@ -41,6 +41,8 @@ Tensor& Dense::forward(ExecutionContext& ctx, const Tensor& input, bool /*traini
     throw std::invalid_argument("Dense::forward: expected [batch, " + std::to_string(in_) +
                                 "], got " + input.shape_string());
   util::ScopedWorkerCap cap(ctx.worker_cap());
+  ScopedBackend backend_scope(ctx.backend());
+  const KernelBackend* be = &ctx.resolved_backend();
   const size_t batch = input.dim(0);
 
   Tensor& xc = ctx.workspace().tensor(this, kSlotInput, {batch, in_});
@@ -53,10 +55,7 @@ Tensor& Dense::forward(ExecutionContext& ctx, const Tensor& input, bool /*traini
   util::parallel_for_chunks(
       0, batch,
       [&](size_t lo, size_t hi) {
-        for (size_t b = lo; b < hi; ++b) {
-          double* row = out.data() + b * out_;
-          for (size_t o = 0; o < out_; ++o) row[o] += bias[o];
-        }
+        be->add_bias_rows(hi - lo, out_, bias, out.data() + lo * out_);
       },
       detail::kElemGrain / std::max<size_t>(1, out_));
   return out;
@@ -73,6 +72,7 @@ Tensor& Dense::backward(ExecutionContext& ctx, const Tensor& grad_output) {
     throw std::invalid_argument("Dense::backward: grad shape mismatch " +
                                 grad_output.shape_string());
   util::ScopedWorkerCap cap(ctx.worker_cap());
+  ScopedBackend backend_scope(ctx.backend());
 
   // dW[o,i] += sum_b dY[b,o] X[b,i]  ->  dY^T (out x batch) * X (batch x in).
   // Each dW tile is owned by one GEMM task with a fixed k-order, so the

@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "nn/backend.hpp"
 #include "nn/tensor.hpp"
 #include "util/parallel.hpp"
 
@@ -88,14 +89,17 @@ class Workspace {
 };
 
 /// Execution state handed to Layer::forward/backward: workspace + worker
-/// policy. The worker cap (0 = inherit the global DLPIC_THREADS /
-/// set_max_workers width) is applied per layer call through the
-/// thread-local util::ScopedWorkerCap, so contexts with different caps can
-/// run on different threads concurrently without touching process-global
-/// state.
+/// policy + kernel backend. The worker cap (0 = inherit the global
+/// DLPIC_THREADS / set_max_workers width) and the backend (nullptr =
+/// inherit the DLPIC_BACKEND / ScopedBackend selection) are applied per
+/// layer call through thread-local RAII scopes, so contexts with different
+/// policies can run on different threads concurrently without touching
+/// process-global state.
 class ExecutionContext {
  public:
-  explicit ExecutionContext(size_t worker_cap = 0) : worker_cap_(worker_cap) {}
+  explicit ExecutionContext(size_t worker_cap = 0,
+                            const KernelBackend* backend = nullptr)
+      : worker_cap_(worker_cap), backend_(backend) {}
 
   [[nodiscard]] Workspace& workspace() { return workspace_; }
 
@@ -103,6 +107,17 @@ class ExecutionContext {
   /// (0 = inherit). 1 makes this a fully serial context.
   [[nodiscard]] size_t worker_cap() const { return worker_cap_; }
   void set_worker_cap(size_t cap) { worker_cap_ = cap; }
+
+  /// Kernel backend this context pins its layer calls to (nullptr =
+  /// inherit the thread's active backend — the DLPIC_BACKEND default
+  /// unless a ScopedBackend override is in scope).
+  [[nodiscard]] const KernelBackend* backend() const { return backend_; }
+  void set_backend(const KernelBackend* backend) { backend_ = backend; }
+
+  /// The backend a layer call on this context will actually execute with.
+  [[nodiscard]] const KernelBackend& resolved_backend() const {
+    return backend_ != nullptr ? *backend_ : active_backend();
+  }
 
   /// Effective partition width this context dispatches at right now.
   [[nodiscard]] size_t workers() const {
@@ -119,6 +134,7 @@ class ExecutionContext {
 
  private:
   size_t worker_cap_;
+  const KernelBackend* backend_;
   Workspace workspace_;
 };
 

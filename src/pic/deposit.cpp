@@ -3,7 +3,7 @@
 #include <stdexcept>
 #include <vector>
 
-#include "pic/shape_kernels.hpp"
+#include "nn/backend.hpp"
 #include "util/parallel.hpp"
 
 namespace dlpic::pic {
@@ -14,8 +14,8 @@ namespace {
 // and reduction cost more than the serial deposit.
 constexpr size_t kDepositGrain = 4096;
 
-template <Shape S>
-void deposit_impl(const Grid1D& grid, const Species& species, std::vector<double>& rho) {
+void deposit_impl(const Grid1D& grid, const Species& species, std::vector<double>& rho,
+                  nn::KernelBackend::PicDepositFn fn) {
   const double q_over_dx = species.charge() / grid.dx();
   const double inv_dx = 1.0 / grid.dx();
   const long n = static_cast<long>(grid.ncells());
@@ -25,23 +25,21 @@ void deposit_impl(const Grid1D& grid, const Species& species, std::vector<double
 
   const size_t nbuf = util::worker_partition_count(np, kDepositGrain);
   if (nbuf <= 1) {
-    double* out = rho.data();
-    for (size_t p = 0; p < np; ++p) scatter_at<S>(out, xs[p] * inv_dx, n, q_over_dx);
+    fn(rho.data(), xs.data(), 0, np, inv_dx, n, q_over_dx);
     return;
   }
 
   // Per-worker private accumulators: no atomics in the scatter loop. The
   // buffer index is the (deterministic) partition index, so the reduction
   // order — and hence the rounded result — depends only on the configured
-  // worker count, not on thread scheduling.
+  // worker count, not on thread scheduling. Every backend scatters in
+  // ascending particle order, which keeps that guarantee backend-agnostic.
   std::vector<double> scratch(nbuf * ncells, 0.0);
   const double* xs_data = xs.data();
   util::parallel_for_workers(
       0, np,
       [&](size_t worker, size_t lo, size_t hi) {
-        double* buf = scratch.data() + worker * ncells;
-        for (size_t p = lo; p < hi; ++p)
-          scatter_at<S>(buf, xs_data[p] * inv_dx, n, q_over_dx);
+        fn(scratch.data() + worker * ncells, xs_data, lo, hi, inv_dx, n, q_over_dx);
       },
       kDepositGrain);
 
@@ -64,9 +62,8 @@ void deposit_charge(const Grid1D& grid, Shape shape, const Species& species,
                     std::vector<double>& rho) {
   if (rho.size() != grid.ncells())
     throw std::invalid_argument("deposit_charge: rho size mismatch");
-  dispatch_shape(shape, [&](auto s) {
-    deposit_impl<decltype(s)::value>(grid, species, rho);
-  });
+  deposit_impl(grid, species, rho,
+               nn::active_backend().pic_deposit(static_cast<int>(shape)));
 }
 
 std::vector<double> charge_density(const Grid1D& grid, Shape shape, const Species& species,

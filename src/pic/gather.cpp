@@ -2,7 +2,7 @@
 
 #include <stdexcept>
 
-#include "pic/shape_kernels.hpp"
+#include "nn/backend.hpp"
 #include "util/parallel.hpp"
 
 namespace dlpic::pic {
@@ -10,22 +10,6 @@ namespace dlpic::pic {
 namespace {
 
 constexpr size_t kGatherGrain = 8192;
-
-template <Shape S>
-void gather_impl(const Grid1D& grid, const std::vector<double>& E,
-                 const std::vector<double>& xs, std::vector<double>& E_particles) {
-  const double inv_dx = 1.0 / grid.dx();
-  const long n = static_cast<long>(grid.ncells());
-  const double* Ed = E.data();
-  const double* xd = xs.data();
-  double* out = E_particles.data();
-  util::parallel_for_chunks(
-      0, xs.size(),
-      [&](size_t lo, size_t hi) {
-        for (size_t p = lo; p < hi; ++p) out[p] = gather_at<S>(Ed, xd[p] * inv_dx, n);
-      },
-      kGatherGrain);
-}
 
 }  // namespace
 
@@ -41,9 +25,17 @@ void gather_to_particles(const Grid1D& grid, Shape shape, const std::vector<doub
   if (E.size() != grid.ncells())
     throw std::invalid_argument("gather_to_particles: field size mismatch");
   E_particles.resize(species.size());
-  dispatch_shape(shape, [&](auto s) {
-    gather_impl<decltype(s)::value>(grid, E, species.x(), E_particles);
-  });
+  // The range kernel comes from the active backend (scalar or SIMD); fetch
+  // it once on the calling thread, then fan ranges out over the pool.
+  const auto fn = nn::active_backend().pic_gather(static_cast<int>(shape));
+  const double inv_dx = 1.0 / grid.dx();
+  const long n = static_cast<long>(grid.ncells());
+  const double* Ed = E.data();
+  const double* xd = species.x().data();
+  double* out = E_particles.data();
+  util::parallel_for_chunks(
+      0, species.size(),
+      [&](size_t lo, size_t hi) { fn(Ed, xd, out, lo, hi, inv_dx, n); }, kGatherGrain);
 }
 
 }  // namespace dlpic::pic

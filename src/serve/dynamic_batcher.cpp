@@ -1,6 +1,7 @@
 #include "serve/dynamic_batcher.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 
@@ -22,6 +23,8 @@ DynamicBatcher::DynamicBatcher(nn::Sequential& model, nn::ExecutionContext& cont
   if (config_.max_batch == 0)
     throw std::invalid_argument("DynamicBatcher: max_batch must be >= 1");
   if (input_dim_ == 0) throw std::invalid_argument("DynamicBatcher: input_dim must be >= 1");
+  if (config_.pad_to_batch != 0 && config_.pad_to_batch < config_.max_batch)
+    throw std::invalid_argument("DynamicBatcher: pad_to_batch must be >= max_batch");
 }
 
 size_t DynamicBatcher::serve_once(RequestQueue& queue) {
@@ -65,15 +68,20 @@ size_t DynamicBatcher::serve_once(RequestQueue& queue) {
 
 void DynamicBatcher::run_batch() {
   const size_t b = batch_.size();
+  // With padding enabled every forward pass carries the same fixed row
+  // count; rows beyond the live batch are zeroed and later discarded.
+  const size_t rows = config_.pad_to_batch > b ? config_.pad_to_batch : b;
   try {
-    // Assemble [batch, input_dim] in the workspace: steady-state
+    // Assemble [rows, input_dim] in the workspace: steady-state
     // reacquisition at the same shape is allocation-free.
-    nn::Tensor& x = ctx_.workspace().tensor(this, kSlotBatchInput, {b, input_dim_});
+    nn::Tensor& x = ctx_.workspace().tensor(this, kSlotBatchInput, {rows, input_dim_});
     for (size_t i = 0; i < b; ++i) nn::set_row(x, i, batch_[i].input.data(), input_dim_);
+    if (rows > b)
+      std::memset(x.data() + b * input_dim_, 0, (rows - b) * input_dim_ * sizeof(double));
     if (normalizer_) normalizer_->apply(x.data(), x.size());
 
     const nn::Tensor& y = model_.predict(ctx_, x);
-    if (y.rank() != 2 || y.dim(0) != b)
+    if (y.rank() != 2 || y.dim(0) != rows)
       throw std::runtime_error("DynamicBatcher: expected [batch, out] model output, got " +
                                y.shape_string());
     std::vector<double> row;

@@ -32,6 +32,15 @@ struct BatcherConfig {
   /// flushing it partially filled, in microseconds. 0 serves whatever is
   /// immediately available.
   uint32_t max_wait_us = 200;
+  /// When non-zero, every forward pass runs at exactly this row count:
+  /// partial batches are zero-padded up to it (and the padded rows are
+  /// dropped before scattering results). A fixed batch shape keeps the SIMD
+  /// GEMM on full tiles and the workspace at one steady-state size.
+  /// Must be >= max_batch when set. Correctness-neutral: all layer kernels
+  /// compute each output row independently of the other rows, so padded
+  /// results are bitwise identical to unpadded ones
+  /// (tests/serve/test_serving.cpp enforces this).
+  size_t pad_to_batch = 0;
 };
 
 /// One serving loop body: pop a batch, assemble the batch tensor in the

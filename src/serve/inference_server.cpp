@@ -13,6 +13,8 @@ ServerConfig validated(ServerConfig config) {
     throw std::invalid_argument("InferenceServer: max_batch must be >= 1");
   if (config.worker_threads == 0)
     throw std::invalid_argument("InferenceServer: worker_threads must be >= 1");
+  if (config.pad_to_batch != 0 && config.pad_to_batch < config.max_batch)
+    throw std::invalid_argument("InferenceServer: pad_to_batch must be >= max_batch");
   return config;
 }
 }  // namespace
@@ -51,8 +53,15 @@ void InferenceServer::start_workers() {
   BatcherConfig bc;
   bc.max_batch = config_.max_batch;
   bc.max_wait_us = config_.max_wait_us;
+  bc.pad_to_batch = config_.pad_to_batch;
+  // Pin each worker context to the backend active on the CONSTRUCTING
+  // thread: thread-local backend selection (ScopedBackend) does not reach
+  // the batcher threads, and the batched == single-sample bitwise guarantee
+  // requires the server to compute with the same kernels as the caller.
+  const nn::KernelBackend* backend = &nn::active_backend();
   for (size_t w = 0; w < config_.worker_threads; ++w) {
-    contexts_.push_back(std::make_unique<nn::ExecutionContext>(config_.context_worker_cap));
+    contexts_.push_back(
+        std::make_unique<nn::ExecutionContext>(config_.context_worker_cap, backend));
     batchers_.push_back(std::make_unique<DynamicBatcher>(model_, *contexts_.back(),
                                                          input_dim_, bc, normalizer_));
   }

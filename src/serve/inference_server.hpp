@@ -37,6 +37,11 @@ struct ServerConfig {
   /// Batching window: how long an open batch waits for more requests before
   /// a partial flush, in microseconds.
   uint32_t max_wait_us = 200;
+  /// Fixed-shape micro-batch padding: when non-zero, every forward pass runs
+  /// at exactly this row count (>= max_batch), zero-padding partial batches
+  /// so the SIMD GEMM always executes full tiles. Results are bitwise
+  /// unchanged (rows are computed independently); see BatcherConfig.
+  size_t pad_to_batch = 0;
   /// Batcher threads, each with a private ExecutionContext. Must be >= 1.
   size_t worker_threads = 1;
   /// Worker cap of each batcher's context: 0 inherits the global width
@@ -61,6 +66,12 @@ struct ServerStats {
 /// contexts over one shared model. Construction starts the workers;
 /// destruction (or shutdown()) closes the queue, drains every in-flight
 /// request and joins the workers — submitted futures are always fulfilled.
+///
+/// The kernel backend active on the constructing thread (the DLPIC_BACKEND
+/// default unless a nn::ScopedBackend override is in scope) is captured
+/// into every worker context, so batched results stay bitwise identical to
+/// the caller's own single-sample inference regardless of which thread
+/// serves the batch.
 ///
 /// The model must not be trained or otherwise mutated while the server is
 /// running; inference itself keeps all mutable state in the per-worker

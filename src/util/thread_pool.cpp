@@ -8,31 +8,72 @@
 namespace dlpic::util {
 
 namespace {
+
 thread_local bool t_on_worker_thread = false;
+
+size_t default_thread_count() {
+  size_t threads = static_cast<size_t>(std::max(0L, env_int_or("DLPIC_THREADS", 0)));
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  return threads;
 }
+
+/// Ring capacity for a pool width: every dispatch submits at most one task
+/// per worker, so a handful of concurrent dispatching threads fit without
+/// the (still correct) blocking path ever triggering.
+size_t ring_capacity(size_t threads) { return std::max<size_t>(8 * threads, 64); }
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t threads) {
-  if (threads == 0) {
-    threads = static_cast<size_t>(std::max(0L, env_int_or("DLPIC_THREADS", 0)));
-    if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
-  }
-  workers_.reserve(threads);
-  for (size_t i = 0; i < threads; ++i) workers_.emplace_back([this] { worker_loop(); });
+  if (threads == 0) threads = default_thread_count();
+  ring_.resize(ring_capacity(threads));
+  std::lock_guard<std::mutex> lock(mutex_);
+  spawn_locked(threads);
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { stop_and_join(); }
+
+void ThreadPool::spawn_locked(size_t threads) {
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) workers_.emplace_back([this] { worker_loop(); });
+  size_.store(workers_.size(), std::memory_order_relaxed);
+}
+
+void ThreadPool::stop_and_join() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stop_ = true;
   }
   cv_task_.notify_all();
   for (auto& w : workers_) w.join();
+  workers_.clear();
+  size_.store(0, std::memory_order_relaxed);
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+void ThreadPool::resize(size_t threads) {
+  if (threads == 0) threads = default_thread_count();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push(std::move(task));
+    // Let the current width finish everything already submitted, so no task
+    // is stranded in the ring while the workers restart.
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+  }
+  stop_and_join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  stop_ = false;
+  ring_.resize(std::max(ring_.size(), ring_capacity(threads)));
+  head_ = 0;
+  spawn_locked(threads);
+}
+
+void ThreadPool::submit_raw(void (*invoke)(void*), const void* closure, size_t bytes) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_space_.wait(lock, [this] { return queued_ < ring_.size(); });
+    TaskSlot& slot = ring_[(head_ + queued_) % ring_.size()];
+    slot.invoke = invoke;
+    std::memcpy(slot.storage, closure, bytes);
+    ++queued_;
     ++in_flight_;
   }
   cv_task_.notify_one();
@@ -53,16 +94,20 @@ bool ThreadPool::on_worker_thread() { return t_on_worker_thread; }
 void ThreadPool::worker_loop() {
   t_on_worker_thread = true;
   for (;;) {
-    std::function<void()> task;
+    TaskSlot task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (stop_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop();
+      cv_task_.wait(lock, [this] { return stop_ || queued_ > 0; });
+      if (stop_ && queued_ == 0) return;
+      // Copy the slot out (closures are trivially copyable by contract) so
+      // the ring slot frees before the task runs.
+      task = ring_[head_];
+      head_ = (head_ + 1) % ring_.size();
+      --queued_;
     }
+    cv_space_.notify_one();
     try {
-      task();
+      task.invoke(task.storage);
     } catch (const std::exception& e) {
       DLPIC_LOG_ERROR("ThreadPool: task failed with exception: %s", e.what());
       std::lock_guard<std::mutex> lock(mutex_);

@@ -10,7 +10,9 @@
 #include <atomic>
 #include <cstdlib>
 #include <new>
+#include <thread>
 
+#include "math/linalg.hpp"
 #include "math/rng.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/dense.hpp"
@@ -21,6 +23,7 @@
 #include "nn/model_zoo.hpp"
 #include "nn/optimizer.hpp"
 #include "util/parallel.hpp"
+#include "util/thread_pool.hpp"
 
 // ---------------------------------------------------------------------------
 // Global allocation counter. Counting (not size-tracking) is enough: the
@@ -209,5 +212,65 @@ TEST(ZeroAllocation, FullTrainingStepSteadyState) {
   const size_t after = g_alloc_count.load();
   EXPECT_EQ(after - before, 0u) << "steady-state training steps allocated";
 }
+
+#ifndef DLPIC_HAVE_OPENMP
+// Touches every per-thread lazily-constructed buffer on every pool worker:
+// each task blocks until all N are claimed (so N distinct threads hold one),
+// then runs a tiny GEMM that constructs the thread's pack buffers.
+void warm_pool_thread_locals() {
+  auto& pool = dlpic::util::ThreadPool::global();
+  const size_t n = pool.size();
+  std::atomic<size_t> arrived{0};
+  for (size_t t = 0; t < n; ++t) {
+    pool.submit([&arrived, n] {
+      arrived.fetch_add(1);
+      while (arrived.load() < n) std::this_thread::yield();
+      double a = 1.0, b = 1.0, c = 0.0;
+      math::gemm(false, false, 1, 1, 1, 1.0, &a, 1, &b, 1, 0.0, &c, 1);
+    });
+  }
+  pool.wait_idle();
+}
+
+// The PR-4 acceptance criterion: parallel dispatch itself is allocation-
+// free. ThreadPool::submit stores closures in inline ring slots (no
+// std::function, no heap), so a steady-state training step stays at zero
+// allocations even when every layer kernel fans out over the pool.
+TEST(ZeroAllocation, ParallelTrainingStepSteadyState) {
+  util::ThreadPool::global().resize(4);
+  util::ScopedMaxWorkers cap(4);
+  // Large enough that the GEMMs span several output tiles and the Adam
+  // update spans several element chunks — i.e. dispatch really fans out.
+  MlpSpec spec;
+  spec.input_dim = 256;
+  spec.output_dim = 64;
+  spec.hidden = 256;
+  Sequential model = build_mlp(spec);
+  ExecutionContext ctx;
+  MSELoss loss;
+  Adam adam(1e-3);
+  auto params = model.params();
+  auto x = random_tensor({64, 256}, 31);
+  auto y = random_tensor({64, 64}, 32);
+
+  auto step = [&] {
+    const Tensor& pred = model.forward(ctx, x, true);
+    loss.forward(pred, y);
+    for (auto& p : params) p.grad->zero();
+    model.backward(ctx, loss.backward());
+    adam.step(params);
+  };
+  warm_pool_thread_locals();
+  for (int i = 0; i < 5; ++i) step();  // warm workspace + per-thread buffers
+
+  const size_t before = g_alloc_count.load();
+  for (int i = 0; i < 20; ++i) step();
+  const size_t after = g_alloc_count.load();
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state parallel training steps allocated (task submission "
+         "must not heap-allocate)";
+  util::ThreadPool::global().resize(0);
+}
+#endif
 
 }  // namespace

@@ -227,6 +227,63 @@ TEST(DlFieldSolverServing, AsyncMatchesSyncBitwise) {
   EXPECT_THROW((void)solver.solve_async(histograms[0]), std::runtime_error);
 }
 
+TEST(DynamicBatcher, PaddingIsBitwiseNeutral) {
+  // The same partial batch served with and without fixed-shape padding must
+  // produce bitwise-identical rows: padded rows are computed independently
+  // and dropped before the scatter.
+  auto model = make_model(21);
+  auto samples = make_samples(5, 999);  // 5 live rows, padded up to 16
+
+  auto serve_with_pad = [&](size_t pad) {
+    serve::RequestQueue queue;
+    std::vector<std::future<std::vector<double>>> futures;
+    for (const auto& s : samples) futures.push_back(queue.push(s));
+    nn::ExecutionContext ctx(/*worker_cap=*/1);
+    serve::BatcherConfig bc;
+    bc.max_batch = 16;
+    bc.max_wait_us = 0;  // serve whatever is queued right now
+    bc.pad_to_batch = pad;
+    serve::DynamicBatcher batcher(model, ctx, kInputDim, bc);
+    EXPECT_EQ(batcher.serve_once(queue), samples.size());
+    std::vector<std::vector<double>> out;
+    for (auto& f : futures) out.push_back(f.get());
+    return out;
+  };
+
+  const auto unpadded = serve_with_pad(0);
+  const auto padded = serve_with_pad(16);
+  ASSERT_EQ(unpadded.size(), padded.size());
+  for (size_t i = 0; i < unpadded.size(); ++i) EXPECT_EQ(unpadded[i], padded[i]);
+
+  // And the padded batch still matches the single-sample serial reference.
+  const auto reference = serial_reference(model, samples);
+  for (size_t i = 0; i < reference.size(); ++i) EXPECT_EQ(padded[i], reference[i]);
+}
+
+TEST(InferenceServer, PaddedServerMatchesSerialReferenceBitwise) {
+  auto model = make_model(22);
+  auto samples = make_samples(19, 1234);  // never a multiple of max_batch
+  const auto expected = serial_reference(model, samples);
+
+  ServerConfig cfg;
+  cfg.max_batch = 8;
+  cfg.pad_to_batch = 8;  // every forward pass runs at exactly 8 rows
+  cfg.max_wait_us = 1'000;
+  InferenceServer server(model, kInputDim, cfg);
+
+  std::vector<std::future<std::vector<double>>> futures;
+  for (const auto& s : samples) futures.push_back(server.submit(s));
+  for (size_t i = 0; i < futures.size(); ++i) EXPECT_EQ(futures[i].get(), expected[i]);
+}
+
+TEST(InferenceServer, RejectsPadSmallerThanMaxBatch) {
+  auto model = make_model();
+  ServerConfig cfg;
+  cfg.max_batch = 8;
+  cfg.pad_to_batch = 4;
+  EXPECT_THROW(InferenceServer(model, kInputDim, cfg), std::invalid_argument);
+}
+
 TEST(DlFieldSolverServing, SpeciesOverloadMatchesSolve) {
   phase_space::BinnerConfig bc;
   bc.nx = 8;

@@ -26,6 +26,51 @@ TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately) {
   SUCCEED();
 }
 
+TEST(ThreadPool, SubmitMoreTasksThanRingCapacityCompletes) {
+  // The inline task ring is fixed-capacity; submit briefly blocks when it
+  // fills and must make progress as workers drain it.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 5000; ++i) pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 5000);
+}
+
+TEST(ThreadPool, ResizeChangesWidthAndKeepsPoolUsable) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) pool.submit([&counter] { counter.fetch_add(1); });
+  pool.resize(3);  // waits for the in-flight tasks first
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_EQ(counter.load(), 10);
+  for (int i = 0; i < 10; ++i) pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 20);
+  pool.resize(0);  // 0 = default sizing, still at least one worker
+  EXPECT_GE(pool.size(), 1u);
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 21);
+}
+
+TEST(ThreadPool, ResizeGlobalPoolChangesParallelWidth) {
+  // parallel_workers() follows the pool size when no cap is configured.
+  const size_t prev_cap = max_workers();
+  set_max_workers(0);
+  auto& pool = ThreadPool::global();
+  const size_t original = pool.size();
+  pool.resize(3);
+#ifndef DLPIC_HAVE_OPENMP
+  EXPECT_EQ(parallel_workers(), 3u);
+#endif
+  std::atomic<int> hits{0};
+  parallel_for(0, 10000, [&](size_t) { hits.fetch_add(1); }, /*grain=*/64);
+  EXPECT_EQ(hits.load(), 10000);
+  pool.resize(original);
+  set_max_workers(prev_cap);
+}
+
 TEST(Parallel, ForCoversEveryIndexExactlyOnce) {
   const size_t n = 10000;
   std::vector<std::atomic<int>> hits(n);
