@@ -7,6 +7,17 @@
 /// formation is not throttled by client round-trips, and `pad` != 0 enables
 /// fixed-shape micro-batch padding (pad_to_batch = max_batch). Every run
 /// also reports mean_batch (the amortization the dynamic batcher achieved).
+///
+/// bench_serve_lanes sweeps the priority-lane / multi-model scheduler under
+/// saturation: {bulk_clients, interactive_clients, models, max_batch} with
+/// bulk clients keeping a deep pipelined backlog outstanding and interactive
+/// clients trickling latency-sensitive requests (round-robin across models,
+/// some with tight deadlines). Reported counters: per-lane
+/// interactive_p50_us/interactive_p99_us vs bulk_p50_us/bulk_p99_us (under
+/// saturation interactive p99 must sit well below bulk p99 — the lane
+/// scheduler's reason to exist) and `expired` (deadline rejections, which
+/// never buy a forward pass).
+///
 /// Results land in BENCH_serving.json with the usual SHA/build metadata —
 /// compare items_per_second of bench_serve_batched/* against
 /// bench_serve_serial_single across commits.
@@ -16,6 +27,7 @@
 #include <algorithm>
 #include <chrono>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -147,6 +159,116 @@ void bench_serve_batched(benchmark::State& state) {
   state.counters["max_batch_observed"] = static_cast<double>(stats.max_batch_observed);
 }
 
+/// Priority-lane / multi-model saturation sweep: `bulk_clients` keep a deep
+/// pipelined backlog outstanding on the bulk lane while
+/// `interactive_clients` trickle submit-then-wait requests on the
+/// interactive lane, round-robin across `models` bundles behind one worker
+/// pool. Every 4th interactive request carries a tight deadline so the
+/// expiry path is exercised under load.
+void bench_serve_lanes(benchmark::State& state) {
+  const size_t bulk_clients = static_cast<size_t>(state.range(0));
+  const size_t interactive_clients = static_cast<size_t>(state.range(1));
+  const size_t models = static_cast<size_t>(state.range(2));
+  const size_t max_batch = static_cast<size_t>(state.range(3));
+
+  std::vector<nn::Sequential> bundles;
+  bundles.reserve(models);
+  for (size_t m = 0; m < models; ++m) {
+    nn::MlpSpec spec;
+    spec.input_dim = kInputDim;
+    spec.output_dim = kOutputDim;
+    spec.hidden = 256;
+    spec.depth = 3;
+    spec.seed = 3000 + m;
+    bundles.push_back(nn::build_mlp(spec));
+  }
+
+  serve::ServerConfig cfg;
+  cfg.worker_threads = 1;
+  cfg.context_worker_cap = 0;
+  serve::InferenceServer server(cfg);
+  serve::ModelConfig mc;
+  mc.max_batch = max_batch;
+  mc.max_wait_us = 200;
+  std::vector<size_t> ids;
+  for (size_t m = 0; m < models; ++m)
+    ids.push_back(server.add_model("bundle-" + std::to_string(m), bundles[m], kInputDim, mc));
+
+  std::mutex latency_mutex;
+  std::vector<double> bulk_us, interactive_us;
+
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(bulk_clients + interactive_clients);
+    for (size_t c = 0; c < bulk_clients; ++c) {
+      threads.emplace_back([&, c] {
+        const auto sample = random_sample(c + 1);
+        constexpr size_t kBacklog = 64;
+        std::vector<std::chrono::steady_clock::time_point> t0(kBacklog);
+        std::vector<std::future<std::vector<double>>> futures(kBacklog);
+        std::vector<double> local_us;
+        local_us.reserve(kBacklog);
+        serve::SubmitOptions options;  // bulk lane, no deadline
+        for (size_t i = 0; i < kBacklog; ++i) {
+          options.model_id = ids[i % ids.size()];
+          t0[i] = std::chrono::steady_clock::now();
+          futures[i] = server.submit(sample, options);
+        }
+        for (size_t i = 0; i < kBacklog; ++i) {
+          auto result = futures[i].get();
+          benchmark::DoNotOptimize(result.data());
+          local_us.push_back(std::chrono::duration<double, std::micro>(
+                                 std::chrono::steady_clock::now() - t0[i])
+                                 .count());
+        }
+        std::lock_guard<std::mutex> lock(latency_mutex);
+        bulk_us.insert(bulk_us.end(), local_us.begin(), local_us.end());
+      });
+    }
+    for (size_t c = 0; c < interactive_clients; ++c) {
+      threads.emplace_back([&, c] {
+        const auto sample = random_sample(100 + c);
+        constexpr size_t kRequests = 16;
+        std::vector<double> local_us;
+        local_us.reserve(kRequests);
+        for (size_t i = 0; i < kRequests; ++i) {
+          serve::SubmitOptions options;
+          options.priority = serve::Priority::kInteractive;
+          options.model_id = ids[i % ids.size()];
+          if (i % 4 == 3)  // exercise expiry under load
+            options.deadline = std::chrono::steady_clock::now() + std::chrono::microseconds(50);
+          const auto t0 = std::chrono::steady_clock::now();
+          auto future = server.submit(sample, options);
+          try {
+            auto result = future.get();
+            benchmark::DoNotOptimize(result.data());
+            local_us.push_back(std::chrono::duration<double, std::micro>(
+                                   std::chrono::steady_clock::now() - t0)
+                                   .count());
+          } catch (const serve::DeadlineExpired&) {
+            // Shed, not served: latency sample intentionally skipped.
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(300));
+        }
+        std::lock_guard<std::mutex> lock(latency_mutex);
+        interactive_us.insert(interactive_us.end(), local_us.begin(), local_us.end());
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  const auto stats = server.stats();
+  std::sort(bulk_us.begin(), bulk_us.end());
+  std::sort(interactive_us.begin(), interactive_us.end());
+  state.SetItemsProcessed(static_cast<int64_t>(stats.requests));
+  state.counters["bulk_p50_us"] = percentile(bulk_us, 0.50);
+  state.counters["bulk_p99_us"] = percentile(bulk_us, 0.99);
+  state.counters["interactive_p50_us"] = percentile(interactive_us, 0.50);
+  state.counters["interactive_p99_us"] = percentile(interactive_us, 0.99);
+  state.counters["expired"] = static_cast<double>(stats.expired);
+  state.counters["mean_batch"] = stats.mean_batch();
+}
+
 }  // namespace
 
 BENCHMARK(bench_serve_serial_single)->Unit(benchmark::kMicrosecond);
@@ -165,6 +287,15 @@ BENCHMARK(bench_serve_batched)
     ->Args({8, 32, 1, 8, 0})
     ->Args({8, 8, 2, 8, 0})    // two serial-context workers, pipelined
     ->Args({16, 32, 2, 8, 1})
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+// {bulk_clients, interactive_clients, models, max_batch}: lane isolation
+// under saturation, single- and multi-model.
+BENCHMARK(bench_serve_lanes)
+    ->Args({4, 2, 1, 8})   // one bundle, saturated bulk + sparse interactive
+    ->Args({4, 2, 2, 8})   // two bundles behind the same worker pool
+    ->Args({8, 2, 2, 16})  // deeper saturation, larger batches
     ->Unit(benchmark::kMicrosecond)
     ->UseRealTime();
 

@@ -56,19 +56,45 @@ serve::InferenceServer& DlFieldSolver::start_serving(const serve::ServerConfig& 
   stop_serving();
   server_ = std::make_unique<serve::InferenceServer>(model_, binner_.size(), config,
                                                      &normalizer_);
+  model_id_ = 0;
   return *server_;
 }
 
-void DlFieldSolver::stop_serving() { server_.reset(); }
-
-std::future<std::vector<double>> DlFieldSolver::solve_async(std::vector<double> histogram) {
-  if (!server_)
-    throw std::runtime_error("DlFieldSolver::solve_async: call start_serving() first");
-  return server_->submit(std::move(histogram));
+size_t DlFieldSolver::start_serving(serve::InferenceServer& shared, std::string name,
+                                    const serve::ModelConfig& config) {
+  stop_serving();
+  model_id_ = shared.add_model(std::move(name), model_, binner_.size(), config,
+                               &normalizer_);
+  shared_server_ = &shared;
+  return model_id_;
 }
 
-std::future<std::vector<double>> DlFieldSolver::solve_async(const pic::Species& electrons) {
-  return solve_async(binner_.bin(electrons));
+void DlFieldSolver::stop_serving() {
+  server_.reset();
+  // Shared mode is a registration, not a session: the bundle stays
+  // registered (and servable) on the shared server — only this solver's
+  // routing is dropped. The solver must still outlive the shared server.
+  shared_server_ = nullptr;
+  model_id_ = 0;
+}
+
+std::future<std::vector<double>> DlFieldSolver::solve_async(
+    std::vector<double> histogram, serve::Priority priority,
+    std::chrono::steady_clock::time_point deadline) {
+  serve::InferenceServer* backend = server();
+  if (backend == nullptr)
+    throw std::runtime_error("DlFieldSolver::solve_async: call start_serving() first");
+  serve::SubmitOptions options;
+  options.model_id = model_id_;
+  options.priority = priority;
+  options.deadline = deadline;
+  return backend->submit(std::move(histogram), options);
+}
+
+std::future<std::vector<double>> DlFieldSolver::solve_async(
+    const pic::Species& electrons, serve::Priority priority,
+    std::chrono::steady_clock::time_point deadline) {
+  return solve_async(binner_.bin(electrons), priority, deadline);
 }
 
 std::vector<double> DlFieldSolver::solve_histogram(const std::vector<double>& histogram) {

@@ -26,9 +26,12 @@ class DlFieldSolver {
   DlFieldSolver(nn::Sequential model, data::MinMaxNormalizer normalizer,
                 phase_space::BinnerConfig binner_config);
 
-  /// Moving a solver stops any serving session first (the server holds
-  /// references into the moved-from object); restart serving on the
-  /// destination if needed.
+  /// Moving a solver stops any serving session first (a private server
+  /// holds references into the moved-from object); restart serving on the
+  /// destination if needed. Do NOT move a solver while it is registered on
+  /// a SHARED server: the registration cannot be withdrawn, so the shared
+  /// server would keep serving from the moved-from model. Shut the shared
+  /// server down first.
   DlFieldSolver(DlFieldSolver&& other) noexcept;
   DlFieldSolver& operator=(DlFieldSolver&& other) noexcept;
   DlFieldSolver(const DlFieldSolver&) = delete;
@@ -49,30 +52,59 @@ class DlFieldSolver {
   [[nodiscard]] nn::ExecutionContext& context() { return ctx_; }
 
   /// Starts (or restarts with a new config) the serving-backed mode: a
-  /// serve::InferenceServer over this solver's model and normalizer that
-  /// coalesces concurrent solve_async() calls into batched forward passes.
-  /// Returns the running server (also reachable via server()). The solver
-  /// must outlive the serving session and must not be moved while serving.
+  /// private serve::InferenceServer over this solver's model and normalizer
+  /// that coalesces concurrent solve_async() calls into batched forward
+  /// passes. Returns the running server (also reachable via server()). The
+  /// solver must outlive the serving session and must not be moved while
+  /// serving.
   serve::InferenceServer& start_serving(const serve::ServerConfig& config = {});
 
-  /// Drains in-flight requests and stops the serving backend. No-op when
-  /// not serving.
+  /// Multi-model mode: registers this solver's model + normalizer as a
+  /// named bundle on a caller-owned shared server (one server, several
+  /// field-solver bundles behind one worker pool) and routes solve_async()
+  /// through it. A thin registration: the shared server keeps its own
+  /// workers, queue and per-model stats; this solver only remembers its
+  /// model id. Returns that id. The solver must outlive `shared` (the
+  /// registration cannot be withdrawn) and must not be moved while
+  /// registered. Stops any previous serving mode first.
+  size_t start_serving(serve::InferenceServer& shared, std::string name,
+                       const serve::ModelConfig& config = {});
+
+  /// Drains in-flight requests and stops a private serving backend, or
+  /// detaches from a shared one (whose bundle stays registered and
+  /// servable — only this solver's routing is dropped). No-op when not
+  /// serving.
   void stop_serving();
 
-  /// True while the serving backend is up.
-  [[nodiscard]] bool serving() const { return server_ != nullptr; }
+  /// True while the serving backend is up (private or shared).
+  [[nodiscard]] bool serving() const {
+    return server_ != nullptr || shared_server_ != nullptr;
+  }
 
-  /// The running serving backend, or nullptr when not serving.
-  [[nodiscard]] serve::InferenceServer* server() { return server_.get(); }
+  /// The serving backend solve_async() routes through (private or shared),
+  /// or nullptr when not serving.
+  [[nodiscard]] serve::InferenceServer* server() {
+    return server_ != nullptr ? server_.get() : shared_server_;
+  }
+
+  /// The bundle id this solver serves under (meaningful while serving).
+  [[nodiscard]] size_t serving_model_id() const { return model_id_; }
 
   /// Asynchronous solve_histogram() through the serving backend: submits
-  /// the raw (unnormalized) histogram and resolves to the predicted E.
-  /// Results are bitwise identical to the synchronous path. Throws
-  /// std::runtime_error when serving has not been started.
-  std::future<std::vector<double>> solve_async(std::vector<double> histogram);
+  /// the raw (unnormalized) histogram on `priority`'s lane, optionally with
+  /// an absolute expiry `deadline` (the future fails with
+  /// serve::DeadlineExpired when inference has not started by then), and
+  /// resolves to the predicted E. Served results are bitwise identical to
+  /// the synchronous path. Throws std::runtime_error when serving has not
+  /// been started.
+  std::future<std::vector<double>> solve_async(
+      std::vector<double> histogram, serve::Priority priority = serve::Priority::kBulk,
+      std::chrono::steady_clock::time_point deadline = serve::kNoDeadline);
 
   /// Asynchronous solve(): bins the phase space, then submits it.
-  std::future<std::vector<double>> solve_async(const pic::Species& electrons);
+  std::future<std::vector<double>> solve_async(
+      const pic::Species& electrons, serve::Priority priority = serve::Priority::kBulk,
+      std::chrono::steady_clock::time_point deadline = serve::kNoDeadline);
 
   [[nodiscard]] const phase_space::BinnerConfig& binner_config() const {
     return binner_.config();
@@ -91,7 +123,9 @@ class DlFieldSolver {
   data::MinMaxNormalizer normalizer_;
   phase_space::PhaseSpaceBinner binner_;
   nn::ExecutionContext ctx_;
-  std::unique_ptr<serve::InferenceServer> server_;  // non-null while serving
+  std::unique_ptr<serve::InferenceServer> server_;     // non-null in private mode
+  serve::InferenceServer* shared_server_ = nullptr;    // non-null in shared mode
+  size_t model_id_ = 0;                                // bundle id while serving
 };
 
 }  // namespace dlpic::core

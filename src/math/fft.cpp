@@ -79,7 +79,14 @@ std::vector<cplx> fft_real(const std::vector<double>& signal) {
 double mode_amplitude(const std::vector<double>& signal, size_t mode) {
   const size_t n = signal.size();
   if (mode >= n) throw std::invalid_argument("mode_amplitude: mode out of range");
-  auto spectrum = fft_real(signal);
+  // Reused transform buffer: this runs in the per-step diagnostics of the
+  // PIC hot loop, which must stay allocation-free in steady state (holds
+  // for power-of-two sizes; other sizes fall back to the allocating direct
+  // DFT inside fft()).
+  thread_local std::vector<cplx> spectrum;
+  spectrum.resize(n);
+  for (size_t i = 0; i < n; ++i) spectrum[i] = cplx(signal[i], 0.0);
+  fft(spectrum);
   const double mag = std::abs(spectrum[mode]);
   // One-sided amplitude: DC and Nyquist are not doubled.
   const bool two_sided = (mode != 0) && !(n % 2 == 0 && mode == n / 2);

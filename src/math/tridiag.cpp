@@ -5,16 +5,18 @@
 
 namespace dlpic::math {
 
-std::vector<double> solve_tridiagonal(const std::vector<double>& a,
-                                      const std::vector<double>& b,
-                                      const std::vector<double>& c,
-                                      const std::vector<double>& d) {
+void solve_tridiagonal_into(const std::vector<double>& a, const std::vector<double>& b,
+                            const std::vector<double>& c, const std::vector<double>& d,
+                            std::vector<double>& x, std::vector<double>& cp,
+                            std::vector<double>& dp) {
   const size_t n = b.size();
   if (a.size() != n || c.size() != n || d.size() != n)
     throw std::invalid_argument("solve_tridiagonal: size mismatch");
-  if (n == 0) return {};
+  x.resize(n);
+  cp.resize(n);
+  dp.resize(n);
+  if (n == 0) return;
 
-  std::vector<double> cp(n), dp(n);
   double pivot = b[0];
   if (std::abs(pivot) < 1e-300) throw std::runtime_error("solve_tridiagonal: zero pivot");
   cp[0] = c[0] / pivot;
@@ -25,9 +27,16 @@ std::vector<double> solve_tridiagonal(const std::vector<double>& a,
     cp[i] = c[i] / pivot;
     dp[i] = (d[i] - a[i] * dp[i - 1]) / pivot;
   }
-  std::vector<double> x(n);
   x[n - 1] = dp[n - 1];
   for (size_t i = n - 1; i-- > 0;) x[i] = dp[i] - cp[i] * x[i + 1];
+}
+
+std::vector<double> solve_tridiagonal(const std::vector<double>& a,
+                                      const std::vector<double>& b,
+                                      const std::vector<double>& c,
+                                      const std::vector<double>& d) {
+  std::vector<double> x, cp, dp;
+  solve_tridiagonal_into(a, b, c, d, x, cp, dp);
   return x;
 }
 

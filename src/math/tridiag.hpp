@@ -19,6 +19,14 @@ std::vector<double> solve_tridiagonal(const std::vector<double>& a,
                                       const std::vector<double>& c,
                                       const std::vector<double>& d);
 
+/// Allocation-free Thomas solve for hot loops: writes the solution into `x`
+/// and uses `cp`/`dp` as forward-sweep scratch (all three grown to size n,
+/// reusable across calls — a steady-state caller allocates nothing).
+void solve_tridiagonal_into(const std::vector<double>& a, const std::vector<double>& b,
+                            const std::vector<double>& c, const std::vector<double>& d,
+                            std::vector<double>& x, std::vector<double>& cp,
+                            std::vector<double>& dp);
+
 /// Solves the cyclic tridiagonal system where additionally the corner terms
 /// alpha = A[0][n-1] and beta = A[n-1][0] couple the ends (periodic BCs),
 /// using the Sherman–Morrison formula. n must be >= 3.

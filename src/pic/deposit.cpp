@@ -1,5 +1,6 @@
 #include "pic/deposit.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <vector>
 
@@ -13,6 +14,17 @@ namespace {
 // Minimum particles per worker chunk: below this the scratch-buffer zeroing
 // and reduction cost more than the serial deposit.
 constexpr size_t kDepositGrain = 4096;
+
+// Per-worker deposit accumulators, reused across calls (grow-only) so a
+// steady-state PIC step performs no heap allocation. thread_local because
+// concurrent deposits happen only from distinct calling threads (e.g. the
+// dataset generator's serial-pinned runs, which skip this path anyway); the
+// pool workers only ever see disjoint slices of the calling thread's buffer.
+std::vector<double>& deposit_scratch(size_t n) {
+  thread_local std::vector<double> scratch;
+  if (scratch.size() < n) scratch.resize(n);
+  return scratch;
+}
 
 void deposit_impl(const Grid1D& grid, const Species& species, std::vector<double>& rho,
                   nn::KernelBackend::PicDepositFn fn) {
@@ -34,7 +46,8 @@ void deposit_impl(const Grid1D& grid, const Species& species, std::vector<double
   // order — and hence the rounded result — depends only on the configured
   // worker count, not on thread scheduling. Every backend scatters in
   // ascending particle order, which keeps that guarantee backend-agnostic.
-  std::vector<double> scratch(nbuf * ncells, 0.0);
+  std::vector<double>& scratch = deposit_scratch(nbuf * ncells);
+  std::fill(scratch.begin(), scratch.begin() + static_cast<long>(nbuf * ncells), 0.0);
   const double* xs_data = xs.data();
   util::parallel_for_workers(
       0, np,

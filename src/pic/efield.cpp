@@ -25,7 +25,10 @@ void efield_from_phi_spectral(const Grid1D& grid, const std::vector<double>& phi
   const size_t n = grid.ncells();
   if (phi.size() != n)
     throw std::invalid_argument("efield_from_phi_spectral: phi size mismatch");
-  std::vector<math::cplx> spec(n);
+  // Reused transform buffer: part of the per-step field solve, which must
+  // stay allocation-free in steady state.
+  thread_local std::vector<math::cplx> spec;
+  spec.resize(n);
   for (size_t i = 0; i < n; ++i) spec[i] = math::cplx(phi[i], 0.0);
   math::fft(spec);
   for (size_t m = 0; m < n; ++m) {

@@ -15,6 +15,10 @@ class History {
  public:
   void record(const StepDiagnostics& d);
 
+  /// Pre-allocates room for `n` entries so steady-state record() calls do
+  /// not reallocate (the PIC step's zero-allocation guarantee).
+  void reserve(size_t n) { entries_.reserve(n); }
+
   [[nodiscard]] size_t size() const { return entries_.size(); }
   [[nodiscard]] bool empty() const { return entries_.empty(); }
   [[nodiscard]] const std::vector<StepDiagnostics>& entries() const { return entries_; }

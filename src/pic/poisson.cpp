@@ -25,15 +25,15 @@ void shift_to_zero_mean(std::vector<double>& v) {
 }  // namespace
 
 void SpectralPoisson::solve(const Grid1D& grid, const std::vector<double>& rho,
-                            std::vector<double>& phi) const {
+                            std::vector<double>& phi) {
   const size_t n = grid.ncells();
   if (rho.size() != n) throw std::invalid_argument("SpectralPoisson: rho size mismatch");
 
-  std::vector<math::cplx> spec(n);
-  for (size_t i = 0; i < n; ++i) spec[i] = math::cplx(rho[i], 0.0);
-  math::fft(spec);
+  spec_.resize(n);
+  for (size_t i = 0; i < n; ++i) spec_[i] = math::cplx(rho[i], 0.0);
+  math::fft(spec_);
 
-  spec[0] = math::cplx(0.0, 0.0);  // gauge: drop the mean
+  spec_[0] = math::cplx(0.0, 0.0);  // gauge: drop the mean
   const double dx = grid.dx();
   for (size_t m = 1; m < n; ++m) {
     // Aliased mode index: modes above n/2 are negative wavenumbers.
@@ -47,17 +47,17 @@ void SpectralPoisson::solve(const Grid1D& grid, const std::vector<double>& rho,
       const double k = 2.0 * std::numbers::pi * mm / grid.length();
       k2 = k * k;
     }
-    spec[m] /= k2;  // phi_k = rho_k / k²  (from -phi'' = rho)
+    spec_[m] /= k2;  // phi_k = rho_k / k²  (from -phi'' = rho)
   }
 
-  math::ifft(spec);
+  math::ifft(spec_);
   phi.resize(n);
-  for (size_t i = 0; i < n; ++i) phi[i] = spec[i].real();
+  for (size_t i = 0; i < n; ++i) phi[i] = spec_[i].real();
   shift_to_zero_mean(phi);
 }
 
 void TridiagPoisson::solve(const Grid1D& grid, const std::vector<double>& rho,
-                           std::vector<double>& phi) const {
+                           std::vector<double>& phi) {
   const size_t n = grid.ncells();
   if (rho.size() != n) throw std::invalid_argument("TridiagPoisson: rho size mismatch");
   if (n < 3) throw std::invalid_argument("TridiagPoisson: need at least 3 cells");
@@ -67,23 +67,24 @@ void TridiagPoisson::solve(const Grid1D& grid, const std::vector<double>& rho,
   //   (phi[i-1] - 2 phi[i] + phi[i+1]) / dx² = -rho[i],  i = 1..n-1,
   // with phi[0] = phi[n] = 0 entering the i=1 and i=n-1 rows as knowns.
   const double dx2 = grid.dx() * grid.dx();
-  std::vector<double> rhs(n);
   const double mean = mean_of(rho);
-  for (size_t i = 0; i < n; ++i) rhs[i] = -(rho[i] - mean) * dx2;
 
   const size_t m = n - 1;
-  std::vector<double> a(m, 1.0), b(m, -2.0), c(m, 1.0), d(m);
-  for (size_t i = 0; i < m; ++i) d[i] = rhs[i + 1];
+  a_.assign(m, 1.0);
+  b_.assign(m, -2.0);
+  c_.assign(m, 1.0);
+  d_.resize(m);
+  for (size_t i = 0; i < m; ++i) d_[i] = -(rho[i + 1] - mean) * dx2;
   // phi[0] = 0 contributions are already zero on both boundary rows.
-  std::vector<double> interior = math::solve_tridiagonal(a, b, c, d);
+  math::solve_tridiagonal_into(a_, b_, c_, d_, x_, cp_, dp_);
 
   phi.assign(n, 0.0);
-  for (size_t i = 0; i < m; ++i) phi[i + 1] = interior[i];
+  for (size_t i = 0; i < m; ++i) phi[i + 1] = x_[i];
   shift_to_zero_mean(phi);
 }
 
 void ConjugateGradientPoisson::solve(const Grid1D& grid, const std::vector<double>& rho,
-                                     std::vector<double>& phi) const {
+                                     std::vector<double>& phi) {
   const size_t n = grid.ncells();
   if (rho.size() != n) throw std::invalid_argument("CGPoisson: rho size mismatch");
 
@@ -91,9 +92,9 @@ void ConjugateGradientPoisson::solve(const Grid1D& grid, const std::vector<doubl
   // b = rho - mean(rho). Project iterates onto the mean-free subspace to
   // keep the Krylov space orthogonal to the null vector.
   const double inv_dx2 = 1.0 / (grid.dx() * grid.dx());
-  std::vector<double> b(n);
+  b_.resize(n);
   const double mean = mean_of(rho);
-  for (size_t i = 0; i < n; ++i) b[i] = rho[i] - mean;
+  for (size_t i = 0; i < n; ++i) b_[i] = rho[i] - mean;
 
   auto apply_A = [&](const std::vector<double>& x, std::vector<double>& y) {
     for (size_t i = 0; i < n; ++i) {
@@ -104,7 +105,10 @@ void ConjugateGradientPoisson::solve(const Grid1D& grid, const std::vector<doubl
   };
 
   phi.assign(n, 0.0);
-  std::vector<double> r = b, p = b, Ap(n);
+  r_ = b_;
+  p_ = b_;
+  Ap_.resize(n);
+  std::vector<double>&r = r_, &p = p_, &Ap = Ap_;
   double rr = 0.0;
   for (size_t i = 0; i < n; ++i) rr += r[i] * r[i];
   const double b_norm2 = rr;

@@ -22,11 +22,20 @@
 #include <string>
 #include <vector>
 
+#include "math/fft.hpp"
 #include "pic/grid.hpp"
 
 namespace dlpic::pic {
 
 /// Interface for Poisson solvers: rho (size ncells) -> phi (size ncells).
+///
+/// Instances carry reusable work buffers so a steady-state solve at a fixed
+/// grid size performs no heap allocation — the PIC step's zero-allocation
+/// test depends on this (for the spectral solver the guarantee holds on
+/// power-of-two grids; other sizes fall back to the allocating direct DFT).
+/// solve() is therefore non-const: one instance serves one thread at a
+/// time, and concurrent simulations each own their own solver (as
+/// make_poisson_solver-per-simulation already arranges).
 class PoissonSolver {
  public:
   virtual ~PoissonSolver() = default;
@@ -34,7 +43,7 @@ class PoissonSolver {
   /// Solves for the electrostatic potential with gauge mean(phi) = 0.
   /// `rho` may have nonzero mean; only its fluctuating part matters.
   virtual void solve(const Grid1D& grid, const std::vector<double>& rho,
-                     std::vector<double>& phi) const = 0;
+                     std::vector<double>& phi) = 0;
 
   /// Identifier used in configs and benchmark labels.
   [[nodiscard]] virtual std::string name() const = 0;
@@ -47,21 +56,26 @@ class SpectralPoisson final : public PoissonSolver {
   /// 3-point Laplacian instead of the continuum k².
   explicit SpectralPoisson(bool discrete_k2 = false) : discrete_k2_(discrete_k2) {}
   void solve(const Grid1D& grid, const std::vector<double>& rho,
-             std::vector<double>& phi) const override;
+             std::vector<double>& phi) override;
   [[nodiscard]] std::string name() const override {
     return discrete_k2_ ? "spectral-discrete" : "spectral";
   }
 
  private:
   bool discrete_k2_;
+  std::vector<math::cplx> spec_;  // reused spectrum buffer
 };
 
 /// Second-order finite-difference solver via the Thomas algorithm.
 class TridiagPoisson final : public PoissonSolver {
  public:
   void solve(const Grid1D& grid, const std::vector<double>& rho,
-             std::vector<double>& phi) const override;
+             std::vector<double>& phi) override;
   [[nodiscard]] std::string name() const override { return "tridiag"; }
+
+ private:
+  // Reused Thomas-system buffers (coefficients + sweep scratch).
+  std::vector<double> a_, b_, c_, d_, x_, cp_, dp_;
 };
 
 /// Matrix-free conjugate-gradient solver on the periodic FD Laplacian.
@@ -70,7 +84,7 @@ class ConjugateGradientPoisson final : public PoissonSolver {
   explicit ConjugateGradientPoisson(double tol = 1e-12, size_t max_iter = 10000)
       : tol_(tol), max_iter_(max_iter) {}
   void solve(const Grid1D& grid, const std::vector<double>& rho,
-             std::vector<double>& phi) const override;
+             std::vector<double>& phi) override;
   [[nodiscard]] std::string name() const override { return "cg"; }
 
   /// Iterations used by the most recent solve (diagnostic).
@@ -79,7 +93,8 @@ class ConjugateGradientPoisson final : public PoissonSolver {
  private:
   double tol_;
   size_t max_iter_;
-  mutable size_t last_iterations_ = 0;
+  size_t last_iterations_ = 0;
+  std::vector<double> b_, r_, p_, Ap_;  // reused Krylov vectors
 };
 
 /// Factory: "spectral" | "spectral-discrete" | "tridiag" | "cg".

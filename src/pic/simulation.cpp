@@ -32,6 +32,9 @@ TraditionalPic::TraditionalPic(const SimulationConfig& config)
   rho_ = grid_.make_field();
   phi_ = grid_.make_field();
   E_ = grid_.make_field();
+  // Room for the initial record plus one per configured step: steady-state
+  // steps then append diagnostics without reallocating.
+  history_.reserve(config_.nsteps + 1);
 
   solve_field();
   stagger_velocities_back(grid_, config_.shape, E_, electrons_, config_.dt);

@@ -1,6 +1,7 @@
 #include "serve/dynamic_batcher.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <stdexcept>
 #include <string>
@@ -8,28 +9,33 @@
 namespace dlpic::serve {
 
 namespace {
-// Workspace slot of the assembled batch input tensor.
+// Workspace slot of the assembled batch input tensor. One slot serves every
+// model: the workspace arena is grow-only, so alternating between models of
+// different shapes steady-states at the largest volume with no allocation.
 constexpr int kSlotBatchInput = 0;
 }  // namespace
+
+DynamicBatcher::DynamicBatcher(const ModelRegistry& registry,
+                               nn::ExecutionContext& context)
+    : registry_(registry), ctx_(context) {}
 
 DynamicBatcher::DynamicBatcher(nn::Sequential& model, nn::ExecutionContext& context,
                                size_t input_dim, BatcherConfig config,
                                const data::MinMaxNormalizer* normalizer)
-    : model_(model),
-      ctx_(context),
-      input_dim_(input_dim),
-      config_(config),
-      normalizer_(normalizer) {
-  if (config_.max_batch == 0)
-    throw std::invalid_argument("DynamicBatcher: max_batch must be >= 1");
-  if (input_dim_ == 0) throw std::invalid_argument("DynamicBatcher: input_dim must be >= 1");
-  if (config_.pad_to_batch != 0 && config_.pad_to_batch < config_.max_batch)
-    throw std::invalid_argument("DynamicBatcher: pad_to_batch must be >= max_batch");
+    : owned_registry_(std::make_unique<ModelRegistry>()),
+      registry_(*owned_registry_),
+      ctx_(context) {
+  owned_registry_->add("default", &model, nullptr, input_dim, config, normalizer);
 }
 
 size_t DynamicBatcher::serve_once(RequestQueue& queue) {
-  const size_t n = queue.pop_batch(batch_, config_.max_batch,
-                                   std::chrono::microseconds(config_.max_wait_us));
+  registry_.snapshot_policies(policies_);
+  if (policies_.empty()) {
+    // No model registered yet: pop with a minimal policy so mis-addressed
+    // requests are rejected promptly instead of rotting in the queue.
+    policies_.push_back(PopPolicy{1, std::chrono::microseconds(0)});
+  }
+  const size_t n = queue.pop_batch(batch_, policies_.data(), policies_.size());
   if (n == 0) return 0;
 
   // Count the popped requests before fulfilling (or rejecting) any promise
@@ -41,46 +47,78 @@ size_t DynamicBatcher::serve_once(RequestQueue& queue) {
          !max_batch_observed_.compare_exchange_weak(prev, n, std::memory_order_relaxed)) {
   }
 
-  // Fail malformed requests individually so one bad sample cannot poison the
-  // rest of the batch (submit() validates, but the queue is a public API).
+  // pop_batch never mixes models: every request carries the same model_id.
+  ModelBundle* bundle = registry_.get(batch_.front().model_id);
+
+  // Reject requests individually so one bad sample cannot poison the rest
+  // of the batch: expired deadlines get the distinct DeadlineExpired error
+  // BEFORE any forward-pass work, unknown models and malformed inputs get
+  // descriptive failures (submit() validates, but the queue is a public
+  // API). The deadline is checked once here — inference that has started by
+  // the deadline is allowed to finish.
+  const auto now = std::chrono::steady_clock::now();
   size_t keep = 0;
+  std::array<size_t, kNumLanes> lane_kept{};
   for (size_t i = 0; i < batch_.size(); ++i) {
-    if (batch_[i].input.size() != input_dim_) {
-      batch_[i].result.set_exception(std::make_exception_ptr(std::invalid_argument(
-          "DynamicBatcher: request input size " + std::to_string(batch_[i].input.size()) +
-          " != model input dim " + std::to_string(input_dim_))));
+    Request& request = batch_[i];
+    const size_t lane = static_cast<size_t>(request.priority);
+    if (bundle == nullptr) {
+      request.result.set_exception(std::make_exception_ptr(std::runtime_error(
+          "DynamicBatcher: no model registered for id " +
+          std::to_string(request.model_id))));
+    } else if (request.deadline <= now) {
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      bundle->expired[lane].fetch_add(1, std::memory_order_relaxed);
+      request.result.set_exception(std::make_exception_ptr(DeadlineExpired()));
+    } else if (request.input.size() != bundle->input_dim) {
+      request.result.set_exception(std::make_exception_ptr(std::invalid_argument(
+          "DynamicBatcher: request input size " + std::to_string(request.input.size()) +
+          " != model input dim " + std::to_string(bundle->input_dim))));
     } else {
+      ++lane_kept[lane];
       if (keep != i) batch_[keep] = std::move(batch_[i]);
       ++keep;
     }
   }
   batch_.resize(keep);
 
-  // batches_ counts forward passes, so a batch emptied by validation does
-  // not count.
-  if (!batch_.empty()) {
+  // batches_ counts forward passes, so a batch emptied by validation or
+  // expiry does not count.
+  if (!batch_.empty() && bundle != nullptr) {
     batches_.fetch_add(1, std::memory_order_relaxed);
-    run_batch();
+    served_.fetch_add(keep, std::memory_order_relaxed);
+    bundle->batches.fetch_add(1, std::memory_order_relaxed);
+    size_t bundle_prev = bundle->max_batch_observed.load(std::memory_order_relaxed);
+    while (keep > bundle_prev && !bundle->max_batch_observed.compare_exchange_weak(
+                                     bundle_prev, keep, std::memory_order_relaxed)) {
+    }
+    for (size_t lane = 0; lane < kNumLanes; ++lane) {
+      if (lane_kept[lane] == 0) continue;
+      bundle->served[lane].fetch_add(lane_kept[lane], std::memory_order_relaxed);
+      bundle->lane_batches[lane].fetch_add(1, std::memory_order_relaxed);
+    }
+    run_batch(*bundle);
   }
   batch_.clear();
   return n;
 }
 
-void DynamicBatcher::run_batch() {
+void DynamicBatcher::run_batch(ModelBundle& bundle) {
   const size_t b = batch_.size();
   // With padding enabled every forward pass carries the same fixed row
   // count; rows beyond the live batch are zeroed and later discarded.
-  const size_t rows = config_.pad_to_batch > b ? config_.pad_to_batch : b;
+  const size_t rows = bundle.config.pad_to_batch > b ? bundle.config.pad_to_batch : b;
+  const size_t input_dim = bundle.input_dim;
   try {
     // Assemble [rows, input_dim] in the workspace: steady-state
     // reacquisition at the same shape is allocation-free.
-    nn::Tensor& x = ctx_.workspace().tensor(this, kSlotBatchInput, {rows, input_dim_});
-    for (size_t i = 0; i < b; ++i) nn::set_row(x, i, batch_[i].input.data(), input_dim_);
+    nn::Tensor& x = ctx_.workspace().tensor(this, kSlotBatchInput, {rows, input_dim});
+    for (size_t i = 0; i < b; ++i) nn::set_row(x, i, batch_[i].input.data(), input_dim);
     if (rows > b)
-      std::memset(x.data() + b * input_dim_, 0, (rows - b) * input_dim_ * sizeof(double));
-    if (normalizer_) normalizer_->apply(x.data(), x.size());
+      std::memset(x.data() + b * input_dim, 0, (rows - b) * input_dim * sizeof(double));
+    if (bundle.normalizer) bundle.normalizer->apply(x.data(), x.size());
 
-    const nn::Tensor& y = model_.predict(ctx_, x);
+    const nn::Tensor& y = bundle.model->predict(ctx_, x);
     if (y.rank() != 2 || y.dim(0) != rows)
       throw std::runtime_error("DynamicBatcher: expected [batch, out] model output, got " +
                                y.shape_string());

@@ -1,96 +1,102 @@
 #pragma once
 /// \file dynamic_batcher.hpp
-/// Coalesces queued single-sample requests into one batch tensor, runs a
-/// single batched forward pass on an ExecutionContext, and scatters the
-/// output rows back to the requests' futures.
+/// Coalesces queued single-sample requests into one single-model batch
+/// tensor, runs one batched forward pass on an ExecutionContext, and
+/// scatters the output rows back to the requests' futures. Expired requests
+/// (deadline passed) are failed with DeadlineExpired *before* forward-pass
+/// assembly — they never consume model compute.
 ///
 /// Determinism contract: every layer kernel computes each output row with an
 /// accumulation order independent of the batch dimension (GEMM tiles own
 /// their k-order; conv fans out per image), so a sample served in a batch of
 /// N is bitwise identical to the same sample served alone — batching is a
-/// pure throughput optimization, never a numerics change
-/// (tests/serve/test_serving.cpp enforces this).
+/// pure throughput optimization, never a numerics change, for every lane,
+/// model and backend (tests/serve/test_serving.cpp and
+/// tests/serve/test_serving_stress.cpp enforce this).
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "data/normalizer.hpp"
 #include "nn/execution_context.hpp"
 #include "nn/sequential.hpp"
+#include "serve/model_registry.hpp"
 #include "serve/request_queue.hpp"
 
 namespace dlpic::serve {
 
-/// Batch-formation policy shared by DynamicBatcher and InferenceServer.
-struct BatcherConfig {
-  /// Largest batch one forward pass may carry (also the batch-tensor row
-  /// count the workspace steady-states at). Must be >= 1.
-  size_t max_batch = 16;
-  /// How long to hold an open batch waiting for more requests before
-  /// flushing it partially filled, in microseconds. 0 serves whatever is
-  /// immediately available.
-  uint32_t max_wait_us = 200;
-  /// When non-zero, every forward pass runs at exactly this row count:
-  /// partial batches are zero-padded up to it (and the padded rows are
-  /// dropped before scattering results). A fixed batch shape keeps the SIMD
-  /// GEMM on full tiles and the workspace at one steady-state size.
-  /// Must be >= max_batch when set. Correctness-neutral: all layer kernels
-  /// compute each output row independently of the other rows, so padded
-  /// results are bitwise identical to unpadded ones
-  /// (tests/serve/test_serving.cpp enforces this).
-  size_t pad_to_batch = 0;
-};
+/// Batch-formation policy of one model (historical name; the single-model
+/// constructor and InferenceServer's per-model configs share this shape).
+using BatcherConfig = ModelConfig;
 
-/// One serving loop body: pop a batch, assemble the batch tensor in the
-/// context's workspace (allocation-free in steady state), run one forward
-/// pass, scatter rows to futures. Owned and driven by a single consumer
-/// thread; the referenced model may be shared with other batchers because
-/// all per-call state lives in this batcher's ExecutionContext.
+/// One serving loop body: pop a single-model batch, reject expired requests,
+/// assemble the batch tensor in the context's workspace (allocation-free in
+/// steady state), run one forward pass on that model, scatter rows to
+/// futures. Owned and driven by a single consumer thread; the referenced
+/// models may be shared with other batchers because all per-call state lives
+/// in this batcher's ExecutionContext.
 class DynamicBatcher {
  public:
-  /// Binds the batcher to a shared `model` and its per-thread `context`.
-  /// `input_dim` is the flattened sample width the model expects. When
-  /// `normalizer` is non-null it is applied to the assembled batch before
+  /// Multi-model form: serves whichever registered model the queue opens a
+  /// batch for. The registry (and every model in it) must outlive the
+  /// batcher.
+  DynamicBatcher(const ModelRegistry& registry, nn::ExecutionContext& context);
+
+  /// Single-model convenience: wraps `model` in a private one-entry
+  /// registry. `input_dim` is the flattened sample width the model expects;
+  /// a non-null `normalizer` is applied to the assembled batch before
   /// inference (elementwise, so batching preserves per-sample results).
   /// The model, context and normalizer must outlive the batcher.
   DynamicBatcher(nn::Sequential& model, nn::ExecutionContext& context,
                  size_t input_dim, BatcherConfig config,
                  const data::MinMaxNormalizer* normalizer = nullptr);
 
-  /// Pops one batch from `queue` and serves it (blocking per the config's
-  /// batching window). Returns the number of requests served; 0 means the
-  /// queue is closed and drained — the consumer loop's exit signal.
+  /// Pops one batch from `queue` and serves it (blocking per the selected
+  /// model's batching window). Returns the number of requests popped
+  /// (served, expired or rejected); 0 means the queue is closed and
+  /// drained — the consumer loop's exit signal.
   size_t serve_once(RequestQueue& queue);
 
   /// Batches served so far (atomic; readable from other threads).
   [[nodiscard]] size_t batches_served() const {
     return batches_.load(std::memory_order_relaxed);
   }
-  /// Requests served so far (atomic; readable from other threads).
-  [[nodiscard]] size_t requests_served() const {
+  /// Requests popped so far, including expired/rejected ones (atomic).
+  [[nodiscard]] size_t requests_popped() const {
     return requests_.load(std::memory_order_relaxed);
+  }
+  /// Requests that went through a forward pass so far (atomic).
+  [[nodiscard]] size_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
   }
   /// Largest batch observed so far (atomic; readable from other threads).
   [[nodiscard]] size_t max_batch_observed() const {
     return max_batch_observed_.load(std::memory_order_relaxed);
   }
+  /// Requests rejected with DeadlineExpired so far (atomic).
+  [[nodiscard]] size_t requests_expired() const {
+    return expired_.load(std::memory_order_relaxed);
+  }
 
  private:
-  /// Serves `batch_` (never empty): one forward pass + row scatter. On
-  /// failure every request in the batch receives the exception.
-  void run_batch();
+  /// Serves `batch_` (never empty, all requests of `bundle`'s model): one
+  /// forward pass + row scatter. On failure every request in the batch
+  /// receives the exception.
+  void run_batch(ModelBundle& bundle);
 
-  nn::Sequential& model_;
+  std::unique_ptr<ModelRegistry> owned_registry_;  // single-model ctor only
+  const ModelRegistry& registry_;
   nn::ExecutionContext& ctx_;
-  size_t input_dim_;
-  BatcherConfig config_;
-  const data::MinMaxNormalizer* normalizer_;
-  std::vector<Request> batch_;  // reused across serve_once calls
+  std::vector<Request> batch_;      // reused across serve_once calls
+  std::vector<PopPolicy> policies_; // reused policy snapshot
   std::atomic<size_t> batches_{0};
-  std::atomic<size_t> requests_{0};
+  std::atomic<size_t> requests_{0};  // popped (served + expired + rejected)
+  std::atomic<size_t> served_{0};    // carried by a forward pass
   std::atomic<size_t> max_batch_observed_{0};
+  std::atomic<size_t> expired_{0};
 };
 
 }  // namespace dlpic::serve

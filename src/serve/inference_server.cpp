@@ -19,41 +19,32 @@ ServerConfig validated(ServerConfig config) {
 }
 }  // namespace
 
+InferenceServer::InferenceServer(const ServerConfig& config)
+    : config_(validated(config)), queue_(config_.queue_capacity) {
+  start_workers();
+}
+
 InferenceServer::InferenceServer(nn::Sequential& model, size_t input_dim,
                                  const ServerConfig& config,
                                  const data::MinMaxNormalizer* normalizer)
-    : config_(validated(config)),
-      input_dim_(input_dim),
-      model_(model),
-      normalizer_(normalizer),
-      queue_(config_.queue_capacity) {
-  // Validates the model/batch-shape combination up front instead of failing
-  // inside a worker thread on the first request.
-  (void)model_.output_shape({config_.max_batch, input_dim_});
-  start_workers();
+    : InferenceServer(config) {
+  add_model("default", model, input_dim, config_.model_defaults(), normalizer);
 }
 
 InferenceServer::InferenceServer(nn::Sequential&& model, size_t input_dim,
                                  const ServerConfig& config,
                                  const data::MinMaxNormalizer* normalizer)
-    : config_(validated(config)),
-      input_dim_(input_dim),
-      owned_model_(std::make_unique<nn::Sequential>(std::move(model))),
-      model_(*owned_model_),
-      normalizer_(normalizer),
-      queue_(config_.queue_capacity) {
-  (void)model_.output_shape({config_.max_batch, input_dim_});
-  start_workers();
+    : InferenceServer(config) {
+  auto owned = std::make_unique<nn::Sequential>(std::move(model));
+  nn::Sequential* raw = owned.get();
+  registry_.add("default", raw, std::move(owned), input_dim, config_.model_defaults(),
+                normalizer);
 }
 
 void InferenceServer::start_workers() {
   contexts_.reserve(config_.worker_threads);
   batchers_.reserve(config_.worker_threads);
   workers_.reserve(config_.worker_threads);
-  BatcherConfig bc;
-  bc.max_batch = config_.max_batch;
-  bc.max_wait_us = config_.max_wait_us;
-  bc.pad_to_batch = config_.pad_to_batch;
   // Pin each worker context to the backend active on the CONSTRUCTING
   // thread: thread-local backend selection (ScopedBackend) does not reach
   // the batcher threads, and the batched == single-sample bitwise guarantee
@@ -62,8 +53,7 @@ void InferenceServer::start_workers() {
   for (size_t w = 0; w < config_.worker_threads; ++w) {
     contexts_.push_back(
         std::make_unique<nn::ExecutionContext>(config_.context_worker_cap, backend));
-    batchers_.push_back(std::make_unique<DynamicBatcher>(model_, *contexts_.back(),
-                                                         input_dim_, bc, normalizer_));
+    batchers_.push_back(std::make_unique<DynamicBatcher>(registry_, *contexts_.back()));
   }
   try {
     for (size_t w = 0; w < config_.worker_threads; ++w) {
@@ -88,12 +78,45 @@ void InferenceServer::start_workers() {
 
 InferenceServer::~InferenceServer() { shutdown(); }
 
-std::future<std::vector<double>> InferenceServer::submit(std::vector<double> input) {
-  if (input.size() != input_dim_)
+size_t InferenceServer::add_model(std::string name, nn::Sequential& model,
+                                  size_t input_dim, const ModelConfig& config,
+                                  const data::MinMaxNormalizer* normalizer) {
+  if (!running()) throw std::runtime_error("InferenceServer::add_model: server is shut down");
+  return registry_.add(std::move(name), &model, nullptr, input_dim, config, normalizer);
+}
+
+size_t InferenceServer::add_model(std::string name, nn::Sequential& model,
+                                  size_t input_dim,
+                                  const data::MinMaxNormalizer* normalizer) {
+  return add_model(std::move(name), model, input_dim, config_.model_defaults(), normalizer);
+}
+
+size_t InferenceServer::add_model(std::string name, nn::Sequential&& model,
+                                  size_t input_dim, const ModelConfig& config,
+                                  const data::MinMaxNormalizer* normalizer) {
+  if (!running()) throw std::runtime_error("InferenceServer::add_model: server is shut down");
+  auto owned = std::make_unique<nn::Sequential>(std::move(model));
+  nn::Sequential* raw = owned.get();
+  return registry_.add(std::move(name), raw, std::move(owned), input_dim, config,
+                       normalizer);
+}
+
+std::future<std::vector<double>> InferenceServer::submit(std::vector<double> input,
+                                                         const SubmitOptions& options) {
+  const ModelBundle* bundle = registry_.get(options.model_id);
+  if (bundle == nullptr)
+    throw std::invalid_argument("InferenceServer::submit: unknown model id " +
+                                std::to_string(options.model_id));
+  if (input.size() != bundle->input_dim)
     throw std::invalid_argument("InferenceServer::submit: input size " +
                                 std::to_string(input.size()) + " != input dim " +
-                                std::to_string(input_dim_));
-  return queue_.push(std::move(input));
+                                std::to_string(bundle->input_dim) + " of model '" +
+                                bundle->name + "'");
+  return queue_.push(std::move(input), options);
+}
+
+std::future<std::vector<double>> InferenceServer::submit(std::vector<double> input) {
+  return submit(std::move(input), SubmitOptions{});
 }
 
 void InferenceServer::shutdown() {
@@ -113,11 +136,30 @@ bool InferenceServer::running() const {
 ServerStats InferenceServer::stats() const {
   ServerStats s;
   for (const auto& batcher : batchers_) {
-    s.requests += batcher->requests_served();
+    s.requests += batcher->requests_popped();
+    s.served += batcher->requests_served();
     s.batches += batcher->batches_served();
+    s.expired += batcher->requests_expired();
     s.max_batch_observed = std::max(s.max_batch_observed, batcher->max_batch_observed());
   }
   return s;
+}
+
+ModelStats InferenceServer::model_stats(size_t model_id) const {
+  const ModelBundle* bundle = registry_.get(model_id);
+  if (bundle == nullptr)
+    throw std::out_of_range("InferenceServer::model_stats: unknown model id " +
+                            std::to_string(model_id));
+  return bundle->stats();
+}
+
+size_t InferenceServer::model_id(const std::string& name) const {
+  return registry_.id_of(name);
+}
+
+size_t InferenceServer::input_dim() const {
+  const ModelBundle* bundle = registry_.get(0);
+  return bundle != nullptr ? bundle->input_dim : 0;
 }
 
 }  // namespace dlpic::serve

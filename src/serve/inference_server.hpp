@@ -1,24 +1,29 @@
 #pragma once
 /// \file inference_server.hpp
-/// Batched inference server: one immutable trained model, a request queue,
-/// and a pool of batcher threads each running on its own ExecutionContext.
-/// This is the deployment shape of the DL field solver — many concurrent
-/// clients submit single-sample field-solve requests and the server
-/// amortizes them into batched forward passes.
+/// Deadline-aware multi-model inference server: N named model bundles, one
+/// priority-laned request queue, and a pool of batcher threads each running
+/// on its own ExecutionContext. This is the deployment shape of the DL field
+/// solver — many concurrent clients submit single-sample field-solve
+/// requests (tagged interactive or bulk, optionally with a deadline) and the
+/// server amortizes them into single-model batched forward passes,
+/// interactive lane first.
 ///
-/// Threading model: parameters live in the shared model; all per-call
+/// Threading model: parameters live in the shared models; all per-call
 /// activation state lives in each worker's private ExecutionContext, so the
-/// workers never synchronize on the model. Two scaling modes compose:
+/// workers never synchronize on a model. Every worker serves every model —
+/// the pool is shared, not partitioned. Two scaling modes compose:
 ///   - few workers x parallel kernels (context_worker_cap = 0): each batch
 ///     fans its GEMMs out across the process-wide pool;
 ///   - many workers x serial contexts (context_worker_cap = 1): independent
 ///     batches run truly concurrently, one core each.
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -26,46 +31,65 @@
 #include "nn/execution_context.hpp"
 #include "nn/sequential.hpp"
 #include "serve/dynamic_batcher.hpp"
+#include "serve/model_registry.hpp"
 #include "serve/request_queue.hpp"
 
 namespace dlpic::serve {
 
-/// Server tuning knobs (batch formation, worker topology, backpressure).
+/// Server tuning knobs: worker topology and backpressure, plus the default
+/// per-model batch-formation policy applied by the single-model constructors
+/// and by add_model() calls that do not pass their own ModelConfig.
 struct ServerConfig {
-  /// Largest batch one forward pass may carry. Must be >= 1.
+  /// Default ModelConfig::max_batch for models added without a config.
   size_t max_batch = 16;
-  /// Batching window: how long an open batch waits for more requests before
-  /// a partial flush, in microseconds.
+  /// Default ModelConfig::max_wait_us for models added without a config.
   uint32_t max_wait_us = 200;
-  /// Fixed-shape micro-batch padding: when non-zero, every forward pass runs
-  /// at exactly this row count (>= max_batch), zero-padding partial batches
-  /// so the SIMD GEMM always executes full tiles. Results are bitwise
-  /// unchanged (rows are computed independently); see BatcherConfig.
+  /// Default ModelConfig::pad_to_batch for models added without a config.
   size_t pad_to_batch = 0;
   /// Batcher threads, each with a private ExecutionContext. Must be >= 1.
   size_t worker_threads = 1;
   /// Worker cap of each batcher's context: 0 inherits the global width
   /// (parallel kernels), 1 pins each batch serial (thread-level scaling).
   size_t context_worker_cap = 0;
-  /// Bounded queue capacity; submit() blocks while full. 0 = unbounded.
+  /// Bounded queue capacity across all lanes; submit() blocks while full.
+  /// 0 = unbounded.
   size_t queue_capacity = 0;
-};
 
-/// Aggregate serving counters (summed over all batcher threads).
-struct ServerStats {
-  size_t requests = 0;            ///< requests served (including failed ones)
-  size_t batches = 0;             ///< forward passes run
-  size_t max_batch_observed = 0;  ///< largest coalesced batch seen
-  /// Mean requests per forward pass — the batching amortization factor.
-  [[nodiscard]] double mean_batch() const {
-    return batches > 0 ? static_cast<double>(requests) / static_cast<double>(batches) : 0.0;
+  /// The per-model policy implied by the batching fields above.
+  [[nodiscard]] ModelConfig model_defaults() const {
+    return ModelConfig{max_batch, max_wait_us, pad_to_batch};
   }
 };
 
-/// Owns the serving stack: request queue + batcher threads + per-thread
-/// contexts over one shared model. Construction starts the workers;
-/// destruction (or shutdown()) closes the queue, drains every in-flight
-/// request and joins the workers — submitted futures are always fulfilled.
+/// Per-request scheduling options accepted by submit(): `model_id`
+/// (add_model's return value), `priority` (interactive drains before bulk)
+/// and `deadline` (absolute expiry — if inference has not started by then,
+/// the future fails with DeadlineExpired and no forward pass is spent on
+/// it). Same shape the queue consumes; the server only adds validation.
+using SubmitOptions = RequestOptions;
+
+/// Aggregate serving counters (summed over all batcher threads and models).
+struct ServerStats {
+  size_t requests = 0;            ///< requests popped (served + expired + rejected)
+  size_t served = 0;              ///< requests that went through a forward pass
+  size_t batches = 0;             ///< forward passes run
+  size_t max_batch_observed = 0;  ///< largest coalesced batch seen
+  size_t expired = 0;             ///< requests rejected with DeadlineExpired
+  /// Mean served requests per forward pass — the batching amortization
+  /// factor (expired/rejected requests never ride a batch, so they do not
+  /// count).
+  [[nodiscard]] double mean_batch() const {
+    return batches > 0 ? static_cast<double>(served) / static_cast<double>(batches) : 0.0;
+  }
+};
+
+/// Owns the serving stack: priority-laned request queue + batcher threads +
+/// per-thread contexts over N shared models. Construction starts the
+/// workers; destruction (or shutdown()) closes the queue, drains every
+/// in-flight request and joins the workers — submitted futures are always
+/// fulfilled. Models may be registered before traffic or while the server is
+/// running (add_model), and each keeps its own batching policy and per-lane
+/// stats; a batch never mixes models.
 ///
 /// The kernel backend active on the constructing thread (the DLPIC_BACKEND
 /// default unless a nn::ScopedBackend override is in scope) is captured
@@ -73,19 +97,24 @@ struct ServerStats {
 /// the caller's own single-sample inference regardless of which thread
 /// serves the batch.
 ///
-/// The model must not be trained or otherwise mutated while the server is
-/// running; inference itself keeps all mutable state in the per-worker
-/// contexts.
+/// Registered models must not be trained or otherwise mutated (or moved)
+/// while the server is running; inference itself keeps all mutable state in
+/// the per-worker contexts.
 class InferenceServer {
  public:
-  /// Serves `model` owned by the caller, which must outlive the server.
-  /// `input_dim` is the flattened sample width; a non-null `normalizer`
-  /// (also caller-owned) is applied to every batch before inference.
+  /// Starts an empty multi-model server; register models with add_model().
+  explicit InferenceServer(const ServerConfig& config = {});
+
+  /// Single-model convenience: serves `model` (caller-owned, must outlive
+  /// the server) as model id 0 under the name "default", with the config's
+  /// default batching policy. `input_dim` is the flattened sample width; a
+  /// non-null `normalizer` (also caller-owned) is applied to every batch
+  /// before inference.
   InferenceServer(nn::Sequential& model, size_t input_dim,
                   const ServerConfig& config = {},
                   const data::MinMaxNormalizer* normalizer = nullptr);
 
-  /// Takes ownership of `model` and serves it.
+  /// Takes ownership of `model` and serves it as model id 0 ("default").
   InferenceServer(nn::Sequential&& model, size_t input_dim,
                   const ServerConfig& config = {},
                   const data::MinMaxNormalizer* normalizer = nullptr);
@@ -96,10 +125,37 @@ class InferenceServer {
   InferenceServer(const InferenceServer&) = delete;
   InferenceServer& operator=(const InferenceServer&) = delete;
 
-  /// Enqueues one flattened sample and returns the future of its output
-  /// row. Throws std::invalid_argument on a size mismatch and
-  /// std::runtime_error after shutdown. Blocks while a bounded queue is
-  /// full (backpressure).
+  /// Registers a named model bundle and returns its model id for
+  /// SubmitOptions::model_id. Safe while serving: the model becomes
+  /// servable as soon as this returns. `model` (and `normalizer`, when
+  /// given) are caller-owned and must outlive the server. Throws
+  /// std::invalid_argument on duplicate names, invalid configs, or a
+  /// model/batch-shape mismatch, and std::runtime_error after shutdown.
+  size_t add_model(std::string name, nn::Sequential& model, size_t input_dim,
+                   const ModelConfig& config,
+                   const data::MinMaxNormalizer* normalizer = nullptr);
+
+  /// add_model with the server config's default batching policy.
+  size_t add_model(std::string name, nn::Sequential& model, size_t input_dim,
+                   const data::MinMaxNormalizer* normalizer = nullptr);
+
+  /// Owning add_model: the server keeps the model alive.
+  size_t add_model(std::string name, nn::Sequential&& model, size_t input_dim,
+                   const ModelConfig& config,
+                   const data::MinMaxNormalizer* normalizer = nullptr);
+
+  /// Enqueues one flattened sample for `options.model_id` on
+  /// `options.priority`'s lane and returns the future of its output row.
+  /// Throws std::invalid_argument on an unknown model or a size mismatch
+  /// and std::runtime_error after shutdown. Blocks while a bounded queue is
+  /// full (backpressure). A request whose deadline passes before inference
+  /// starts resolves to a DeadlineExpired exception without spending a
+  /// forward pass.
+  std::future<std::vector<double>> submit(std::vector<double> input,
+                                          const SubmitOptions& options);
+
+  /// submit() to model id 0 on the bulk lane with no deadline (the
+  /// single-model API).
   std::future<std::vector<double>> submit(std::vector<double> input);
 
   /// Closes the queue, serves every request already submitted, then joins
@@ -109,23 +165,33 @@ class InferenceServer {
   /// True until shutdown() first runs.
   [[nodiscard]] bool running() const;
 
-  /// Counters summed over all batcher threads (safe while serving).
+  /// Counters summed over all batcher threads and models (safe while
+  /// serving).
   [[nodiscard]] ServerStats stats() const;
+
+  /// Per-model, per-lane counters for one registered model (safe while
+  /// serving). Throws std::out_of_range on an unknown id.
+  [[nodiscard]] ModelStats model_stats(size_t model_id) const;
+
+  /// The id registered under `name`; throws std::out_of_range when unknown.
+  [[nodiscard]] size_t model_id(const std::string& name) const;
+
+  /// Number of registered models.
+  [[nodiscard]] size_t model_count() const { return registry_.size(); }
 
   /// The configuration the server was started with.
   [[nodiscard]] const ServerConfig& config() const { return config_; }
 
-  /// Flattened sample width accepted by submit().
-  [[nodiscard]] size_t input_dim() const { return input_dim_; }
+  /// Flattened sample width accepted by submit() for model id 0; 0 when no
+  /// model is registered yet. (Multi-model callers should consult their
+  /// bundle's width instead.)
+  [[nodiscard]] size_t input_dim() const;
 
  private:
   void start_workers();
 
   ServerConfig config_;
-  size_t input_dim_;
-  std::unique_ptr<nn::Sequential> owned_model_;  // only for the owning ctor
-  nn::Sequential& model_;
-  const data::MinMaxNormalizer* normalizer_;
+  ModelRegistry registry_;
   RequestQueue queue_;
   std::vector<std::unique_ptr<nn::ExecutionContext>> contexts_;
   std::vector<std::unique_ptr<DynamicBatcher>> batchers_;

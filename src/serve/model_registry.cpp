@@ -1,0 +1,82 @@
+#include "serve/model_registry.hpp"
+
+#include <stdexcept>
+
+namespace dlpic::serve {
+
+ModelStats ModelBundle::stats() const {
+  ModelStats s;
+  s.name = name;
+  s.batches = batches.load(std::memory_order_relaxed);
+  s.max_batch_observed = max_batch_observed.load(std::memory_order_relaxed);
+  for (size_t lane = 0; lane < kNumLanes; ++lane) {
+    s.lanes[lane].served = served[lane].load(std::memory_order_relaxed);
+    s.lanes[lane].expired = expired[lane].load(std::memory_order_relaxed);
+    s.lanes[lane].batches = lane_batches[lane].load(std::memory_order_relaxed);
+    s.served += s.lanes[lane].served;
+    s.expired += s.lanes[lane].expired;
+  }
+  return s;
+}
+
+size_t ModelRegistry::add(std::string name, nn::Sequential* model,
+                          std::unique_ptr<nn::Sequential> owned, size_t input_dim,
+                          const ModelConfig& config,
+                          const data::MinMaxNormalizer* normalizer) {
+  if (model == nullptr) throw std::invalid_argument("ModelRegistry: model must be non-null");
+  if (name.empty()) throw std::invalid_argument("ModelRegistry: model name must be non-empty");
+  if (input_dim == 0) throw std::invalid_argument("ModelRegistry: input_dim must be >= 1");
+  if (config.max_batch == 0)
+    throw std::invalid_argument("ModelRegistry: max_batch must be >= 1");
+  if (config.pad_to_batch != 0 && config.pad_to_batch < config.max_batch)
+    throw std::invalid_argument("ModelRegistry: pad_to_batch must be >= max_batch");
+  // Validates the model/batch-shape combination up front instead of failing
+  // inside a worker thread on the first request.
+  (void)model->output_shape({config.max_batch, input_dim});
+
+  auto bundle = std::make_unique<ModelBundle>();
+  bundle->name = std::move(name);
+  bundle->model = model;
+  bundle->owned = std::move(owned);
+  bundle->normalizer = normalizer;
+  bundle->input_dim = input_dim;
+  bundle->config = config;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (bundles_.size() >= kMaxModels)
+    throw std::invalid_argument("ModelRegistry: model table is full (kMaxModels)");
+  for (const auto& existing : bundles_)
+    if (existing->name == bundle->name)
+      throw std::invalid_argument("ModelRegistry: duplicate model name '" + bundle->name +
+                                  "'");
+  bundles_.push_back(std::move(bundle));
+  return bundles_.size() - 1;
+}
+
+ModelBundle* ModelRegistry::get(size_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return id < bundles_.size() ? bundles_[id].get() : nullptr;
+}
+
+size_t ModelRegistry::id_of(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < bundles_.size(); ++i)
+    if (bundles_[i]->name == name) return i;
+  throw std::out_of_range("ModelRegistry: unknown model name '" + name + "'");
+}
+
+size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bundles_.size();
+}
+
+void ModelRegistry::snapshot_policies(std::vector<PopPolicy>& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.resize(bundles_.size());
+  for (size_t i = 0; i < bundles_.size(); ++i) {
+    out[i].max_batch = bundles_[i]->config.max_batch;
+    out[i].max_wait = std::chrono::microseconds(bundles_[i]->config.max_wait_us);
+  }
+}
+
+}  // namespace dlpic::serve

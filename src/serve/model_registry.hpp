@@ -1,0 +1,119 @@
+#pragma once
+/// \file model_registry.hpp
+/// Named model bundles hosted by one InferenceServer: each bundle couples a
+/// trained model with its input normalizer, flattened input width, per-model
+/// batch-formation policy, and per-lane serving counters. The registry hands
+/// out stable bundle pointers so batcher threads can serve any registered
+/// model without holding a lock across the forward pass, and supports
+/// registration while the server is running (new models become servable as
+/// soon as add() returns).
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "data/normalizer.hpp"
+#include "nn/sequential.hpp"
+#include "serve/request_queue.hpp"
+
+namespace dlpic::serve {
+
+/// Per-model batch-formation knobs (one forward pass's shape policy).
+struct ModelConfig {
+  /// Largest batch one forward pass may carry. Must be >= 1.
+  size_t max_batch = 16;
+  /// How long an open batch waits for more requests before a partial flush,
+  /// in microseconds. 0 serves whatever is immediately available.
+  uint32_t max_wait_us = 200;
+  /// When non-zero, every forward pass runs at exactly this row count
+  /// (>= max_batch): partial batches are zero-padded and the padded rows
+  /// are dropped before the result scatter. Bitwise-neutral (rows are
+  /// computed independently); keeps the SIMD GEMM on full tiles and the
+  /// workspace at one steady-state size.
+  size_t pad_to_batch = 0;
+};
+
+/// Snapshot of one lane's serving counters for one model.
+struct LaneStats {
+  size_t served = 0;   ///< requests that went through a forward pass
+  size_t expired = 0;  ///< requests rejected with DeadlineExpired
+  size_t batches = 0;  ///< forward passes that carried >= 1 request of this lane
+  /// Mean requests of this lane per forward pass that carried the lane.
+  [[nodiscard]] double mean_batch() const {
+    return batches > 0 ? static_cast<double>(served) / static_cast<double>(batches) : 0.0;
+  }
+};
+
+/// Snapshot of one model's serving counters (aggregate + per lane).
+struct ModelStats {
+  std::string name;
+  size_t served = 0;             ///< requests that went through a forward pass
+  size_t expired = 0;            ///< requests rejected with DeadlineExpired
+  size_t batches = 0;            ///< forward passes run for this model
+  size_t max_batch_observed = 0; ///< largest coalesced batch seen
+  std::array<LaneStats, kNumLanes> lanes;
+  [[nodiscard]] double mean_batch() const {
+    return batches > 0 ? static_cast<double>(served) / static_cast<double>(batches) : 0.0;
+  }
+};
+
+/// One hosted model: identity, inference dependencies, batching policy and
+/// atomic serving counters (updated by any batcher thread, readable while
+/// serving). Immutable after registration except for the counters, which is
+/// what lets batchers use a bundle without locking.
+struct ModelBundle {
+  std::string name;
+  nn::Sequential* model = nullptr;           ///< the network serving this bundle
+  std::unique_ptr<nn::Sequential> owned;     ///< set when the bundle owns it
+  const data::MinMaxNormalizer* normalizer = nullptr;  ///< optional, caller-owned
+  size_t input_dim = 0;                      ///< flattened sample width
+  ModelConfig config;
+
+  std::array<std::atomic<size_t>, kNumLanes> served{};
+  std::array<std::atomic<size_t>, kNumLanes> expired{};
+  std::array<std::atomic<size_t>, kNumLanes> lane_batches{};
+  std::atomic<size_t> batches{0};
+  std::atomic<size_t> max_batch_observed{0};
+
+  /// Coherent-enough snapshot of the counters (relaxed reads; exact once the
+  /// traffic quiesces).
+  [[nodiscard]] ModelStats stats() const;
+};
+
+/// Growable table of model bundles shared by every batcher thread of one
+/// server. Bundles are heap-pinned, so a pointer returned by get() stays
+/// valid for the registry's lifetime even while add() grows the table.
+class ModelRegistry {
+ public:
+  /// Registers a bundle and returns its model id (dense, starting at 0).
+  /// Validates the config and rejects duplicate names. `model` must outlive
+  /// the registry unless ownership is transferred via `owned`.
+  size_t add(std::string name, nn::Sequential* model,
+             std::unique_ptr<nn::Sequential> owned, size_t input_dim,
+             const ModelConfig& config, const data::MinMaxNormalizer* normalizer);
+
+  /// The bundle for `id`, or nullptr when out of range. The pointer is
+  /// stable; the bundle itself is immutable apart from its counters.
+  [[nodiscard]] ModelBundle* get(size_t id) const;
+
+  /// The id registered under `name`; throws std::out_of_range when unknown.
+  [[nodiscard]] size_t id_of(const std::string& name) const;
+
+  /// Number of registered models.
+  [[nodiscard]] size_t size() const;
+
+  /// Fills `out[id]` with each model's batch-formation policy (the shape
+  /// RequestQueue::pop_batch consumes). Reuses `out`'s storage.
+  void snapshot_policies(std::vector<PopPolicy>& out) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<ModelBundle>> bundles_;
+};
+
+}  // namespace dlpic::serve

@@ -57,13 +57,30 @@ void ThreadPool::resize(size_t threads) {
     // is stranded in the ring while the workers restart.
     std::unique_lock<std::mutex> lock(mutex_);
     cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+    stop_ = true;
   }
-  stop_and_join();
+  cv_task_.notify_all();
+  // Submits racing this join are safe: a task enqueued while workers are
+  // still alive is drained before they exit (workers only return once
+  // stop_ && queued_ == 0), and one enqueued after they exited waits in the
+  // ring for the respawned workers below.
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+  size_.store(0, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mutex_);
   stop_ = false;
-  ring_.resize(std::max(ring_.size(), ring_capacity(threads)));
-  head_ = 0;
+  const size_t capacity = std::max(ring_.size(), ring_capacity(threads));
+  if (capacity != ring_.size() || head_ != 0) {
+    // Re-linearize tasks that slipped in during the restart window into a
+    // fresh ring starting at index 0 (a plain vector resize would scramble
+    // the circular order).
+    std::vector<TaskSlot> fresh(capacity);
+    for (size_t i = 0; i < queued_; ++i) fresh[i] = ring_[(head_ + i) % ring_.size()];
+    ring_ = std::move(fresh);
+    head_ = 0;
+  }
   spawn_locked(threads);
+  if (queued_ > 0) cv_task_.notify_all();
 }
 
 void ThreadPool::submit_raw(void (*invoke)(void*), const void* closure, size_t bytes) {

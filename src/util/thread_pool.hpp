@@ -66,9 +66,13 @@ class ThreadPool {
   void wait_idle();
 
   /// Stops and re-spawns the workers at a new width (0 = the constructor's
-  /// default sizing). Waits for in-flight tasks to finish first, so it is
-  /// safe whenever no other thread is concurrently submitting; intended for
-  /// startup plumbing and width sweeps in tests/benches.
+  /// default sizing). Waits for in-flight tasks to finish first. Safe
+  /// against concurrent submit()/wait_idle() callers: a task submitted
+  /// during the restart window is either drained by the exiting workers or
+  /// carried over to the respawned ones, never lost (resize itself must not
+  /// be called concurrently from two threads). Returns once the respawn is
+  /// done; with a continuous stream of concurrent submits it waits for a
+  /// gap where nothing is in flight.
   void resize(size_t threads);
 
   /// Current worker count (lock-free: read on every parallel_for dispatch).

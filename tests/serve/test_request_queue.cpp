@@ -1,13 +1,17 @@
 /// \file test_request_queue.cpp
-/// RequestQueue semantics: batch popping respects max_batch, the batching
-/// window flushes partial batches on timeout, close() wakes blocked
-/// consumers while letting queued requests drain, and bounded capacity
-/// applies backpressure to producers.
+/// RequestQueue semantics: batch popping respects the per-model max_batch,
+/// the batching window flushes partial batches on timeout (clamped to the
+/// earliest collected deadline), interactive lanes drain before bulk, a
+/// batch never mixes models, close() wakes blocked consumers AND producers
+/// blocked on backpressure while letting queued requests drain, and bounded
+/// capacity applies backpressure to producers.
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <future>
 #include <thread>
 #include <vector>
@@ -104,6 +108,146 @@ TEST(RequestQueue, CloseWakesBlockedConsumer) {
   q.close();
   consumer.join();
   EXPECT_TRUE(returned);
+}
+
+TEST(RequestQueue, InteractiveLaneDrainsBeforeOlderBulk) {
+  RequestQueue q;
+  RequestOptions bulk;
+  bulk.priority = Priority::kBulk;
+  RequestOptions interactive;
+  interactive.priority = Priority::kInteractive;
+  // Bulk requests are older, yet the batch must lead with the interactive
+  // lane (strict priority) and only then take bulk on leftover slots.
+  (void)q.push(sample(1.0), bulk);
+  (void)q.push(sample(2.0), bulk);
+  (void)q.push(sample(3.0), interactive);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.size(Priority::kInteractive), 1u);
+  EXPECT_EQ(q.size(Priority::kBulk), 2u);
+
+  std::vector<Request> batch;
+  ASSERT_EQ(q.pop_batch(batch, 2, 0us), 2u);
+  EXPECT_EQ(batch[0].priority, Priority::kInteractive);
+  EXPECT_DOUBLE_EQ(batch[0].input[0], 3.0);
+  EXPECT_EQ(batch[1].priority, Priority::kBulk);
+  EXPECT_DOUBLE_EQ(batch[1].input[0], 1.0);
+  EXPECT_EQ(q.size(Priority::kBulk), 1u);
+}
+
+TEST(RequestQueue, BatchNeverMixesModels) {
+  RequestQueue q;
+  RequestOptions model0;
+  RequestOptions model1;
+  model1.model_id = 1;
+  (void)q.push(sample(0.0), model0);
+  (void)q.push(sample(1.0), model1);
+  (void)q.push(sample(0.5), model0);
+
+  // The head request is model 0, so the batch carries model 0 only; the
+  // model-1 request stays queued for the next pop.
+  std::vector<Request> batch;
+  ASSERT_EQ(q.pop_batch(batch, 8, 0us), 2u);
+  for (const auto& r : batch) EXPECT_EQ(r.model_id, 0u);
+  ASSERT_EQ(q.pop_batch(batch, 8, 0us), 1u);
+  EXPECT_EQ(batch[0].model_id, 1u);
+}
+
+TEST(RequestQueue, InteractiveHeadSelectsTheBatchModel) {
+  RequestQueue q;
+  RequestOptions bulk0;  // older, bulk, model 0
+  RequestOptions inter1;
+  inter1.priority = Priority::kInteractive;
+  inter1.model_id = 1;
+  (void)q.push(sample(0.0), bulk0);
+  (void)q.push(sample(1.0), inter1);
+
+  // The interactive lane outranks the older bulk request: the batch is
+  // opened for ITS model.
+  std::vector<Request> batch;
+  ASSERT_EQ(q.pop_batch(batch, 8, 0us), 1u);
+  EXPECT_EQ(batch[0].model_id, 1u);
+  EXPECT_EQ(batch[0].priority, Priority::kInteractive);
+}
+
+TEST(RequestQueue, PerModelPoliciesApply) {
+  RequestQueue q;
+  RequestOptions model1;
+  model1.model_id = 1;
+  for (int i = 0; i < 4; ++i) (void)q.push(sample(i), model1);
+
+  // policies[1] caps model 1 batches at 3.
+  const std::array<PopPolicy, 2> policies{PopPolicy{8, 0us}, PopPolicy{3, 0us}};
+  std::vector<Request> batch;
+  EXPECT_EQ(q.pop_batch(batch, policies.data(), policies.size()), 3u);
+  EXPECT_EQ(q.pop_batch(batch, policies.data(), policies.size()), 1u);
+}
+
+TEST(RequestQueue, CollectedDeadlineClampsTheBatchingWindow) {
+  RequestQueue q;
+  RequestOptions options;
+  options.deadline = std::chrono::steady_clock::now() + 30ms;
+  (void)q.push(sample(1.0), options);
+
+  // The window asks for 10 s, but the collected request expires in ~30 ms:
+  // the partial batch must flush around the deadline, not the window.
+  std::vector<Request> batch;
+  const auto t0 = std::chrono::steady_clock::now();
+  const size_t n = q.pop_batch(batch, 8, 10'000'000us);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(n, 1u);
+  EXPECT_LT(elapsed, 5s);
+}
+
+TEST(RequestQueue, ExpiredRequestsAreStillHandedToTheConsumer) {
+  // The queue never touches promises: failing expired requests is the
+  // batcher's job, so pop_batch must return them like any other request.
+  RequestQueue q;
+  RequestOptions expired;
+  expired.deadline = std::chrono::steady_clock::now() - 1s;
+  auto future = q.push(sample(1.0), expired);
+  std::vector<Request> batch;
+  ASSERT_EQ(q.pop_batch(batch, 8, 0us), 1u);
+  EXPECT_LT(batch[0].deadline, std::chrono::steady_clock::now());
+  batch[0].result.set_exception(std::make_exception_ptr(DeadlineExpired()));
+  EXPECT_THROW(future.get(), DeadlineExpired);
+}
+
+TEST(RequestQueue, RejectsModelIdBeyondTableBound) {
+  // The per-lane FIFO tables are sized by model id; an unchecked id would
+  // let a buggy caller allocate (or overflow) the table.
+  RequestQueue q;
+  RequestOptions options;
+  options.model_id = kMaxModels;
+  EXPECT_THROW((void)q.push(sample(1.0), options), std::invalid_argument);
+  options.model_id = SIZE_MAX;
+  EXPECT_THROW((void)q.push(sample(1.0), options), std::invalid_argument);
+  // Same for a priority value outside the lane table.
+  RequestOptions bad_lane;
+  bad_lane.priority = static_cast<Priority>(2);
+  EXPECT_THROW((void)q.push(sample(1.0), bad_lane), std::invalid_argument);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(RequestQueue, CloseWakesProducerBlockedOnBackpressure) {
+  RequestQueue q(/*capacity=*/1);
+  (void)q.push(sample(0.0));
+
+  std::atomic<bool> threw{false};
+  std::thread producer([&] {
+    // Blocks on the full queue; close() must wake it and push must throw
+    // instead of enqueueing into a closed queue.
+    try {
+      (void)q.push(sample(1.0));
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(threw);
+  q.close();
+  producer.join();
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(q.size(), 1u);  // only the pre-close request remains queued
 }
 
 TEST(RequestQueue, BoundedCapacityAppliesBackpressure) {

@@ -1,9 +1,13 @@
 /// \file test_serving.cpp
 /// End-to-end serving correctness: batched inference is bitwise identical to
 /// single-sample serial inference (the batcher's determinism contract) under
-/// concurrent producers, graceful shutdown serves every in-flight request,
-/// and the max_wait window flushes partial batches. Also covers the
-/// DlFieldSolver serving-backed mode against its synchronous path.
+/// concurrent producers — including multi-model hosting (a batch never mixes
+/// models), priority lanes and per-request deadlines (expired requests fail
+/// with DeadlineExpired and never buy a forward pass) — graceful shutdown
+/// serves every in-flight request, and the max_wait window flushes partial
+/// batches. Also covers the DlFieldSolver serving-backed modes (private
+/// server and shared multi-solver registration) against the synchronous
+/// path. The adversarial saturation soak lives in test_serving_stress.cpp.
 
 #include <gtest/gtest.h>
 
@@ -28,10 +32,10 @@ using serve::ServerConfig;
 constexpr size_t kInputDim = 64;
 constexpr size_t kOutputDim = 16;
 
-nn::Sequential make_model(uint64_t seed = 7) {
+nn::Sequential make_model(uint64_t seed = 7, size_t output_dim = kOutputDim) {
   nn::MlpSpec spec;
   spec.input_dim = kInputDim;
-  spec.output_dim = kOutputDim;
+  spec.output_dim = output_dim;
   spec.hidden = 32;
   spec.depth = 2;
   spec.seed = seed;
@@ -282,6 +286,200 @@ TEST(InferenceServer, RejectsPadSmallerThanMaxBatch) {
   cfg.max_batch = 8;
   cfg.pad_to_batch = 4;
   EXPECT_THROW(InferenceServer(model, kInputDim, cfg), std::invalid_argument);
+}
+
+TEST(InferenceServer, MultiModelServesEachModelBitwiseAndNeverMixes) {
+  // Two models with different seeds AND different output widths: a batch
+  // that mixed models would either throw on the output shape or produce
+  // rows from the wrong network — both caught by the bitwise comparison.
+  auto model_a = make_model(31, kOutputDim);
+  auto model_b = make_model(32, kOutputDim + 8);
+  auto samples = make_samples(24, 2024);
+  const auto expected_a = serial_reference(model_a, samples);
+  const auto expected_b = serial_reference(model_b, samples);
+
+  serve::ServerConfig cfg;
+  cfg.worker_threads = 2;
+  InferenceServer server(cfg);
+  serve::ModelConfig mc;
+  mc.max_batch = 8;
+  mc.max_wait_us = 5'000;
+  const size_t id_a = server.add_model("solver-a", model_a, kInputDim, mc);
+  const size_t id_b = server.add_model("solver-b", model_b, kInputDim, mc);
+  ASSERT_NE(id_a, id_b);
+  EXPECT_EQ(server.model_count(), 2u);
+  EXPECT_EQ(server.model_id("solver-b"), id_b);
+  EXPECT_THROW((void)server.model_id("nope"), std::out_of_range);
+
+  // Interleave the two models from concurrent producers.
+  std::vector<std::future<std::vector<double>>> futures_a(samples.size());
+  std::vector<std::future<std::vector<double>>> futures_b(samples.size());
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = c; i < samples.size(); i += 4) {
+        serve::SubmitOptions oa;
+        oa.model_id = id_a;
+        oa.priority = (i % 2 == 0) ? serve::Priority::kInteractive : serve::Priority::kBulk;
+        futures_a[i] = server.submit(samples[i], oa);
+        serve::SubmitOptions ob;
+        ob.model_id = id_b;
+        futures_b[i] = server.submit(samples[i], ob);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(futures_a[i].get(), expected_a[i]) << "model a, sample " << i;
+    EXPECT_EQ(futures_b[i].get(), expected_b[i]) << "model b, sample " << i;
+  }
+
+  const auto stats_a = server.model_stats(id_a);
+  const auto stats_b = server.model_stats(id_b);
+  EXPECT_EQ(stats_a.served, samples.size());
+  EXPECT_EQ(stats_b.served, samples.size());
+  EXPECT_EQ(stats_a.expired, 0u);
+  // Lane attribution: model a saw both lanes, model b only bulk.
+  EXPECT_GT(stats_a.lanes[size_t(serve::Priority::kInteractive)].served, 0u);
+  EXPECT_GT(stats_a.lanes[size_t(serve::Priority::kBulk)].served, 0u);
+  EXPECT_EQ(stats_b.lanes[size_t(serve::Priority::kInteractive)].served, 0u);
+  EXPECT_EQ(stats_b.lanes[size_t(serve::Priority::kBulk)].served, samples.size());
+  EXPECT_LE(stats_a.max_batch_observed, mc.max_batch);
+}
+
+TEST(InferenceServer, ExpiredRequestFailsDistinctlyWithoutAForwardPass) {
+  auto model = make_model(33);
+  auto samples = make_samples(4, 555);
+  const auto expected = serial_reference(model, samples);
+
+  ServerConfig cfg;
+  cfg.max_wait_us = 20'000;
+  InferenceServer server(model, kInputDim, cfg);
+
+  // One request expired before submission, the rest fresh: the expired one
+  // must resolve to DeadlineExpired while the batch it was popped with is
+  // still served bitwise.
+  serve::SubmitOptions expired;
+  expired.deadline = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  auto dead = server.submit(samples[0], expired);
+  std::vector<std::future<std::vector<double>>> live;
+  for (size_t i = 1; i < samples.size(); ++i) live.push_back(server.submit(samples[i]));
+
+  EXPECT_THROW(dead.get(), serve::DeadlineExpired);
+  for (size_t i = 0; i < live.size(); ++i) EXPECT_EQ(live[i].get(), expected[i + 1]);
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.expired, 1u);
+  const auto ms = server.model_stats(0);
+  EXPECT_EQ(ms.expired, 1u);
+  EXPECT_EQ(ms.served, samples.size() - 1);
+  // The batches counter counts forward passes: the expired request must not
+  // have bought one on its own.
+  EXPECT_LE(ms.batches, samples.size() - 1);
+}
+
+TEST(InferenceServer, GenerousDeadlineIsServedNormally) {
+  auto model = make_model(34);
+  auto samples = make_samples(2, 556);
+  const auto expected = serial_reference(model, samples);
+  ServerConfig cfg;
+  cfg.max_wait_us = 0;
+  InferenceServer server(model, kInputDim, cfg);
+  serve::SubmitOptions options;
+  options.deadline = std::chrono::steady_clock::now() + std::chrono::minutes(5);
+  options.priority = serve::Priority::kInteractive;
+  for (size_t i = 0; i < samples.size(); ++i)
+    EXPECT_EQ(server.submit(samples[i], options).get(), expected[i]);
+  EXPECT_EQ(server.stats().expired, 0u);
+}
+
+TEST(InferenceServer, SubmitValidatesModelId) {
+  auto model = make_model();
+  InferenceServer server(model, kInputDim);
+  serve::SubmitOptions options;
+  options.model_id = 7;
+  EXPECT_THROW((void)server.submit(std::vector<double>(kInputDim, 0.0), options),
+               std::invalid_argument);
+}
+
+TEST(InferenceServer, RejectsDuplicateModelNames) {
+  auto model = make_model();
+  InferenceServer server(model, kInputDim);  // registers "default"
+  EXPECT_THROW((void)server.add_model("default", model, kInputDim),
+               std::invalid_argument);
+}
+
+TEST(InferenceServer, AddModelWhileServingBecomesServable) {
+  auto model_a = make_model(41);
+  auto model_b = make_model(42);
+  auto samples = make_samples(3, 557);
+  const auto expected_b = serial_reference(model_b, samples);
+
+  ServerConfig cfg;
+  cfg.max_wait_us = 0;
+  InferenceServer server(model_a, kInputDim, cfg);
+  // Serve some traffic on model a first, then hot-register model b.
+  (void)server.submit(samples[0]).get();
+  const size_t id_b = server.add_model("late", model_b, kInputDim);
+  serve::SubmitOptions options;
+  options.model_id = id_b;
+  for (size_t i = 0; i < samples.size(); ++i)
+    EXPECT_EQ(server.submit(samples[i], options).get(), expected_b[i]);
+}
+
+TEST(DlFieldSolverServing, SharedServerHostsSeveralSolvers) {
+  // Two field-solver bundles behind ONE server/worker pool: each solver's
+  // async path must match its own synchronous path bitwise.
+  phase_space::BinnerConfig bc;
+  bc.nx = 8;
+  bc.nv = 8;
+  core::DlFieldSolver solver_a(make_model(51, 16), data::MinMaxNormalizer(0.0, 100.0), bc);
+  core::DlFieldSolver solver_b(make_model(52, 24), data::MinMaxNormalizer(0.0, 50.0), bc);
+
+  math::Rng rng(9);
+  std::vector<std::vector<double>> histograms(10);
+  for (auto& h : histograms) {
+    h.resize(bc.nx * bc.nv);
+    for (auto& v : h) v = rng.uniform(0.0, 100.0);
+  }
+  std::vector<std::vector<double>> expected_a, expected_b;
+  for (const auto& h : histograms) {
+    expected_a.push_back(solver_a.solve_histogram(h));
+    expected_b.push_back(solver_b.solve_histogram(h));
+  }
+
+  serve::ServerConfig cfg;
+  cfg.worker_threads = 2;
+  serve::InferenceServer server(cfg);
+  serve::ModelConfig mc;
+  mc.max_batch = 4;
+  mc.max_wait_us = 2'000;
+  const size_t id_a = solver_a.start_serving(server, "solver-a", mc);
+  const size_t id_b = solver_b.start_serving(server, "solver-b", mc);
+  ASSERT_NE(id_a, id_b);
+  EXPECT_TRUE(solver_a.serving());
+  EXPECT_EQ(solver_a.server(), &server);
+  EXPECT_EQ(solver_a.serving_model_id(), id_a);
+
+  std::vector<std::future<std::vector<double>>> futures_a, futures_b;
+  for (const auto& h : histograms) {
+    futures_a.push_back(solver_a.solve_async(h, serve::Priority::kInteractive));
+    futures_b.push_back(solver_b.solve_async(h));
+  }
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    EXPECT_EQ(futures_a[i].get(), expected_a[i]) << "solver a, histogram " << i;
+    EXPECT_EQ(futures_b[i].get(), expected_b[i]) << "solver b, histogram " << i;
+  }
+  EXPECT_EQ(server.model_stats(id_a).served, histograms.size());
+  EXPECT_EQ(server.model_stats(id_b).served, histograms.size());
+
+  // Detaching drops the routing but leaves the bundle servable.
+  solver_a.stop_serving();
+  EXPECT_FALSE(solver_a.serving());
+  EXPECT_THROW((void)solver_a.solve_async(histograms[0]), std::runtime_error);
+  serve::SubmitOptions direct;
+  direct.model_id = id_a;
+  EXPECT_EQ(server.submit(histograms[0], direct).get(), expected_a[0]);
 }
 
 TEST(DlFieldSolverServing, SpeciesOverloadMatchesSolve) {

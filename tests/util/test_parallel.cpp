@@ -3,6 +3,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/parallel.hpp"
@@ -52,6 +53,49 @@ TEST(ThreadPool, ResizeChangesWidthAndKeepsPoolUsable) {
   pool.submit([&counter] { counter.fetch_add(1); });
   pool.wait_idle();
   EXPECT_EQ(counter.load(), 21);
+}
+
+TEST(ThreadPool, ResizeRacingConcurrentSubmitsLosesNoTask) {
+  // Several producers hammer submit() while the main thread cycles the pool
+  // through different widths. Every submitted task must run exactly once:
+  // tasks enqueued during a restart window are either drained by the
+  // exiting workers or carried over (re-linearized) to the respawned ones.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::atomic<bool> stop{false};
+  std::atomic<int> submitted{0};
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+        submitted.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  for (int cycle = 0; cycle < 12; ++cycle) pool.resize(1 + cycle % 4);
+  stop = true;
+  for (auto& t : producers) t.join();
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), submitted.load())
+      << "a resize dropped (or double-ran) submitted tasks";
+  EXPECT_GT(submitted.load(), 0);
+}
+
+TEST(ThreadPool, ResizeRacingWaitIdleCompletes) {
+  // wait_idle from one thread while another resizes: both must return, and
+  // the pool must stay usable.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 64; ++i) pool.submit([&counter] { counter.fetch_add(1); });
+  std::thread waiter([&] { pool.wait_idle(); });
+  pool.resize(3);
+  waiter.join();
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 65);
 }
 
 TEST(ThreadPool, ResizeGlobalPoolChangesParallelWidth) {
