@@ -13,6 +13,7 @@
 #include <string>
 
 #include "nn/backend.hpp"
+#include "nn/quantize.hpp"
 #include "util/env.hpp"
 #include "util/parallel.hpp"
 
@@ -95,6 +96,13 @@ inline int run(int argc, char** argv, const std::string& name) {
   benchmark::AddCustomContext("dlpic_backend_env", util::env_string_or("DLPIC_BACKEND", ""));
   benchmark::AddCustomContext("dlpic_avx2_available",
                               nn::avx2_backend() != nullptr ? "1" : "0");
+  // Numeric precisions this build can serve; precision-sweeping benches
+  // additionally tag each entry with a "precision" counter / arg column
+  // (0 = f64, 1 = int8) so quantized and full-precision points stay
+  // separable in the perf trajectory.
+  benchmark::AddCustomContext(
+      "dlpic_precisions", std::string(nn::precision_name(nn::Precision::kF64)) + "," +
+                              nn::precision_name(nn::Precision::kInt8));
 
   std::vector<std::string> arg_store(argv, argv + argc);
   bool has_out = false;

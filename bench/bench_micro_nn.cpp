@@ -8,7 +8,7 @@
 /// workers) — and a final argument selecting the kernel backend (0 =
 /// scalar, 1 = avx2; avx2 rows are skipped on hosts without it). Compare
 /// worker 1 vs 4 for the parallel speedup and backend 0 vs 1 for the SIMD
-/// speedup; bench_gemm sweeps {size, backend}.
+/// speedup; bench_gemm sweeps {size, backend, precision (0=f64, 1=int8)}.
 
 #include <benchmark/benchmark.h>
 
@@ -20,6 +20,7 @@
 #include "nn/loss.hpp"
 #include "nn/model_zoo.hpp"
 #include "nn/optimizer.hpp"
+#include "nn/quantize.hpp"
 #include "util/parallel.hpp"
 
 namespace {
@@ -52,13 +53,34 @@ void bench_gemm(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   benchjson::BackendGuard backend(state, 1);
   if (!backend.run(state)) return;
+  // Third axis: precision (0 = f64, 1 = int8). The int8 rows measure the
+  // serving-shaped cost — weights (B) precise-quantized once up front, the
+  // activation operand (A) fast-quantized inside the timed region, exactly
+  // as Dense::forward_int8 pays it per batch.
+  const bool int8 = state.range(2) != 0;
+  state.counters["precision"] = benchmark::Counter(int8 ? 1.0 : 0.0);
   math::Rng rng(888);
   std::vector<double> A(n * n), B(n * n), C(n * n);
   for (auto& v : A) v = rng.uniform(-1, 1);
   for (auto& v : B) v = rng.uniform(-1, 1);
-  for (auto _ : state) {
-    math::gemm(false, false, n, n, n, 1.0, A.data(), n, B.data(), n, 0.0, C.data(), n);
-    benchmark::DoNotOptimize(C.data());
+  if (int8) {
+    nn::QuantizedMatrix Bq;
+    // quantized_gemm consumes B row-major k-contiguous = B^T of this GEMM;
+    // for a throughput bench the transposed random matrix is equivalent.
+    nn::quantize_rows_precise(B.data(), n, n, Bq);
+    std::vector<int8_t> Aq(n * n);
+    std::vector<double> As(n);
+    for (auto _ : state) {
+      nn::quantize_rows_fast(A.data(), n, n, Aq.data(), As.data());
+      nn::quantized_gemm(n, n, n, Aq.data(), As.data(), Bq.q.data(),
+                         Bq.scales.data(), C.data(), n);
+      benchmark::DoNotOptimize(C.data());
+    }
+  } else {
+    for (auto _ : state) {
+      math::gemm(false, false, n, n, n, 1.0, A.data(), n, B.data(), n, 0.0, C.data(), n);
+      benchmark::DoNotOptimize(C.data());
+    }
   }
   state.counters["GFLOPS"] = benchmark::Counter(
       2.0 * static_cast<double>(n) * n * n * static_cast<double>(state.iterations()),
@@ -229,13 +251,18 @@ void bench_mlp_train_step(benchmark::State& state) {
 
 // Second argument of the swept benches selects the kernel backend
 // (0 = scalar, 1 = avx2; avx2 rows are skipped on hosts without it).
-BENCHMARK(bench_gemm)
-    ->Args({64, 0})
-    ->Args({64, 1})
-    ->Args({256, 0})
-    ->Args({256, 1})
-    ->Args({512, 0})
-    ->Args({512, 1});
+BENCHMARK(bench_gemm)  // {size, backend (0=scalar, 1=avx2), precision (0=f64, 1=int8)}
+    ->Args({64, 0, 0})
+    ->Args({64, 1, 0})
+    ->Args({64, 1, 1})
+    ->Args({256, 0, 0})
+    ->Args({256, 0, 1})
+    ->Args({256, 1, 0})
+    ->Args({256, 1, 1})
+    ->Args({512, 0, 0})
+    ->Args({512, 0, 1})
+    ->Args({512, 1, 0})
+    ->Args({512, 1, 1});
 BENCHMARK(bench_dense_forward)->Arg(128)->Arg(1024);
 BENCHMARK(bench_dense_backward)->Arg(128)->Arg(1024);
 BENCHMARK(bench_conv_forward)->Arg(16)->Arg(32);

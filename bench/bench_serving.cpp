@@ -2,10 +2,12 @@
 /// Serving-path benchmarks: batched inference throughput (requests/sec) and
 /// client-observed latency (p50/p99) versus client count and max_batch,
 /// against the single-request serial baseline. Args are {clients, max_batch,
-/// worker_threads, burst, pad}: `burst` pipelines that many outstanding
-/// submissions per client (1 = the old submit-then-wait loop) so batch
-/// formation is not throttled by client round-trips, and `pad` != 0 enables
-/// fixed-shape micro-batch padding (pad_to_batch = max_batch). Every run
+/// worker_threads, burst, pad, precision}: `burst` pipelines that many
+/// outstanding submissions per client (1 = the old submit-then-wait loop) so
+/// batch formation is not throttled by client round-trips, `pad` != 0
+/// enables fixed-shape micro-batch padding (pad_to_batch = max_batch), and
+/// `precision` != 0 serves the bundle through the int8 quantized GEMM path
+/// instead of f64. Every run
 /// also reports mean_batch (the amortization the dynamic batcher achieved).
 ///
 /// bench_serve_lanes sweeps the priority-lane / multi-model scheduler under
@@ -107,6 +109,9 @@ void bench_serve_batched(benchmark::State& state) {
   // One parallel worker context; several contexts pinned serial.
   cfg.context_worker_cap = worker_threads > 1 ? 1 : 0;
   cfg.pad_to_batch = state.range(4) != 0 ? max_batch : 0;
+  cfg.precision =
+      state.range(5) != 0 ? nn::Precision::kInt8 : nn::Precision::kF64;
+  state.counters["precision"] = benchmark::Counter(state.range(5) != 0 ? 1.0 : 0.0);
   serve::InferenceServer server(model, kInputDim, cfg);
 
   std::mutex latency_mutex;
@@ -273,20 +278,23 @@ void bench_serve_lanes(benchmark::State& state) {
 
 BENCHMARK(bench_serve_serial_single)->Unit(benchmark::kMicrosecond);
 
-// {clients, max_batch, worker_threads, burst, pad}: the batching sweep
-// (1 worker, parallel kernels), the thread-scaling sweep (serial contexts),
-// and the pipelined-client sweep (burst > 1) with and without fixed-shape
-// padding.
+// {clients, max_batch, worker_threads, burst, pad, precision}: the batching
+// sweep (1 worker, parallel kernels), the thread-scaling sweep (serial
+// contexts), the pipelined-client sweep (burst > 1) with and without
+// fixed-shape padding, and the int8 lane (precision = 1) against its f64
+// twin rows.
 BENCHMARK(bench_serve_batched)
-    ->Args({1, 1, 1, 1, 0})    // no batching, one client: queue overhead reference
-    ->Args({4, 1, 1, 1, 0})    // concurrency without batching
-    ->Args({4, 8, 1, 1, 0})    // dynamic batching kicks in
-    ->Args({8, 8, 1, 1, 0})
-    ->Args({8, 8, 1, 8, 0})    // pipelined clients: batches actually fill
-    ->Args({8, 8, 1, 8, 1})    // + fixed-shape padding (pad_to_batch = 8)
-    ->Args({8, 32, 1, 8, 0})
-    ->Args({8, 8, 2, 8, 0})    // two serial-context workers, pipelined
-    ->Args({16, 32, 2, 8, 1})
+    ->Args({1, 1, 1, 1, 0, 0})    // no batching, one client: queue overhead reference
+    ->Args({4, 1, 1, 1, 0, 0})    // concurrency without batching
+    ->Args({4, 8, 1, 1, 0, 0})    // dynamic batching kicks in
+    ->Args({8, 8, 1, 1, 0, 0})
+    ->Args({8, 8, 1, 8, 0, 0})    // pipelined clients: batches actually fill
+    ->Args({8, 8, 1, 8, 0, 1})    // ... the same lane served quantized
+    ->Args({8, 8, 1, 8, 1, 0})    // + fixed-shape padding (pad_to_batch = 8)
+    ->Args({8, 32, 1, 8, 0, 0})
+    ->Args({8, 8, 2, 8, 0, 0})    // two serial-context workers, pipelined
+    ->Args({16, 32, 2, 8, 1, 0})
+    ->Args({16, 32, 2, 8, 1, 1})  // padded int8 at the deepest sweep point
     ->Unit(benchmark::kMicrosecond)
     ->UseRealTime();
 

@@ -29,12 +29,18 @@
 /// exactly and stay bitwise identical across backends
 /// (tests/nn/test_backend_parity.cpp enforces both properties).
 ///
-/// This header deliberately depends on nothing but <cstddef> so the lower
-/// layers (math, pic) can include it without cycles.
+/// This header deliberately depends on nothing but <cstddef>/<cstdint> so
+/// the lower layers (math, pic) can include it without cycles.
 
 #include <cstddef>
+#include <cstdint>
 
 namespace dlpic::nn {
+
+/// Largest k the int8 GEMM kernels accept: every dot product accumulates in
+/// one int32, and with codes clamped to [-127, 127] the worst case is
+/// k * 127^2, so k must satisfy k * 16129 <= 2^31 - 1.
+inline constexpr size_t kQuantizedGemmMaxDepth = 133144;
 
 /// Abstract kernel backend. Granularity: one virtual call per *range* (a
 /// GEMM panel, an elementwise chunk, a particle range), never per element,
@@ -54,6 +60,19 @@ class KernelBackend {
   /// batch-size- and worker-count-invariant.
   virtual void gemm_block(size_t mb, size_t nb, size_t kb, const double* Apanel,
                           const double* Bpanel, double* C, size_t ldc) const = 0;
+
+  /// Quantized inner-product panel, OVERWRITING C (mb x nb, row stride ldc):
+  ///   C[i,j] = (a_scales[i] * b_scales[j]) * sum_p Aq[i*kb+p] * Bq[j*kb+p]
+  /// Both operands are row-major with k contiguous (Bq is the transposed
+  /// layout of gemm_block's RHS) and hold codes in [-127, 127] — never -128,
+  /// which the AVX2 abs/sign kernel relies on to rule out maddubs
+  /// saturation. The dot products are exact int32 sums (callers bound kb by
+  /// kQuantizedGemmMaxDepth) and every implementation dequantizes with this
+  /// exact expression, so the int8 path is bitwise identical across
+  /// backends, worker counts and batch sizes.
+  virtual void gemm_int8(size_t mb, size_t nb, size_t kb, const int8_t* Aq,
+                         const double* a_scales, const int8_t* Bq,
+                         const double* b_scales, double* C, size_t ldc) const = 0;
 
   // ----------------------------------------------- elementwise / BLAS-1 ----
   /// y[i] = x[i].

@@ -166,6 +166,43 @@ void deposit_range_avx2(double* buf, const double* x, size_t lo, size_t hi,
 }
 
 // ---------------------------------------------------------------------------
+// Int8 GEMM building blocks. Codes are in [-127, 127] (never -128, enforced
+// by the quantizer's clamp), so |a| fits an unsigned byte and a pairwise
+// maddubs product is at most 2 * 127 * 127 = 32258 < 32767 — no saturation.
+// The signed x signed product a*b is computed as |a| * sign(b, a): maddubs
+// wants one unsigned operand, and transferring a's sign onto b keeps the
+// exact integer value. madd_epi16 against ones widens the 16 int16 pairwise
+// sums into 8 exact int32 lanes.
+
+/// Sum of the 8 int32 lanes (exact; order irrelevant for integers).
+inline int32_t hsum_epi32(__m256i v) {
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(v), _mm256_extracti128_si256(v, 1));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(s);
+}
+
+/// One 32-wide quadword of the int8 dot product: acc += sum_over_32(a * b)
+/// spread across 8 int32 lanes.
+inline __m256i dot_i8_step(__m256i acc, __m256i va, __m256i vb) {
+  const __m256i prod16 = _mm256_maddubs_epi16(_mm256_abs_epi8(va), _mm256_sign_epi8(vb, va));
+  return _mm256_add_epi32(acc, _mm256_madd_epi16(prod16, _mm256_set1_epi16(1)));
+}
+
+/// Full int8 dot product of two k-contiguous rows (vector body + exact
+/// scalar tail). Used by the gemm_int8 edge loops.
+inline int32_t dot_i8_avx2(const int8_t* a, const int8_t* b, size_t k) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t p = 0;
+  for (; p + 32 <= k; p += 32)
+    acc = dot_i8_step(acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + p)),
+                      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + p)));
+  int32_t s = hsum_epi32(acc);
+  for (; p < k; ++p) s += static_cast<int32_t>(a[p]) * static_cast<int32_t>(b[p]);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
 // The backend.
 
 class Avx2Backend final : public ScalarBackend {
@@ -261,6 +298,86 @@ class Avx2Backend final : public ScalarBackend {
         double acc = 0;
         for (size_t p = 0; p < kb; ++p) acc += a[p] * Bpanel[p * nb + j];
         C[i * ldc + j] += acc;
+      }
+    }
+  }
+
+  // 4-row x 2-column register tile over 32-wide k steps (8 int32
+  // accumulators + 2 B vectors + 1 A vector live), mirroring the f64
+  // micro-kernel's 4-row structure. Per 32-step each int32 lane gains at
+  // most 4 * 127^2 = 64516, so lane overflow needs k > ~1M — far beyond the
+  // kQuantizedGemmMaxDepth bound callers enforce. Remainders use the shared
+  // single-dot helper; everything is exact integer arithmetic, so this
+  // kernel is bitwise identical to the scalar reference.
+  void gemm_int8(size_t mb, size_t nb, size_t kb, const int8_t* Aq,
+                 const double* a_scales, const int8_t* Bq, const double* b_scales,
+                 double* C, size_t ldc) const override {
+    size_t i = 0;
+    for (; i + 4 <= mb; i += 4) {
+      const int8_t* a0 = Aq + (i + 0) * kb;
+      const int8_t* a1 = Aq + (i + 1) * kb;
+      const int8_t* a2 = Aq + (i + 2) * kb;
+      const int8_t* a3 = Aq + (i + 3) * kb;
+      size_t j = 0;
+      for (; j + 2 <= nb; j += 2) {
+        const int8_t* b0 = Bq + (j + 0) * kb;
+        const int8_t* b1 = Bq + (j + 1) * kb;
+        __m256i c00 = _mm256_setzero_si256(), c01 = _mm256_setzero_si256();
+        __m256i c10 = _mm256_setzero_si256(), c11 = _mm256_setzero_si256();
+        __m256i c20 = _mm256_setzero_si256(), c21 = _mm256_setzero_si256();
+        __m256i c30 = _mm256_setzero_si256(), c31 = _mm256_setzero_si256();
+        size_t p = 0;
+        for (; p + 32 <= kb; p += 32) {
+          const __m256i vb0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b0 + p));
+          const __m256i vb1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b1 + p));
+          __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a0 + p));
+          c00 = dot_i8_step(c00, va, vb0);
+          c01 = dot_i8_step(c01, va, vb1);
+          va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a1 + p));
+          c10 = dot_i8_step(c10, va, vb0);
+          c11 = dot_i8_step(c11, va, vb1);
+          va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a2 + p));
+          c20 = dot_i8_step(c20, va, vb0);
+          c21 = dot_i8_step(c21, va, vb1);
+          va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a3 + p));
+          c30 = dot_i8_step(c30, va, vb0);
+          c31 = dot_i8_step(c31, va, vb1);
+        }
+        int32_t s[4][2] = {{hsum_epi32(c00), hsum_epi32(c01)},
+                           {hsum_epi32(c10), hsum_epi32(c11)},
+                           {hsum_epi32(c20), hsum_epi32(c21)},
+                           {hsum_epi32(c30), hsum_epi32(c31)}};
+        for (; p < kb; ++p) {
+          const int32_t bb0 = b0[p], bb1 = b1[p];
+          s[0][0] += a0[p] * bb0; s[0][1] += a0[p] * bb1;
+          s[1][0] += a1[p] * bb0; s[1][1] += a1[p] * bb1;
+          s[2][0] += a2[p] * bb0; s[2][1] += a2[p] * bb1;
+          s[3][0] += a3[p] * bb0; s[3][1] += a3[p] * bb1;
+        }
+        for (size_t r = 0; r < 4; ++r) {
+          C[(i + r) * ldc + j + 0] =
+              (a_scales[i + r] * b_scales[j + 0]) * static_cast<double>(s[r][0]);
+          C[(i + r) * ldc + j + 1] =
+              (a_scales[i + r] * b_scales[j + 1]) * static_cast<double>(s[r][1]);
+        }
+      }
+      for (; j < nb; ++j) {
+        const int8_t* b = Bq + j * kb;
+        C[(i + 0) * ldc + j] =
+            (a_scales[i + 0] * b_scales[j]) * static_cast<double>(dot_i8_avx2(a0, b, kb));
+        C[(i + 1) * ldc + j] =
+            (a_scales[i + 1] * b_scales[j]) * static_cast<double>(dot_i8_avx2(a1, b, kb));
+        C[(i + 2) * ldc + j] =
+            (a_scales[i + 2] * b_scales[j]) * static_cast<double>(dot_i8_avx2(a2, b, kb));
+        C[(i + 3) * ldc + j] =
+            (a_scales[i + 3] * b_scales[j]) * static_cast<double>(dot_i8_avx2(a3, b, kb));
+      }
+    }
+    for (; i < mb; ++i) {
+      const int8_t* a = Aq + i * kb;
+      for (size_t j = 0; j < nb; ++j) {
+        C[i * ldc + j] = (a_scales[i] * b_scales[j]) *
+                         static_cast<double>(dot_i8_avx2(a, Bq + j * kb, kb));
       }
     }
   }

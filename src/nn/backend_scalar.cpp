@@ -57,6 +57,24 @@ void ScalarBackend::gemm_block(size_t mb, size_t nb, size_t kb, const double* Ap
   }
 }
 
+// Reference int8 kernel: a plain widened dot per output element. The
+// accumulation is exact integer arithmetic, so the compiler is free to
+// vectorize this loop without changing a single bit of the result.
+void ScalarBackend::gemm_int8(size_t mb, size_t nb, size_t kb, const int8_t* Aq,
+                              const double* a_scales, const int8_t* Bq,
+                              const double* b_scales, double* C, size_t ldc) const {
+  for (size_t i = 0; i < mb; ++i) {
+    const int8_t* a = Aq + i * kb;
+    for (size_t j = 0; j < nb; ++j) {
+      const int8_t* b = Bq + j * kb;
+      int32_t acc = 0;
+      for (size_t p = 0; p < kb; ++p)
+        acc += static_cast<int32_t>(a[p]) * static_cast<int32_t>(b[p]);
+      C[i * ldc + j] = (a_scales[i] * b_scales[j]) * static_cast<double>(acc);
+    }
+  }
+}
+
 KernelBackend::PicGatherFn ScalarBackend::pic_gather(int shape) const {
   switch (shape) {
     case 0: return &backend_detail::gather_range<pic::Shape::NGP>;

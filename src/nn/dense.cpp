@@ -6,6 +6,7 @@
 
 #include "math/linalg.hpp"
 #include "nn/init.hpp"
+#include "nn/quantize.hpp"
 #include "util/parallel.hpp"
 
 namespace dlpic::nn {
@@ -15,6 +16,11 @@ namespace {
 constexpr int kSlotInput = 0;
 constexpr int kSlotOut = 1;
 constexpr int kSlotGradIn = 2;
+// Int8-path staging slots (grow-only scratch; see quantize.hpp).
+constexpr int kSlotInt8In = 3;          // quantized activation rows
+constexpr int kSlotInt8InScale = 4;     // per-row activation scales
+constexpr int kSlotInt8Weight = 5;      // fast-quantized weights (cache miss)
+constexpr int kSlotInt8WeightScale = 6; // per-row weight scales (cache miss)
 }  // namespace
 
 Dense::Dense(size_t in_features, size_t out_features, math::Rng& rng, bool linear_output)
@@ -36,7 +42,7 @@ Dense::Dense(size_t in_features, size_t out_features)
   if (in_ == 0 || out_ == 0) throw std::invalid_argument("Dense: zero-sized layer");
 }
 
-Tensor& Dense::forward(ExecutionContext& ctx, const Tensor& input, bool /*training*/) {
+Tensor& Dense::forward(ExecutionContext& ctx, const Tensor& input, bool training) {
   if (input.rank() != 2 || input.dim(1) != in_)
     throw std::invalid_argument("Dense::forward: expected [batch, " + std::to_string(in_) +
                                 "], got " + input.shape_string());
@@ -44,13 +50,20 @@ Tensor& Dense::forward(ExecutionContext& ctx, const Tensor& input, bool /*traini
   ScopedBackend backend_scope(ctx.backend());
   const KernelBackend* be = &ctx.resolved_backend();
   const size_t batch = input.dim(0);
-
-  Tensor& xc = ctx.workspace().tensor(this, kSlotInput, {batch, in_});
-  detail::parallel_copy(input.data(), xc.data(), input.size());
   Tensor& out = ctx.workspace().tensor(this, kSlotOut, {batch, out_});
-  // out[b,o] = sum_i x[b,i] W[o,i]  ->  X (batch x in) * W^T (in x out).
-  math::gemm(false, true, batch, out_, in_, 1.0, xc.data(), in_, weight_.data(), in_, 0.0,
-             out.data(), out_);
+
+  if (ctx.precision() == Precision::kInt8) {
+    if (training)
+      throw std::invalid_argument(
+          "Dense::forward: int8 precision is inference-only (train at kF64)");
+    forward_int8(ctx, input, out);
+  } else {
+    Tensor& xc = ctx.workspace().tensor(this, kSlotInput, {batch, in_});
+    detail::parallel_copy(input.data(), xc.data(), input.size());
+    // out[b,o] = sum_i x[b,i] W[o,i]  ->  X (batch x in) * W^T (in x out).
+    math::gemm(false, true, batch, out_, in_, 1.0, xc.data(), in_, weight_.data(), in_,
+               0.0, out.data(), out_);
+  }
   const double* bias = bias_.data();
   util::parallel_for_chunks(
       0, batch,
@@ -59,6 +72,41 @@ Tensor& Dense::forward(ExecutionContext& ctx, const Tensor& input, bool /*traini
       },
       detail::kElemGrain / std::max<size_t>(1, out_));
   return out;
+}
+
+void Dense::forward_int8(ExecutionContext& ctx, const Tensor& input, Tensor& out) {
+  const size_t batch = input.dim(0);
+  Workspace& ws = ctx.workspace();
+  // Dynamic side: fast per-row quantization of the activations into
+  // grow-only scratch — the steady-state batch loop allocates nothing. Each
+  // row's codes depend only on that row, so batching/padding cannot change
+  // any sample's result.
+  std::vector<int8_t>& xq = ws.scratch_i8(this, kSlotInt8In, batch * in_);
+  std::vector<double>& xs = ws.scratch(this, kSlotInt8InScale, batch);
+  quantize_rows_fast(input.data(), batch, in_, xq.data(), xs.data());
+  // Static side: the precise per-model cache when the caller provides one
+  // (serving builds it at registration); otherwise fast-quantize the
+  // weights per call — correct, but slower and slightly less accurate.
+  const QuantizedMatrix* wq =
+      ctx.weight_cache() != nullptr ? ctx.weight_cache()->find(this) : nullptr;
+  const int8_t* w_codes;
+  const double* w_scales;
+  if (wq != nullptr) {
+    if (wq->rows != out_ || wq->cols != in_)
+      throw std::logic_error("Dense::forward: quantized weight cache shape mismatch");
+    w_codes = wq->q.data();
+    w_scales = wq->scales.data();
+  } else {
+    std::vector<int8_t>& wqs = ws.scratch_i8(this, kSlotInt8Weight, out_ * in_);
+    std::vector<double>& wss = ws.scratch(this, kSlotInt8WeightScale, out_);
+    quantize_rows_fast(weight_.data(), out_, in_, wqs.data(), wss.data());
+    w_codes = wqs.data();
+    w_scales = wss.data();
+  }
+  // out[b,o] = sx[b] * sw[o] * sum_i qx[b,i] qw[o,i] — exact int32 sums, so
+  // the result is bitwise invariant across backends and worker counts.
+  quantized_gemm(batch, out_, in_, xq.data(), xs.data(), w_codes, w_scales, out.data(),
+                 out_);
 }
 
 Tensor& Dense::backward(ExecutionContext& ctx, const Tensor& grad_output) {

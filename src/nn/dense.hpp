@@ -40,6 +40,11 @@ class Dense final : public Layer {
   [[nodiscard]] Tensor& bias() { return bias_; }
 
  private:
+  /// The quantized inference path (ctx.precision() == kInt8): fast-quantize
+  /// the activation rows, fetch (or fast-quantize) the weights, run the
+  /// int8 GEMM into `out`. The caller adds the f64 bias afterwards.
+  void forward_int8(ExecutionContext& ctx, const Tensor& input, Tensor& out);
+
   size_t in_, out_;
   Tensor weight_, weight_grad_;  // [out, in]
   Tensor bias_, bias_grad_;      // [out]

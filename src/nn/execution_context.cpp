@@ -16,6 +16,12 @@ std::vector<double>& Workspace::scratch(const void* owner, int slot, size_t n) {
   return v;
 }
 
+std::vector<int8_t>& Workspace::scratch_i8(const void* owner, int slot, size_t n) {
+  std::vector<int8_t>& v = scratch_i8_[Key{owner, slot}];
+  if (v.size() < n) v.resize(n);
+  return v;
+}
+
 std::vector<size_t>& Workspace::indices(const void* owner, int slot, size_t n) {
   std::vector<size_t>& v = indices_[Key{owner, slot}];
   v.resize(n);  // vector keeps capacity on shrink: grow-only storage
@@ -29,6 +35,7 @@ std::vector<size_t>& Workspace::indices_peek(const void* owner, int slot) {
 void Workspace::clear() {
   tensors_.clear();
   scratch_.clear();
+  scratch_i8_.clear();
   indices_.clear();
 }
 
@@ -36,6 +43,7 @@ size_t Workspace::bytes() const {
   size_t total = 0;
   for (const auto& [k, t] : tensors_) total += t.size() * sizeof(double);
   for (const auto& [k, v] : scratch_) total += v.capacity() * sizeof(double);
+  for (const auto& [k, v] : scratch_i8_) total += v.capacity();
   for (const auto& [k, v] : indices_) total += v.capacity() * sizeof(size_t);
   return total;
 }

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "nn/backend.hpp"
+#include "nn/quantize.hpp"
 #include "nn/tensor.hpp"
 #include "util/parallel.hpp"
 
@@ -50,6 +51,11 @@ class Workspace {
 
   /// Reusable raw double scratch of at least `n` elements (grow-only).
   std::vector<double>& scratch(const void* owner, int slot, size_t n);
+
+  /// Reusable raw int8 scratch of at least `n` elements (grow-only) — the
+  /// quantized-operand staging buffers of the int8 inference path, so the
+  /// steady-state batch loop quantizes without allocating.
+  std::vector<int8_t>& scratch_i8(const void* owner, int slot, size_t n);
 
   /// Reusable index scratch of exactly `n` elements (grow-only capacity).
   std::vector<size_t>& indices(const void* owner, int slot, size_t n);
@@ -85,6 +91,7 @@ class Workspace {
 
   std::unordered_map<Key, Tensor, KeyHash> tensors_;
   std::unordered_map<Key, std::vector<double>, KeyHash> scratch_;
+  std::unordered_map<Key, std::vector<int8_t>, KeyHash> scratch_i8_;
   std::unordered_map<Key, std::vector<size_t>, KeyHash> indices_;
 };
 
@@ -119,6 +126,19 @@ class ExecutionContext {
     return backend_ != nullptr ? *backend_ : active_backend();
   }
 
+  /// Numeric precision layer forwards on this context execute at (kF64
+  /// default). kInt8 routes every Dense GEMM through the quantized kernels
+  /// — inference only; Dense::forward throws when asked to train at kInt8.
+  [[nodiscard]] Precision precision() const { return precision_; }
+  void set_precision(Precision precision) { precision_ = precision; }
+
+  /// Precise pre-quantized static weights consulted by the int8 path
+  /// (nullptr = none; layers fall back to fast per-call weight
+  /// quantization). Not owned; the serving layer points this at the served
+  /// bundle's cache before each batch.
+  [[nodiscard]] const QuantizedWeightCache* weight_cache() const { return weight_cache_; }
+  void set_weight_cache(const QuantizedWeightCache* cache) { weight_cache_ = cache; }
+
   /// Effective partition width this context dispatches at right now.
   [[nodiscard]] size_t workers() const {
     util::ScopedWorkerCap cap(worker_cap_);
@@ -135,6 +155,8 @@ class ExecutionContext {
  private:
   size_t worker_cap_;
   const KernelBackend* backend_;
+  Precision precision_ = Precision::kF64;
+  const QuantizedWeightCache* weight_cache_ = nullptr;
   Workspace workspace_;
 };
 

@@ -1,0 +1,164 @@
+#include "nn/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "nn/dense.hpp"
+#include "nn/residual.hpp"
+#include "nn/sequential.hpp"
+#include "util/parallel.hpp"
+
+namespace dlpic::nn {
+
+namespace {
+
+// Output-tile shape of the quantized GEMM driver. Smaller than the f64
+// GEMM's blocks: there is no packing pass (both operands are already
+// k-contiguous), so the tile only has to bound the working set of int8 rows
+// touched per task and expose enough tasks for small serving batches.
+constexpr size_t kQBlockM = 32;
+constexpr size_t kQBlockN = 64;
+
+/// Quantizes one row with scale `s` (s > 0), returning the codes' round-trip
+/// squared error. std::llround keeps the rounding mode fixed regardless of
+/// the FP environment, which the bitwise-reproducibility contract needs.
+double quantize_row(const double* x, size_t cols, double s, int8_t* q) {
+  const double inv = 1.0 / s;
+  double err = 0.0;
+  for (size_t c = 0; c < cols; ++c) {
+    long long code = std::llround(x[c] * inv);
+    code = std::max(-127LL, std::min(127LL, code));
+    q[c] = static_cast<int8_t>(code);
+    const double d = x[c] - s * static_cast<double>(code);
+    err += d * d;
+  }
+  return err;
+}
+
+double row_absmax(const double* x, size_t cols) {
+  double m = 0.0;
+  for (size_t c = 0; c < cols; ++c) m = std::max(m, std::fabs(x[c]));
+  return m;
+}
+
+}  // namespace
+
+const char* precision_name(Precision p) {
+  return p == Precision::kInt8 ? "int8" : "f64";
+}
+
+Precision precision_from_name(const std::string& name) {
+  if (name == "f64") return Precision::kF64;
+  if (name == "int8") return Precision::kInt8;
+  throw std::invalid_argument("precision_from_name: unknown precision '" + name +
+                              "' (want f64|int8)");
+}
+
+void quantize_rows_fast(const double* src, size_t rows, size_t cols, int8_t* q,
+                        double* scales) {
+  for (size_t r = 0; r < rows; ++r) {
+    const double* x = src + r * cols;
+    int8_t* qr = q + r * cols;
+    const double absmax = row_absmax(x, cols);
+    if (absmax == 0.0) {
+      scales[r] = 0.0;
+      std::memset(qr, 0, cols);
+      continue;
+    }
+    const double s = absmax / 127.0;
+    scales[r] = s;
+    (void)quantize_row(x, cols, s, qr);
+  }
+}
+
+void quantize_rows_precise(const double* src, size_t rows, size_t cols,
+                           QuantizedMatrix& out) {
+  out.rows = rows;
+  out.cols = cols;
+  out.q.resize(rows * cols);
+  out.scales.resize(rows);
+  std::vector<int8_t> trial(cols);
+  for (size_t r = 0; r < rows; ++r) {
+    const double* x = src + r * cols;
+    int8_t* qr = out.q.data() + r * cols;
+    const double absmax = row_absmax(x, cols);
+    if (absmax == 0.0) {
+      out.scales[r] = 0.0;
+      std::memset(qr, 0, cols);
+      continue;
+    }
+    // Candidate scales absmax/127 .. absmax/96: a finer grid (larger t)
+    // trades clipping of the largest entries against resolution for the
+    // rest; keep whichever minimizes this row's round-trip error. t = 127
+    // runs first so the fast path's result is the tie-breaking baseline.
+    double best_err = quantize_row(x, cols, absmax / 127.0, qr);
+    double best_s = absmax / 127.0;
+    for (int t = 126; t >= 96 && best_err > 0.0; --t) {
+      const double s = absmax / static_cast<double>(t);
+      const double err = quantize_row(x, cols, s, trial.data());
+      if (err < best_err) {
+        best_err = err;
+        best_s = s;
+        std::memcpy(qr, trial.data(), cols);
+      }
+    }
+    out.scales[r] = best_s;
+  }
+}
+
+void quantized_gemm(size_t m, size_t n, size_t k, const int8_t* Aq,
+                    const double* a_scales, const int8_t* Bq, const double* b_scales,
+                    double* C, size_t ldc) {
+  if (k > kQuantizedGemmMaxDepth)
+    throw std::invalid_argument(
+        "quantized_gemm: k = " + std::to_string(k) + " exceeds the int32 " +
+        "accumulator bound kQuantizedGemmMaxDepth = " +
+        std::to_string(kQuantizedGemmMaxDepth));
+  if (m == 0 || n == 0) return;
+  const size_t m_blocks = (m + kQBlockM - 1) / kQBlockM;
+  const size_t n_blocks = (n + kQBlockN - 1) / kQBlockN;
+  // Resolve the backend on the calling thread and capture it: tile bodies
+  // run on pool workers, where the thread-local selection is not in scope.
+  const KernelBackend* backend = &active_backend();
+  util::parallel_for_chunks(
+      0, m_blocks * n_blocks,
+      [&](size_t tile_lo, size_t tile_hi) {
+        for (size_t t = tile_lo; t < tile_hi; ++t) {
+          const size_t i0 = (t / n_blocks) * kQBlockM;
+          const size_t j0 = (t % n_blocks) * kQBlockN;
+          const size_t mb = std::min(kQBlockM, m - i0);
+          const size_t nb = std::min(kQBlockN, n - j0);
+          backend->gemm_int8(mb, nb, k, Aq + i0 * k, a_scales + i0, Bq + j0 * k,
+                             b_scales + j0, C + i0 * ldc + j0, ldc);
+        }
+      },
+      /*grain=*/1);
+}
+
+void QuantizedWeightCache::put(const void* key, const double* rows, size_t nrows,
+                               size_t ncols) {
+  quantize_rows_precise(rows, nrows, ncols, entries_[key]);
+}
+
+void QuantizedWeightCache::build(Sequential& model) {
+  for (size_t i = 0; i < model.layer_count(); ++i) {
+    Layer& layer = model.layer(i);
+    if (auto* dense = dynamic_cast<Dense*>(&layer)) {
+      put(dense, dense->weight().data(), dense->out_features(), dense->in_features());
+    } else if (auto* res = dynamic_cast<ResidualDense*>(&layer)) {
+      Dense& inner = res->inner();
+      Dense& outer = res->outer();
+      put(&inner, inner.weight().data(), inner.out_features(), inner.in_features());
+      put(&outer, outer.weight().data(), outer.out_features(), outer.in_features());
+    }
+  }
+}
+
+const QuantizedMatrix* QuantizedWeightCache::find(const void* key) const {
+  const auto it = entries_.find(key);
+  return it != entries_.end() ? &it->second : nullptr;
+}
+
+}  // namespace dlpic::nn

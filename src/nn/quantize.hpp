@@ -1,0 +1,116 @@
+#pragma once
+/// \file quantize.hpp
+/// Per-row symmetric int8 quantization and the quantized GEMM driver — the
+/// int8 inference path behind the KernelBackend seam.
+///
+/// Scheme (the dlibx qmat idiom): every row is quantized independently with
+/// its own scale s so q[i] = clamp(round(x[i] / s), -127, 127) and
+/// x[i] ~= s * q[i]. Static operands (layer weights) go through the *precise*
+/// path once — a small scale search minimizing the round-trip error — while
+/// dynamic operands (activations) use the *fast* path, s = row_absmax / 127,
+/// a single pass per row. The GEMM accumulates exact int32 dot products and
+/// dequantizes with per-row LHS x per-row RHS scales:
+///
+///   C[i,j] = (a_scales[i] * b_scales[j]) * sum_p Aq[i,p] * Bq[j,p]
+///
+/// Determinism contract: integer sums are exact and the dequantization
+/// expression is fixed, so int8 results are bitwise identical across
+/// backends, worker counts and batch sizes — a *stronger* reproducibility
+/// guarantee than the f64 path (which is bitwise only within one backend).
+/// Accuracy versus the f64 reference is a budgeted contract, not bitwise
+/// (tests/nn/test_quantize.cpp pins both properties).
+///
+/// Values never reach -128: the clamp to [-127, 127] is what lets the AVX2
+/// kernel use the abs/sign + maddubs trick without saturation.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/backend.hpp"
+
+namespace dlpic::nn {
+
+class Sequential;
+
+/// Numeric precision an ExecutionContext (and hence every Dense::forward it
+/// runs) executes at. kF64 is the full-precision reference; kInt8 routes
+/// dense GEMMs through the quantized kernels (inference only).
+enum class Precision : uint8_t {
+  kF64 = 0,  ///< full-precision double GEMM (training + inference)
+  kInt8 = 1, ///< per-row dynamic int8 GEMM (inference only)
+};
+
+/// Stable identifier ("f64", "int8") — recorded in BENCH_*.json context.
+[[nodiscard]] const char* precision_name(Precision p);
+
+/// Parses "f64" | "int8"; throws std::invalid_argument on anything else.
+[[nodiscard]] Precision precision_from_name(const std::string& name);
+
+/// A row-major int8 matrix with one dequantization scale per row:
+/// original[r][c] ~= scales[r] * q[r * cols + c].
+struct QuantizedMatrix {
+  size_t rows = 0;
+  size_t cols = 0;
+  std::vector<int8_t> q;       ///< rows * cols values in [-127, 127]
+  std::vector<double> scales;  ///< one scale per row (0.0 for all-zero rows)
+};
+
+/// Fast per-row quantization (one pass per row, scale = absmax / 127) into
+/// caller-provided storage: `q` holds rows*cols values, `scales` one entry
+/// per row. The runtime path for dynamic activations — callers stage `q` and
+/// `scales` in grow-only workspace scratch so steady state allocates nothing.
+/// An all-zero row quantizes to scale 0 with all-zero codes.
+void quantize_rows_fast(const double* src, size_t rows, size_t cols, int8_t* q,
+                        double* scales);
+
+/// Precise per-row quantization: searches a small set of candidate scales
+/// (absmax / t for t near 127) and keeps the one minimizing the row's
+/// round-trip squared error. ~30x the cost of the fast path — meant for
+/// static weights quantized once at registration time.
+void quantize_rows_precise(const double* src, size_t rows, size_t cols,
+                           QuantizedMatrix& out);
+
+/// C (m x n, row stride ldc, overwritten) = diag(a_scales) (Aq Bq^T)
+/// diag(b_scales): Aq is m x k row-major, Bq is n x k row-major (both
+/// k-contiguous, so no packing pass is needed), C[i,j] dequantizes the exact
+/// int32 dot product of Aq row i and Bq row j. Parallel over 2D output tiles
+/// with the backend captured on the calling thread (same dispatch shape as
+/// math::gemm); every tile is owned by one task and the sums are exact, so
+/// the result is bitwise invariant under the worker count AND the backend.
+/// Throws std::invalid_argument when k > kQuantizedGemmMaxDepth (int32
+/// accumulator overflow bound).
+void quantized_gemm(size_t m, size_t n, size_t k, const int8_t* Aq,
+                    const double* a_scales, const int8_t* Bq, const double* b_scales,
+                    double* C, size_t ldc);
+
+/// Precise-path quantizations of a model's static weights, keyed by layer
+/// address — built once per model (ModelBundle does this at registration)
+/// and read lock-free by every batcher thread. Dense::forward consults the
+/// active context's cache; on a miss it falls back to fast-quantizing the
+/// weights per call, which is correct but slower and less accurate.
+class QuantizedWeightCache {
+ public:
+  /// Precise-quantizes one weight matrix under `key` (replacing any
+  /// previous entry). `key` is the owning layer's address.
+  void put(const void* key, const double* rows, size_t nrows, size_t ncols);
+
+  /// Walks `model` and put()s every Dense weight matrix (including the
+  /// dense pair inside each ResidualDense block), keyed by layer address.
+  void build(Sequential& model);
+
+  /// The entry for `key`, or nullptr. Safe to call concurrently with other
+  /// readers; not with put()/build()/clear().
+  [[nodiscard]] const QuantizedMatrix* find(const void* key) const;
+
+  void clear() { entries_.clear(); }
+  [[nodiscard]] size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+ private:
+  std::unordered_map<const void*, QuantizedMatrix> entries_;
+};
+
+}  // namespace dlpic::nn

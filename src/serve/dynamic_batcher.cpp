@@ -103,6 +103,14 @@ size_t DynamicBatcher::serve_once(RequestQueue& queue) {
   return n;
 }
 
+void DynamicBatcher::reset_stats() {
+  batches_.store(0, std::memory_order_relaxed);
+  requests_.store(0, std::memory_order_relaxed);
+  served_.store(0, std::memory_order_relaxed);
+  max_batch_observed_.store(0, std::memory_order_relaxed);
+  expired_.store(0, std::memory_order_relaxed);
+}
+
 void DynamicBatcher::run_batch(ModelBundle& bundle) {
   const size_t b = batch_.size();
   // With padding enabled every forward pass carries the same fixed row
@@ -118,6 +126,14 @@ void DynamicBatcher::run_batch(ModelBundle& bundle) {
       std::memset(x.data() + b * input_dim, 0, (rows - b) * input_dim * sizeof(double));
     if (bundle.normalizer) bundle.normalizer->apply(x.data(), x.size());
 
+    // Per-bundle precision pick: point the context at this bundle's
+    // precision and (for int8) its precise quantized weight cache before
+    // the forward pass. Both are plain per-context fields — bundles of
+    // different precisions interleave freely on one worker.
+    ctx_.set_precision(bundle.config.precision);
+    ctx_.set_weight_cache(bundle.config.precision == nn::Precision::kInt8
+                              ? bundle.quantized_weights.get()
+                              : nullptr);
     const nn::Tensor& y = bundle.model->predict(ctx_, x);
     if (y.rank() != 2 || y.dim(0) != rows)
       throw std::runtime_error("DynamicBatcher: expected [batch, out] model output, got " +

@@ -81,6 +81,10 @@ class DynamicBatcher {
     return expired_.load(std::memory_order_relaxed);
   }
 
+  /// Zeroes every counter above. Meant for server restart cycles; call
+  /// while the batcher is not serving for an exact reset.
+  void reset_stats();
+
  private:
   /// Serves `batch_` (never empty, all requests of `bundle`'s model): one
   /// forward pass + row scatter. On failure every request in the batch

@@ -133,7 +133,38 @@ bool InferenceServer::running() const {
   return !stopped_;
 }
 
+void InferenceServer::restart() {
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  if (!stopped_) return;
+  // The old workers are joined (shutdown() did that); rebuilding the
+  // batcher/context pool rather than reusing it re-pins the contexts to the
+  // backend active on the calling thread, mirroring construction.
+  workers_.clear();
+  batchers_.clear();
+  contexts_.clear();
+  queue_.reopen();
+  reset_stats_locked();  // close()/restart cycles must not leak stale stats
+  start_workers();
+  stopped_ = false;
+}
+
+void InferenceServer::reset_stats() {
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  reset_stats_locked();
+}
+
+void InferenceServer::reset_stats_locked() {
+  for (auto& batcher : batchers_) batcher->reset_stats();
+  const size_t models = registry_.size();
+  for (size_t id = 0; id < models; ++id)
+    if (ModelBundle* bundle = registry_.get(id)) bundle->reset_stats();
+}
+
 ServerStats InferenceServer::stats() const {
+  // The lock serializes against restart() swapping the batcher pool out
+  // underneath the sum; it is never held across a forward pass, so stats()
+  // stays safe (and cheap) while serving.
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
   ServerStats s;
   for (const auto& batcher : batchers_) {
     s.requests += batcher->requests_popped();

@@ -46,6 +46,9 @@ struct ServerConfig {
   uint32_t max_wait_us = 200;
   /// Default ModelConfig::pad_to_batch for models added without a config.
   size_t pad_to_batch = 0;
+  /// Default ModelConfig::precision for models added without a config
+  /// (kF64 = bitwise full-precision path; kInt8 = quantized dense GEMMs).
+  nn::Precision precision = nn::Precision::kF64;
   /// Batcher threads, each with a private ExecutionContext. Must be >= 1.
   size_t worker_threads = 1;
   /// Worker cap of each batcher's context: 0 inherits the global width
@@ -57,7 +60,7 @@ struct ServerConfig {
 
   /// The per-model policy implied by the batching fields above.
   [[nodiscard]] ModelConfig model_defaults() const {
-    return ModelConfig{max_batch, max_wait_us, pad_to_batch};
+    return ModelConfig{max_batch, max_wait_us, pad_to_batch, precision};
   }
 };
 
@@ -162,8 +165,22 @@ class InferenceServer {
   /// the workers. Idempotent and thread-safe; the destructor calls it.
   void shutdown();
 
-  /// True until shutdown() first runs.
+  /// True until shutdown() first runs (and again after restart()).
   [[nodiscard]] bool running() const;
+
+  /// Restarts a shut-down server: reopens the queue, resets every serving
+  /// counter (aggregate, per-batcher and per-model — close()/restart
+  /// cycles must not leak stale mean_batch/lane stats into the new run)
+  /// and spawns a fresh worker pool. The new workers' contexts pin to the
+  /// kernel backend active on the *calling* thread, mirroring the
+  /// constructor. No-op while the server is still running. Thread-safe
+  /// against shutdown()/running()/stats().
+  void restart();
+
+  /// Zeroes every serving counter (aggregate, per-batcher and per-model)
+  /// without touching the workers. Counters updated by in-flight batches
+  /// may survive the reset; quiesce traffic first for an exact zero.
+  void reset_stats();
 
   /// Counters summed over all batcher threads and models (safe while
   /// serving).
@@ -189,6 +206,7 @@ class InferenceServer {
 
  private:
   void start_workers();
+  void reset_stats_locked();  // pre: shutdown_mutex_ held
 
   ServerConfig config_;
   ModelRegistry registry_;

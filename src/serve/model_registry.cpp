@@ -19,6 +19,23 @@ ModelStats ModelBundle::stats() const {
   return s;
 }
 
+void ModelBundle::reset_stats() {
+  for (size_t lane = 0; lane < kNumLanes; ++lane) {
+    served[lane].store(0, std::memory_order_relaxed);
+    expired[lane].store(0, std::memory_order_relaxed);
+    lane_batches[lane].store(0, std::memory_order_relaxed);
+  }
+  batches.store(0, std::memory_order_relaxed);
+  max_batch_observed.store(0, std::memory_order_relaxed);
+}
+
+void ModelBundle::requantize_weights() {
+  if (config.precision != nn::Precision::kInt8 || model == nullptr) return;
+  auto fresh = std::make_unique<nn::QuantizedWeightCache>();
+  fresh->build(*model);
+  quantized_weights = std::move(fresh);
+}
+
 size_t ModelRegistry::add(std::string name, nn::Sequential* model,
                           std::unique_ptr<nn::Sequential> owned, size_t input_dim,
                           const ModelConfig& config,
@@ -27,7 +44,14 @@ size_t ModelRegistry::add(std::string name, nn::Sequential* model,
   if (name.empty()) throw std::invalid_argument("ModelRegistry: model name must be non-empty");
   if (input_dim == 0) throw std::invalid_argument("ModelRegistry: input_dim must be >= 1");
   if (config.max_batch == 0)
-    throw std::invalid_argument("ModelRegistry: max_batch must be >= 1");
+    throw std::invalid_argument("ModelRegistry: max_batch must be >= 1 (got 0) for model '" +
+                                name + "'");
+  if (config.max_wait_us > kMaxWaitUs)
+    throw std::invalid_argument(
+        "ModelRegistry: max_wait_us " + std::to_string(config.max_wait_us) +
+        " exceeds the " + std::to_string(kMaxWaitUs) +
+        " us bound for model '" + name +
+        "' — was a negative value converted to the unsigned field?");
   if (config.pad_to_batch != 0 && config.pad_to_batch < config.max_batch)
     throw std::invalid_argument("ModelRegistry: pad_to_batch must be >= max_batch");
   // Validates the model/batch-shape combination up front instead of failing
@@ -41,6 +65,10 @@ size_t ModelRegistry::add(std::string name, nn::Sequential* model,
   bundle->normalizer = normalizer;
   bundle->input_dim = input_dim;
   bundle->config = config;
+  // Quantize the static weights once, BEFORE publishing the bundle, so the
+  // cache is immutable while batcher threads read it (no locking needed on
+  // the serving path).
+  bundle->requantize_weights();
 
   std::lock_guard<std::mutex> lock(mutex_);
   if (bundles_.size() >= kMaxModels)

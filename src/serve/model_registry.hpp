@@ -18,10 +18,17 @@
 #include <vector>
 
 #include "data/normalizer.hpp"
+#include "nn/quantize.hpp"
 #include "nn/sequential.hpp"
 #include "serve/request_queue.hpp"
 
 namespace dlpic::serve {
+
+/// Upper bound accepted for ModelConfig::max_wait_us (60 s). Anything above
+/// is almost certainly a negative value that wrapped on conversion to the
+/// unsigned field; add() rejects it up front instead of letting a
+/// ~71-minute batching window stall a lane at runtime.
+inline constexpr uint32_t kMaxWaitUs = 60'000'000;
 
 /// Per-model batch-formation knobs (one forward pass's shape policy).
 struct ModelConfig {
@@ -36,6 +43,15 @@ struct ModelConfig {
   /// computed independently); keeps the SIMD GEMM on full tiles and the
   /// workspace at one steady-state size.
   size_t pad_to_batch = 0;
+  /// Numeric precision this model's forward passes run at. kF64 (default)
+  /// is the full-precision path with the bitwise batched == serial
+  /// contract. kInt8 routes dense GEMMs through the per-row dynamic int8
+  /// kernels — ~2-4x GEMM throughput within a bounded accuracy budget vs
+  /// f64 (and still bitwise reproducible across backends/workers/batch
+  /// sizes). The registry builds the bundle's precise quantized weight
+  /// cache at add() time when this is kInt8. Pick kInt8 for bulk lanes
+  /// that tolerate the budget; keep interactive/validation lanes on kF64.
+  nn::Precision precision = nn::Precision::kF64;
 };
 
 /// Snapshot of one lane's serving counters for one model.
@@ -74,6 +90,11 @@ struct ModelBundle {
   size_t input_dim = 0;                      ///< flattened sample width
   ModelConfig config;
 
+  /// Precise per-row int8 quantization of every dense weight matrix, built
+  /// at registration when config.precision == kInt8 (so batcher threads
+  /// read it lock-free) and null otherwise.
+  std::unique_ptr<nn::QuantizedWeightCache> quantized_weights;
+
   std::array<std::atomic<size_t>, kNumLanes> served{};
   std::array<std::atomic<size_t>, kNumLanes> expired{};
   std::array<std::atomic<size_t>, kNumLanes> lane_batches{};
@@ -83,6 +104,16 @@ struct ModelBundle {
   /// Coherent-enough snapshot of the counters (relaxed reads; exact once the
   /// traffic quiesces).
   [[nodiscard]] ModelStats stats() const;
+
+  /// Zeroes every serving counter (aggregate and per-lane). Meant for
+  /// restart cycles; quiesce serving traffic first for an exact reset.
+  void reset_stats();
+
+  /// Rebuilds the quantized weight cache from the model's current weights —
+  /// call after hot-swapping weights of an int8 bundle. No-op for kF64
+  /// bundles. Not safe concurrently with serving traffic on this bundle;
+  /// quiesce first.
+  void requantize_weights();
 };
 
 /// Growable table of model bundles shared by every batcher thread of one

@@ -138,6 +138,11 @@ bool RequestQueue::closed() const {
   return closed_;
 }
 
+void RequestQueue::reopen() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = false;
+}
+
 size_t RequestQueue::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return total_;

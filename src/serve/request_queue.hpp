@@ -143,8 +143,13 @@ class RequestQueue {
   /// shutdown). Idempotent.
   void close();
 
-  /// True once close() has been called.
+  /// True once close() has been called (until reopen()).
   [[nodiscard]] bool closed() const;
+
+  /// Re-admits push() after close(). Call only once every consumer of the
+  /// closed queue has observed the drain (pop_batch returned 0) and exited
+  /// — InferenceServer::restart() sequences exactly that. Idempotent.
+  void reopen();
 
   /// Requests currently queued across all lanes (racy snapshot).
   [[nodiscard]] size_t size() const;

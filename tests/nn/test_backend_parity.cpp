@@ -21,6 +21,7 @@
 #include "nn/loss.hpp"
 #include "nn/model_zoo.hpp"
 #include "nn/optimizer.hpp"
+#include "nn/quantize.hpp"
 #include "nn/sequential.hpp"
 #include "pic/deposit.hpp"
 #include "pic/gather.hpp"
@@ -111,6 +112,31 @@ TEST(BackendParity, GemmAllTransposeCombosWithinUlps) {
         // k * eps relative to the accumulated magnitude.
         const double tol = 1e-12 * (std::abs(Cs[i]) + 1.0);
         ASSERT_NEAR(Cs[i], Cv[i], tol) << "ta=" << ta << " tb=" << tb << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(BackendParity, Int8GemmBitwiseAcrossTileRemainders) {
+  SKIP_WITHOUT_AVX2();
+  // Unlike the f64 GEMM (FMA reassociation => ulp tolerance above), the
+  // int8 kernel's contract is BITWISE: exact int32 sums, one shared dequant
+  // expression. Sizes exercise the AVX2 4x2 tile remainders and k%32 tails.
+  for (const size_t m : {size_t{1}, size_t{4}, size_t{7}}) {
+    for (const size_t n : {size_t{1}, size_t{2}, size_t{9}}) {
+      for (const size_t k : {size_t{1}, size_t{31}, size_t{32}, size_t{97}}) {
+        const auto Af = random_vec(m * k, 71 + m, -2, 2);
+        const auto Bf = random_vec(n * k, 72 + n, -2, 2);
+        std::vector<int8_t> Aq(m * k), Bq(n * k);
+        std::vector<double> sa(m), sb(n);
+        nn::quantize_rows_fast(Af.data(), m, k, Aq.data(), sa.data());
+        nn::quantize_rows_fast(Bf.data(), n, k, Bq.data(), sb.data());
+        std::vector<double> Cs(m * n), Cv(m * n);
+        nn::scalar_backend().gemm_int8(m, n, k, Aq.data(), sa.data(), Bq.data(),
+                                       sb.data(), Cs.data(), n);
+        avx2->gemm_int8(m, n, k, Aq.data(), sa.data(), Bq.data(), sb.data(),
+                        Cv.data(), n);
+        ASSERT_EQ(Cs, Cv) << "m=" << m << " n=" << n << " k=" << k;
       }
     }
   }

@@ -12,13 +12,16 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/dl_field_solver.hpp"
 #include "math/rng.hpp"
 #include "nn/execution_context.hpp"
+#include "nn/quantize.hpp"
 #include "nn/model_zoo.hpp"
 #include "nn/sequential.hpp"
 #include "serve/inference_server.hpp"
@@ -494,6 +497,164 @@ TEST(DlFieldSolverServing, SpeciesOverloadMatchesSolve) {
 
   solver.start_serving();
   EXPECT_EQ(solver.solve_async(s).get(), expected);
+}
+
+// ---------------------------------------------------------------------------
+// Per-lane precision: one model served through two bundles, one f64 and one
+// int8. The f64 bundle keeps the bitwise batched == serial contract; the
+// int8 bundle is bitwise identical to *serial int8* inference (per-row
+// quantization is batch-independent) and within the documented accuracy
+// budget of the f64 output.
+
+TEST(InferenceServer, PerLanePrecisionServesInt8WithinBudgetAndBitwiseVsSerialInt8) {
+  auto model = make_model();
+  const size_t kSamples = 24;
+  auto samples = make_samples(kSamples, 311);
+  const auto expected_f64 = serial_reference(model, samples);
+
+  // Serial int8 reference: same precise weight cache construction the
+  // registry performs at add_model, on a fully serial context.
+  nn::QuantizedWeightCache cache;
+  cache.build(model);
+  std::vector<std::vector<double>> expected_int8(kSamples);
+  {
+    nn::ExecutionContext ctx(/*worker_cap=*/1);
+    ctx.set_precision(nn::Precision::kInt8);
+    ctx.set_weight_cache(&cache);
+    for (size_t i = 0; i < kSamples; ++i) {
+      nn::Tensor x({1, kInputDim});
+      std::copy(samples[i].begin(), samples[i].end(), x.data());
+      expected_int8[i] = model.predict(ctx, x).vec();
+    }
+  }
+
+  ServerConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_wait_us = 20'000;
+  cfg.worker_threads = 2;
+  InferenceServer server(cfg);
+  serve::ModelConfig f64_cfg = cfg.model_defaults();
+  serve::ModelConfig int8_cfg = cfg.model_defaults();
+  int8_cfg.precision = nn::Precision::kInt8;
+  const size_t id_f64 = server.add_model("exact", model, kInputDim, f64_cfg);
+  const size_t id_int8 = server.add_model("quantized", model, kInputDim, int8_cfg);
+
+  std::vector<std::future<std::vector<double>>> f64_futures, int8_futures;
+  for (size_t i = 0; i < kSamples; ++i) {
+    serve::SubmitOptions opt;
+    opt.model_id = id_f64;
+    f64_futures.push_back(server.submit(samples[i], opt));
+    opt.model_id = id_int8;
+    int8_futures.push_back(server.submit(samples[i], opt));
+  }
+
+  for (size_t i = 0; i < kSamples; ++i) {
+    // The f64 lane is untouched by int8 traffic on the same model.
+    EXPECT_EQ(f64_futures[i].get(), expected_f64[i]) << "sample " << i;
+    const auto got = int8_futures[i].get();
+    ASSERT_EQ(got.size(), expected_int8[i].size());
+    for (size_t k = 0; k < got.size(); ++k)
+      ASSERT_EQ(got[k], expected_int8[i][k])
+          << "int8 batched diverged from int8 serial at sample " << i;
+  }
+
+  // Accuracy budget of the int8 lane vs the f64 lane (see
+  // docs/ARCHITECTURE.md "Precision & quantization": MAE <= 3% of RMS).
+  double rms = 0.0, mae = 0.0;
+  size_t count = 0;
+  for (size_t i = 0; i < kSamples; ++i)
+    for (size_t k = 0; k < expected_f64[i].size(); ++k) {
+      rms += expected_f64[i][k] * expected_f64[i][k];
+      mae += std::abs(expected_f64[i][k] - expected_int8[i][k]);
+      ++count;
+    }
+  rms = std::sqrt(rms / static_cast<double>(count));
+  mae /= static_cast<double>(count);
+  EXPECT_LE(mae, 0.03 * rms) << "int8 serving accuracy budget exceeded";
+}
+
+// ---------------------------------------------------------------------------
+// Restart + stats reset: a close()/restart cycle serves correctly and does
+// not leak the previous run's counters.
+
+TEST(InferenceServer, RestartResetsStatsAndServesAgain) {
+  auto model = make_model();
+  auto samples = make_samples(8, 401);
+  const auto expected = serial_reference(model, samples);
+
+  ServerConfig cfg;
+  cfg.max_batch = 4;
+  cfg.worker_threads = 2;
+  InferenceServer server(model, kInputDim, cfg);
+  for (size_t i = 0; i < samples.size(); ++i)
+    EXPECT_EQ(server.submit(samples[i]).get(), expected[i]);
+  EXPECT_EQ(server.stats().served, samples.size());
+  EXPECT_EQ(server.model_stats(0).served, samples.size());
+
+  server.shutdown();
+  EXPECT_FALSE(server.running());
+  EXPECT_THROW(server.submit(samples[0]), std::runtime_error);
+
+  server.restart();
+  EXPECT_TRUE(server.running());
+  // The previous run's counters are gone...
+  EXPECT_EQ(server.stats().served, 0u);
+  EXPECT_EQ(server.stats().requests, 0u);
+  EXPECT_EQ(server.stats().batches, 0u);
+  EXPECT_EQ(server.model_stats(0).served, 0u);
+  // ...and the restarted pool serves bitwise-identically again.
+  for (size_t i = 0; i < samples.size(); ++i)
+    EXPECT_EQ(server.submit(samples[i]).get(), expected[i]);
+  EXPECT_EQ(server.stats().served, samples.size());
+
+  // restart() while running is a no-op; reset_stats() zeroes in place.
+  server.restart();
+  EXPECT_EQ(server.stats().served, samples.size());
+  server.reset_stats();
+  EXPECT_EQ(server.stats().served, 0u);
+  EXPECT_EQ(server.model_stats(0).served, 0u);
+  EXPECT_EQ(server.submit(samples[0]).get(), expected[0]);
+}
+
+// ---------------------------------------------------------------------------
+// add_model config validation: bad knobs fail fast with the model's name in
+// the message, before the bundle is published.
+
+TEST(InferenceServer, AddModelRejectsInvalidConfigsWithClearErrors) {
+  auto model = make_model();
+  InferenceServer server;
+
+  serve::ModelConfig zero_batch;
+  zero_batch.max_batch = 0;
+  try {
+    server.add_model("bad-batch", model, kInputDim, zero_batch);
+    FAIL() << "max_batch == 0 was accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("max_batch"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("bad-batch"), std::string::npos);
+  }
+
+  // The classic bug this guards: a negative wait assigned to the unsigned
+  // field wraps to ~4e9 us, silently freezing batch flushes for over an
+  // hour. The registry rejects anything past the sanity bound.
+  serve::ModelConfig negative_wait;
+  negative_wait.max_wait_us = static_cast<uint32_t>(-250);
+  try {
+    server.add_model("bad-wait", model, kInputDim, negative_wait);
+    FAIL() << "wrapped-negative max_wait_us was accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("max_wait_us"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("bad-wait"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("negative"), std::string::npos);
+  }
+
+  // A rejected config publishes nothing: the names stay free.
+  EXPECT_THROW((void)server.model_id("bad-batch"), std::out_of_range);
+  EXPECT_THROW((void)server.model_id("bad-wait"), std::out_of_range);
+  // The bound itself is accepted (policy only — no request rides it here).
+  serve::ModelConfig max_wait;
+  max_wait.max_wait_us = serve::kMaxWaitUs;
+  EXPECT_NO_THROW(server.add_model("ok", model, kInputDim, max_wait));
 }
 
 }  // namespace
