@@ -44,15 +44,18 @@ inline benchmark::Counter gflops(double flops_per_iteration) {
 }
 
 /// Applies the kernel backend selected by a benchmark argument (0 = scalar,
-/// 1 = avx2) for the benchmark's duration and mirrors it into the "avx2"
-/// counter. When AVX2 is requested but unavailable on this host, run()
-/// returns false and the caller must SkipWithError + return.
+/// 1 = avx2, 2 = avx512) for the benchmark's duration and mirrors it into
+/// the "avx2" counter (kept under that legacy name so the perf trajectory
+/// stays comparable; read it as a backend id). When the requested backend
+/// is unavailable on this host, run() returns false and the caller must
+/// SkipWithError + return.
 class BackendGuard {
  public:
   BackendGuard(benchmark::State& state, int arg_index)
       : requested_(state.range(arg_index)) {
-    const nn::KernelBackend* backend =
-        requested_ == 0 ? &nn::scalar_backend() : nn::avx2_backend();
+    const nn::KernelBackend* backend = requested_ == 0   ? &nn::scalar_backend()
+                                       : requested_ == 1 ? nn::avx2_backend()
+                                                         : nn::avx512_backend();
     available_ = backend != nullptr;
     scope_.emplace(backend);
     state.counters["avx2"] = benchmark::Counter(static_cast<double>(requested_));
@@ -96,12 +99,15 @@ inline int run(int argc, char** argv, const std::string& name) {
   benchmark::AddCustomContext("dlpic_backend_env", util::env_string_or("DLPIC_BACKEND", ""));
   benchmark::AddCustomContext("dlpic_avx2_available",
                               nn::avx2_backend() != nullptr ? "1" : "0");
+  benchmark::AddCustomContext("dlpic_avx512_available",
+                              nn::avx512_backend() != nullptr ? "1" : "0");
   // Numeric precisions this build can serve; precision-sweeping benches
   // additionally tag each entry with a "precision" counter / arg column
-  // (0 = f64, 1 = int8) so quantized and full-precision points stay
-  // separable in the perf trajectory.
+  // (0 = f64, 1 = int8, 2 = int16) so quantized and full-precision points
+  // stay separable in the perf trajectory.
   benchmark::AddCustomContext(
       "dlpic_precisions", std::string(nn::precision_name(nn::Precision::kF64)) + "," +
+                              nn::precision_name(nn::Precision::kInt16) + "," +
                               nn::precision_name(nn::Precision::kInt8));
 
   std::vector<std::string> arg_store(argv, argv + argc);

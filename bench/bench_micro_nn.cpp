@@ -5,10 +5,13 @@
 /// training step (forward + backward through reusable workspace tensors).
 /// The *_step benches take a second argument — the worker cap for the
 /// context's parallel kernels (1 = serial reference, 0 = all hardware
-/// workers) — and a final argument selecting the kernel backend (0 =
-/// scalar, 1 = avx2; avx2 rows are skipped on hosts without it). Compare
-/// worker 1 vs 4 for the parallel speedup and backend 0 vs 1 for the SIMD
-/// speedup; bench_gemm sweeps {size, backend, precision (0=f64, 1=int8)}.
+/// workers) — and a backend argument (0 = scalar, 1 = avx2, 2 = avx512;
+/// rows for backends the host lacks are skipped). Compare worker 1 vs 4
+/// for the parallel speedup and backend columns for the SIMD speedup.
+/// bench_gemm sweeps {size, backend, precision (0=f64, 1=int8, 2=int16)};
+/// bench_conv_step additionally sweeps a precision/mode axis (0 = f64
+/// train step, 1 = f64 inference forward, 2 = int8 inference, 3 = int16
+/// inference) so the quantized conv lowering is on the perf trajectory.
 
 #include <benchmark/benchmark.h>
 
@@ -53,17 +56,17 @@ void bench_gemm(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   benchjson::BackendGuard backend(state, 1);
   if (!backend.run(state)) return;
-  // Third axis: precision (0 = f64, 1 = int8). The int8 rows measure the
-  // serving-shaped cost — weights (B) precise-quantized once up front, the
-  // activation operand (A) fast-quantized inside the timed region, exactly
-  // as Dense::forward_int8 pays it per batch.
-  const bool int8 = state.range(2) != 0;
-  state.counters["precision"] = benchmark::Counter(int8 ? 1.0 : 0.0);
+  // Third axis: precision (0 = f64, 1 = int8, 2 = int16). The quantized
+  // rows measure the serving-shaped cost — weights (B) precise-quantized
+  // once up front, the activation operand (A) fast-quantized inside the
+  // timed region, exactly as Dense::forward_int8/_int16 pays it per batch.
+  const long precision = state.range(2);
+  state.counters["precision"] = benchmark::Counter(static_cast<double>(precision));
   math::Rng rng(888);
   std::vector<double> A(n * n), B(n * n), C(n * n);
   for (auto& v : A) v = rng.uniform(-1, 1);
   for (auto& v : B) v = rng.uniform(-1, 1);
-  if (int8) {
+  if (precision == 1) {
     nn::QuantizedMatrix Bq;
     // quantized_gemm consumes B row-major k-contiguous = B^T of this GEMM;
     // for a throughput bench the transposed random matrix is equivalent.
@@ -74,6 +77,17 @@ void bench_gemm(benchmark::State& state) {
       nn::quantize_rows_fast(A.data(), n, n, Aq.data(), As.data());
       nn::quantized_gemm(n, n, n, Aq.data(), As.data(), Bq.q.data(),
                          Bq.scales.data(), C.data(), n);
+      benchmark::DoNotOptimize(C.data());
+    }
+  } else if (precision == 2) {
+    nn::QuantizedMatrix16 Bq;
+    nn::quantize_rows_precise_i16(B.data(), n, n, Bq);
+    std::vector<int16_t> Aq(n * n);
+    std::vector<double> As(n);
+    for (auto _ : state) {
+      nn::quantize_rows_fast_i16(A.data(), n, n, Aq.data(), As.data());
+      nn::quantized_gemm_i16(n, n, n, Aq.data(), As.data(), Bq.q.data(),
+                             Bq.scales.data(), C.data(), n);
       benchmark::DoNotOptimize(C.data());
     }
   } else {
@@ -171,28 +185,57 @@ void bench_cnn_inference_ci(benchmark::State& state) {
   }
 }
 
-/// Conv2D forward + backward through the ExecutionContext workspace path
-/// — the acceptance benchmark of the workspace refactor. Batch 8, 8->8
-/// channels, 3x3 same-padding, like one block of the ci-scale CNN.
+/// Conv2D step through the ExecutionContext workspace path — the
+/// acceptance benchmark of the workspace refactor and of the quantized
+/// conv lowering. Batch 8, ch->ch channels (fifth argument, default 8 =
+/// one block of the ci-scale CNN; 32 = the channel-heavy serving block
+/// where the GEMM dominates lowering), 3x3 same-padding. The fourth
+/// argument selects the mode: 0 = f64 forward + backward (the legacy
+/// training-step row), 1 = f64 inference forward only, 2 = int8
+/// inference, 3 = int16 inference. Modes 1-3 share the forward-only
+/// loop, so 2-vs-1 (and 3-vs-1) is the serving-shaped speedup of the
+/// quantized im2col path — weights precise-quantized once up front in a
+/// QuantizedWeightCache, the image fast-quantized and lowered inside the
+/// timed region, exactly as serving pays it.
 void bench_conv_step(benchmark::State& state) {
   const size_t hw = static_cast<size_t>(state.range(0));
   WorkerCapGuard guard(state);
   benchjson::BackendGuard backend(state, 2);
   if (!backend.run(state)) return;
+  const long mode = state.range(3);
+  state.counters["precision"] = benchmark::Counter(static_cast<double>(mode));
+  const size_t channels = static_cast<size_t>(state.range(4));
   math::Rng rng(892);
   nn::Conv2DConfig cfg;
-  cfg.in_channels = 8;
-  cfg.out_channels = 8;
+  cfg.in_channels = channels;
+  cfg.out_channels = channels;
   nn::Conv2D layer(cfg, rng);
   nn::ExecutionContext ctx;
-  auto x = random_tensor({8, 8, hw, hw}, 8);
-  auto g = random_tensor({8, 8, hw, hw}, 9);
-  for (auto _ : state) {
-    layer.zero_grad();
-    nn::Tensor& y = layer.forward(ctx, x, true);
-    benchmark::DoNotOptimize(y.data());
-    nn::Tensor& gin = layer.backward(ctx, g);
-    benchmark::DoNotOptimize(gin.data());
+  nn::QuantizedWeightCache cache;
+  if (mode == 2 || mode == 3) {
+    const size_t krows = cfg.in_channels * cfg.kernel_h * cfg.kernel_w;
+    if (mode == 2)
+      cache.put(&layer, layer.weight().data(), cfg.out_channels, krows);
+    else
+      cache.put_i16(&layer, layer.weight().data(), cfg.out_channels, krows);
+    ctx.set_weight_cache(&cache);
+    ctx.set_precision(mode == 2 ? nn::Precision::kInt8 : nn::Precision::kInt16);
+  }
+  auto x = random_tensor({8, channels, hw, hw}, 8);
+  if (mode == 0) {
+    auto g = random_tensor({8, channels, hw, hw}, 9);
+    for (auto _ : state) {
+      layer.zero_grad();
+      nn::Tensor& y = layer.forward(ctx, x, true);
+      benchmark::DoNotOptimize(y.data());
+      nn::Tensor& gin = layer.backward(ctx, g);
+      benchmark::DoNotOptimize(gin.data());
+    }
+  } else {
+    for (auto _ : state) {
+      nn::Tensor& y = layer.forward(ctx, x, false);
+      benchmark::DoNotOptimize(y.data());
+    }
   }
   state.counters["ns_per_image"] = benchjson::ns_per_item(8);
 }
@@ -249,37 +292,61 @@ void bench_mlp_train_step(benchmark::State& state) {
 
 }  // namespace
 
-// Second argument of the swept benches selects the kernel backend
-// (0 = scalar, 1 = avx2; avx2 rows are skipped on hosts without it).
-BENCHMARK(bench_gemm)  // {size, backend (0=scalar, 1=avx2), precision (0=f64, 1=int8)}
+// Backend argument of the swept benches: 0 = scalar, 1 = avx2,
+// 2 = avx512; rows for backends the host lacks are skipped.
+BENCHMARK(bench_gemm)  // {size, backend, precision (0=f64, 1=int8, 2=int16)}
     ->Args({64, 0, 0})
     ->Args({64, 1, 0})
     ->Args({64, 1, 1})
     ->Args({256, 0, 0})
     ->Args({256, 0, 1})
+    ->Args({256, 0, 2})
     ->Args({256, 1, 0})
     ->Args({256, 1, 1})
+    ->Args({256, 1, 2})
+    ->Args({256, 2, 1})
     ->Args({512, 0, 0})
     ->Args({512, 0, 1})
     ->Args({512, 1, 0})
-    ->Args({512, 1, 1});
+    ->Args({512, 1, 1})
+    ->Args({512, 1, 2})
+    ->Args({512, 2, 1});
 BENCHMARK(bench_dense_forward)->Arg(128)->Arg(1024);
 BENCHMARK(bench_dense_backward)->Arg(128)->Arg(1024);
 BENCHMARK(bench_conv_forward)->Arg(16)->Arg(32);
 BENCHMARK(bench_mlp_inference_ci);
 BENCHMARK(bench_mlp_inference_paper);
 BENCHMARK(bench_cnn_inference_ci);
-// {shape, worker cap, backend}: worker sweep on each backend.
+// {shape, worker cap, backend, mode (0=f64 train, 1=f64 infer, 2=int8
+// infer, 3=int16 infer), channels}: worker sweep on each backend for the
+// training step, plus the serving-shaped precision ladder at worker 1
+// and 4. CI compares the {32, 1, 1, 2, 32} row against {32, 1, 1, 1, 32}
+// for the int8 conv-forward speedup gate — the channel-heavy serving
+// block, where lowering amortizes against the GEMM.
 BENCHMARK(bench_conv_step)
-    ->Args({32, 1, 0})
-    ->Args({32, 1, 1})
-    ->Args({32, 2, 0})
-    ->Args({32, 4, 0})
-    ->Args({32, 4, 1})
-    ->Args({32, 0, 1})
-    ->Args({64, 1, 0})
-    ->Args({64, 1, 1})
-    ->Args({64, 4, 1});
+    ->Args({32, 1, 0, 0, 8})
+    ->Args({32, 1, 1, 0, 8})
+    ->Args({32, 2, 0, 0, 8})
+    ->Args({32, 4, 0, 0, 8})
+    ->Args({32, 4, 1, 0, 8})
+    ->Args({32, 0, 1, 0, 8})
+    ->Args({64, 1, 0, 0, 8})
+    ->Args({64, 1, 1, 0, 8})
+    ->Args({64, 4, 1, 0, 8})
+    ->Args({32, 1, 0, 2, 8})
+    ->Args({32, 1, 1, 1, 8})
+    ->Args({32, 1, 1, 2, 8})
+    ->Args({32, 1, 1, 3, 8})
+    ->Args({32, 1, 2, 2, 8})
+    ->Args({32, 4, 1, 1, 8})
+    ->Args({32, 4, 1, 2, 8})
+    ->Args({32, 1, 1, 1, 32})
+    ->Args({32, 1, 1, 2, 32})
+    ->Args({32, 1, 1, 3, 32})
+    ->Args({32, 1, 2, 2, 32})
+    ->Args({64, 1, 1, 1, 8})
+    ->Args({64, 1, 1, 2, 8})
+    ->Args({64, 1, 1, 3, 8});
 BENCHMARK(bench_dense_step)
     ->Args({1024, 1, 0})
     ->Args({1024, 1, 1})

@@ -6,8 +6,8 @@
 /// outstanding submissions per client (1 = the old submit-then-wait loop) so
 /// batch formation is not throttled by client round-trips, `pad` != 0
 /// enables fixed-shape micro-batch padding (pad_to_batch = max_batch), and
-/// `precision` != 0 serves the bundle through the int8 quantized GEMM path
-/// instead of f64. Every run
+/// `precision` picks the serving tier (0 = f64, 1 = int8, 2 = int16
+/// quantized GEMM). Every run
 /// also reports mean_batch (the amortization the dynamic batcher achieved).
 ///
 /// bench_serve_lanes sweeps the priority-lane / multi-model scheduler under
@@ -109,9 +109,11 @@ void bench_serve_batched(benchmark::State& state) {
   // One parallel worker context; several contexts pinned serial.
   cfg.context_worker_cap = worker_threads > 1 ? 1 : 0;
   cfg.pad_to_batch = state.range(4) != 0 ? max_batch : 0;
-  cfg.precision =
-      state.range(5) != 0 ? nn::Precision::kInt8 : nn::Precision::kF64;
-  state.counters["precision"] = benchmark::Counter(state.range(5) != 0 ? 1.0 : 0.0);
+  cfg.precision = state.range(5) == 1   ? nn::Precision::kInt8
+                  : state.range(5) == 2 ? nn::Precision::kInt16
+                                        : nn::Precision::kF64;
+  state.counters["precision"] =
+      benchmark::Counter(static_cast<double>(state.range(5)));
   serve::InferenceServer server(model, kInputDim, cfg);
 
   std::mutex latency_mutex;
@@ -281,15 +283,16 @@ BENCHMARK(bench_serve_serial_single)->Unit(benchmark::kMicrosecond);
 // {clients, max_batch, worker_threads, burst, pad, precision}: the batching
 // sweep (1 worker, parallel kernels), the thread-scaling sweep (serial
 // contexts), the pipelined-client sweep (burst > 1) with and without
-// fixed-shape padding, and the int8 lane (precision = 1) against its f64
-// twin rows.
+// fixed-shape padding, and the quantized lanes (precision 1 = int8,
+// 2 = int16) against their f64 twin rows.
 BENCHMARK(bench_serve_batched)
     ->Args({1, 1, 1, 1, 0, 0})    // no batching, one client: queue overhead reference
     ->Args({4, 1, 1, 1, 0, 0})    // concurrency without batching
     ->Args({4, 8, 1, 1, 0, 0})    // dynamic batching kicks in
     ->Args({8, 8, 1, 1, 0, 0})
     ->Args({8, 8, 1, 8, 0, 0})    // pipelined clients: batches actually fill
-    ->Args({8, 8, 1, 8, 0, 1})    // ... the same lane served quantized
+    ->Args({8, 8, 1, 8, 0, 1})    // ... the same lane served int8
+    ->Args({8, 8, 1, 8, 0, 2})    // ... and at the int16 middle tier
     ->Args({8, 8, 1, 8, 1, 0})    // + fixed-shape padding (pad_to_batch = 8)
     ->Args({8, 32, 1, 8, 0, 0})
     ->Args({8, 8, 2, 8, 0, 0})    // two serial-context workers, pipelined

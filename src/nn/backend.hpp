@@ -3,15 +3,16 @@
 /// Pluggable compute-kernel backend: one vtable of hot inner loops shared by
 /// the whole execution stack (math/linalg GEMM micro-kernel, the elementwise
 /// nn layer/optimizer/loss kernels, and the PIC gather/deposit/leapfrog
-/// ranges). Two implementations ship: a portable scalar backend
-/// (backend_scalar.*) and an AVX2+FMA backend (backend_avx2.*, compiled with
-/// target flags on x86-64 and selected at runtime via cpuid).
+/// ranges). Three implementations ship: a portable scalar backend
+/// (backend_scalar.*), an AVX2+FMA backend (backend_avx2.*) and an AVX-512
+/// VNNI backend (backend_avx512.*) — the SIMD files are compiled with
+/// per-file target flags on x86-64 and selected at runtime via cpuid.
 ///
 /// Selection rules:
 ///  - default_backend() resolves once per process from the DLPIC_BACKEND
-///    environment variable: "scalar", "avx2" (falls back to scalar with a
-///    warning when the CPU or build lacks AVX2), or "auto"/unset (avx2 when
-///    available, else scalar).
+///    environment variable: "scalar", "avx2", "avx512" (the latter two fall
+///    back to scalar with a warning when the CPU or build lacks them), or
+///    "auto"/unset (avx512 when available, else avx2, else scalar).
 ///  - active_backend() is the thread's current backend: a ScopedBackend
 ///    override when one is in scope, otherwise the process default.
 ///    ExecutionContext::set_backend() pins a context to a backend; every
@@ -41,6 +42,13 @@ namespace dlpic::nn {
 /// one int32, and with codes clamped to [-127, 127] the worst case is
 /// k * 127^2, so k must satisfy k * 16129 <= 2^31 - 1.
 inline constexpr size_t kQuantizedGemmMaxDepth = 133144;
+
+/// Largest k the int16 GEMM kernels accept. The int64 accumulator itself is
+/// nowhere near overflow, but the dequantization casts the sum to double:
+/// bounding k * 32767^2 <= 2^53 (k <= 2^23) keeps that conversion exact, so
+/// the int16 tier's bitwise and accuracy contracts never hinge on int64 ->
+/// double rounding.
+inline constexpr size_t kQuantizedGemmInt16MaxDepth = size_t(1) << 23;
 
 /// Abstract kernel backend. Granularity: one virtual call per *range* (a
 /// GEMM panel, an elementwise chunk, a particle range), never per element,
@@ -73,6 +81,18 @@ class KernelBackend {
   virtual void gemm_int8(size_t mb, size_t nb, size_t kb, const int8_t* Aq,
                          const double* a_scales, const int8_t* Bq,
                          const double* b_scales, double* C, size_t ldc) const = 0;
+
+  /// Int16 sibling of gemm_int8 (same layout, OVERWRITES C): codes are in
+  /// [-32767, 32767] — never -32768, so a pairwise int16 madd product fits
+  /// int32 exactly (2 * 32767^2 < 2^31) — and the dot products accumulate
+  /// in exact int64 (vectorized kernels widen each pairwise int32 before
+  /// accumulating). Callers bound kb by kQuantizedGemmInt16MaxDepth, which
+  /// also makes the final int64 -> double dequantization cast exact; every
+  /// implementation is therefore bitwise identical. The base implementation
+  /// is the scalar reference (a plain widened dot).
+  virtual void gemm_int16(size_t mb, size_t nb, size_t kb, const int16_t* Aq,
+                          const double* a_scales, const int16_t* Bq,
+                          const double* b_scales, double* C, size_t ldc) const;
 
   // ----------------------------------------------- elementwise / BLAS-1 ----
   /// y[i] = x[i].
@@ -157,6 +177,13 @@ const KernelBackend& scalar_backend();
 /// The AVX2+FMA backend, or nullptr when the build or the CPU lacks it.
 const KernelBackend* avx2_backend();
 
+/// The AVX-512 VNNI backend (vpdpbusd int8 GEMM, everything else delegated
+/// to the AVX2 backend), or nullptr when the build or the CPU lacks
+/// AVX512VNNI+BW+VL. Bitwise identical to avx2 on every kernel: the f64 and
+/// elementwise paths literally run the AVX2 code, and the int8 kernel is
+/// exact integer arithmetic.
+const KernelBackend* avx512_backend();
+
 /// Process default resolved once from DLPIC_BACKEND (see file header).
 const KernelBackend& default_backend();
 
@@ -164,8 +191,8 @@ const KernelBackend& default_backend();
 /// is active, otherwise default_backend().
 const KernelBackend& active_backend();
 
-/// Looks a backend up by name ("scalar" | "avx2"); nullptr when unknown or
-/// unavailable on this host.
+/// Looks a backend up by name ("scalar" | "avx2" | "avx512"); nullptr when
+/// unknown or unavailable on this host.
 const KernelBackend* backend_by_name(const char* name);
 
 /// RAII thread-local backend override (the mechanism behind per-

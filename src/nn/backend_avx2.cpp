@@ -203,6 +203,42 @@ inline int32_t dot_i8_avx2(const int8_t* a, const int8_t* b, size_t k) {
 }
 
 // ---------------------------------------------------------------------------
+// Int16 GEMM building blocks. Codes are in [-32767, 32767] (never -32768),
+// so one madd_epi16 pair sum is at most 2 * 32767^2 = 2147352578 < 2^31 - 1
+// — exact int32 with no saturation. Each pairwise int32 is widened to int64
+// before accumulating, which keeps the whole dot product exact for any k
+// the callers' kQuantizedGemmInt16MaxDepth bound admits.
+
+/// Sum of the 4 int64 lanes (exact; order irrelevant for integers).
+inline int64_t hsum_epi64(__m256i v) {
+  __m128i s = _mm_add_epi64(_mm256_castsi256_si128(v), _mm256_extracti128_si256(v, 1));
+  s = _mm_add_epi64(s, _mm_unpackhi_epi64(s, s));
+  return _mm_cvtsi128_si64(s);
+}
+
+/// One 16-wide step of the int16 dot product: acc (4 int64 lanes) += the
+/// step's 8 exact pairwise int32 sums, widened before accumulation.
+inline __m256i dot_i16_step(__m256i acc, __m256i va, __m256i vb) {
+  const __m256i pair32 = _mm256_madd_epi16(va, vb);
+  const __m256i lo = _mm256_cvtepi32_epi64(_mm256_castsi256_si128(pair32));
+  const __m256i hi = _mm256_cvtepi32_epi64(_mm256_extracti128_si256(pair32, 1));
+  return _mm256_add_epi64(acc, _mm256_add_epi64(lo, hi));
+}
+
+/// Full int16 dot product of two k-contiguous rows (vector body + exact
+/// scalar tail). Used by the gemm_int16 edge loops.
+inline int64_t dot_i16_avx2(const int16_t* a, const int16_t* b, size_t k) {
+  __m256i acc = _mm256_setzero_si256();
+  size_t p = 0;
+  for (; p + 16 <= k; p += 16)
+    acc = dot_i16_step(acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + p)),
+                       _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + p)));
+  int64_t s = hsum_epi64(acc);
+  for (; p < k; ++p) s += static_cast<int64_t>(a[p]) * static_cast<int64_t>(b[p]);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
 // The backend.
 
 class Avx2Backend final : public ScalarBackend {
@@ -378,6 +414,65 @@ class Avx2Backend final : public ScalarBackend {
       for (size_t j = 0; j < nb; ++j) {
         C[i * ldc + j] = (a_scales[i] * b_scales[j]) *
                          static_cast<double>(dot_i8_avx2(a, Bq + j * kb, kb));
+      }
+    }
+  }
+
+  // 2-row x 2-column register tile over 16-wide k steps (4 int64
+  // accumulators + 2 B vectors + 1 A vector plus the madd/widen temporaries
+  // live). Everything is exact integer arithmetic, so this kernel is
+  // bitwise identical to the scalar reference in backend.cpp.
+  void gemm_int16(size_t mb, size_t nb, size_t kb, const int16_t* Aq,
+                  const double* a_scales, const int16_t* Bq, const double* b_scales,
+                  double* C, size_t ldc) const override {
+    size_t i = 0;
+    for (; i + 2 <= mb; i += 2) {
+      const int16_t* a0 = Aq + (i + 0) * kb;
+      const int16_t* a1 = Aq + (i + 1) * kb;
+      size_t j = 0;
+      for (; j + 2 <= nb; j += 2) {
+        const int16_t* b0 = Bq + (j + 0) * kb;
+        const int16_t* b1 = Bq + (j + 1) * kb;
+        __m256i c00 = _mm256_setzero_si256(), c01 = _mm256_setzero_si256();
+        __m256i c10 = _mm256_setzero_si256(), c11 = _mm256_setzero_si256();
+        size_t p = 0;
+        for (; p + 16 <= kb; p += 16) {
+          const __m256i vb0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b0 + p));
+          const __m256i vb1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b1 + p));
+          __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a0 + p));
+          c00 = dot_i16_step(c00, va, vb0);
+          c01 = dot_i16_step(c01, va, vb1);
+          va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a1 + p));
+          c10 = dot_i16_step(c10, va, vb0);
+          c11 = dot_i16_step(c11, va, vb1);
+        }
+        int64_t s[2][2] = {{hsum_epi64(c00), hsum_epi64(c01)},
+                           {hsum_epi64(c10), hsum_epi64(c11)}};
+        for (; p < kb; ++p) {
+          const int64_t bb0 = b0[p], bb1 = b1[p];
+          s[0][0] += a0[p] * bb0; s[0][1] += a0[p] * bb1;
+          s[1][0] += a1[p] * bb0; s[1][1] += a1[p] * bb1;
+        }
+        for (size_t r = 0; r < 2; ++r) {
+          C[(i + r) * ldc + j + 0] =
+              (a_scales[i + r] * b_scales[j + 0]) * static_cast<double>(s[r][0]);
+          C[(i + r) * ldc + j + 1] =
+              (a_scales[i + r] * b_scales[j + 1]) * static_cast<double>(s[r][1]);
+        }
+      }
+      for (; j < nb; ++j) {
+        const int16_t* b = Bq + j * kb;
+        C[(i + 0) * ldc + j] =
+            (a_scales[i + 0] * b_scales[j]) * static_cast<double>(dot_i16_avx2(a0, b, kb));
+        C[(i + 1) * ldc + j] =
+            (a_scales[i + 1] * b_scales[j]) * static_cast<double>(dot_i16_avx2(a1, b, kb));
+      }
+    }
+    for (; i < mb; ++i) {
+      const int16_t* a = Aq + i * kb;
+      for (size_t j = 0; j < nb; ++j) {
+        C[i * ldc + j] = (a_scales[i] * b_scales[j]) *
+                         static_cast<double>(dot_i16_avx2(a, Bq + j * kb, kb));
       }
     }
   }

@@ -4,9 +4,12 @@
 #include <cstring>
 #include <memory>
 #include <stdexcept>
+#include <string>
+#include <type_traits>
 
 #include "math/linalg.hpp"
 #include "nn/init.hpp"
+#include "nn/quantize.hpp"
 #include "util/parallel.hpp"
 
 namespace dlpic::nn {
@@ -16,10 +19,133 @@ namespace {
 constexpr int kSlotInput = 0;
 constexpr int kSlotOut = 1;
 constexpr int kSlotGradIn = 2;
-constexpr int kSlotCols = 3;    // per-worker im2col columns
+constexpr int kSlotCols = 3;    // per-worker im2col columns (f64 staging too)
 constexpr int kSlotDcols = 4;   // per-worker dY-columns
 constexpr int kSlotDw = 5;      // per-image weight-grad contributions
 constexpr int kSlotDb = 6;      // per-image bias-grad contributions
+// Quantized-path staging (int8 and int16 share ids: the code maps are
+// per-width, and every f64 scale buffer is fully rewritten each call).
+constexpr int kSlotQCols = 7;         // per-worker lowered column codes
+constexpr int kSlotQColScale = 8;     // per-worker per-pixel column scales
+constexpr int kSlotQWeight = 9;       // fast-quantized filters (cache miss)
+constexpr int kSlotQWeightScale = 10; // per-filter scales (cache miss)
+constexpr int kSlotQImg = 11;         // per-worker quantized input image
+
+/// Width-dispatching scratch accessor for the quantized staging buffers.
+template <typename Code>
+std::vector<Code>& scratch_codes(Workspace& ws, const void* owner, int slot, size_t n) {
+  if constexpr (std::is_same_v<Code, int8_t>)
+    return ws.scratch_i8(owner, slot, n);
+  else
+    return ws.scratch_i16(owner, slot, n);
+}
+
+/// Shared traversal of the transposed lowering — see im2col_rows for the
+/// layout contract. Templated over the element type so the quantized path
+/// lowers already-quantized int8/int16 images (byte-width staging traffic)
+/// through exactly the index math the f64 instantiation is tested with.
+/// First oj with a valid source column (oj * stride + kj - pad >= 0) and
+/// one past the last (…< w), both clamped to [0, out_w]: the horizontal
+/// bounds checks of the lowering loops hoist into this split so the middle
+/// span runs branch-free.
+inline std::pair<size_t, size_t> valid_oj_span(size_t out_w, size_t w, size_t kj,
+                                               size_t stride, size_t pad) {
+  const long off = static_cast<long>(kj) - static_cast<long>(pad);
+  const long s = static_cast<long>(stride);
+  long lo = off < 0 ? (-off + s - 1) / s : 0;
+  long hi = (static_cast<long>(w) - off + s - 1) / s;
+  lo = std::min(std::max(lo, 0L), static_cast<long>(out_w));
+  hi = std::min(std::max(hi, lo), static_cast<long>(out_w));
+  return {static_cast<size_t>(lo), static_cast<size_t>(hi)};
+}
+
+/// Per-worker headroom (in elements) the pixel-major fast lowering needs
+/// past each column buffer's logical end — see lower_rows_s1k3.
+constexpr size_t kLowerPad = 4;
+
+/// Pixel-major fast lowering for the stride-1, 3-wide-kernel case (the
+/// paper's CNN is all 3x3 same-padding convolutions). The generic
+/// lower_rows walks (c, ki, kj)-major, so its stores stride by krows —
+/// measured ~2.5x slower than the contiguous-store f64 im2col at the
+/// serving shape even though it moves 8x fewer bytes. Here the traversal
+/// is inverted: one k-contiguous destination row is assembled per output
+/// pixel, so every store is sequential and each interior (c, ki) group is
+/// one fixed-size 4-element copy (the 3 taps plus one overstored element
+/// that the next group rewrites). The overstore means each worker's buffer
+/// needs kLowerPad elements of headroom past its last pixel row;
+/// forward_quantized sizes the scratch accordingly.
+template <typename T>
+void lower_rows_s1k3(const T* img, size_t channels, size_t h, size_t w, size_t kh,
+                     size_t pad, T* rows) {
+  constexpr size_t kw = 3;
+  const size_t out_h = h + 2 * pad - kh + 1;
+  const size_t out_w = w + 2 * pad - kw + 1;
+  const size_t krows = channels * kh * kw;
+  T* dst = rows;
+  for (size_t oi = 0; oi < out_h; ++oi) {
+    const long ii0 = static_cast<long>(oi) - static_cast<long>(pad);
+    for (size_t oj = 0; oj < out_w; ++oj, dst += krows) {
+      const long jj0 = static_cast<long>(oj) - static_cast<long>(pad);
+      // All four elements of the group copy (taps jj0..jj0+2 plus the
+      // overread at jj0+3) in bounds: the interior fast case.
+      const bool inner = jj0 >= 0 && jj0 + static_cast<long>(kw) < static_cast<long>(w);
+      T* d = dst;
+      const T* plane_base = img;
+      for (size_t c = 0; c < channels; ++c, plane_base += h * w) {
+        for (size_t ki = 0; ki < kh; ++ki, d += kw) {
+          const long ii = ii0 + static_cast<long>(ki);
+          if (ii < 0 || ii >= static_cast<long>(h)) {
+            std::memset(d, 0, kw * sizeof(T));
+            continue;
+          }
+          if (inner) {
+            std::memcpy(d, plane_base + static_cast<size_t>(ii) * w + jj0,
+                        (kw + 1) * sizeof(T));
+            continue;
+          }
+          for (size_t kj = 0; kj < kw; ++kj) {
+            const long jj = jj0 + static_cast<long>(kj);
+            d[kj] = (jj < 0 || jj >= static_cast<long>(w))
+                        ? T(0)
+                        : plane_base[static_cast<size_t>(ii) * w + jj];
+          }
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void lower_rows(const T* img, size_t channels, size_t h, size_t w, size_t kh, size_t kw,
+                size_t stride, size_t pad, T* rows) {
+  const size_t out_h = (h + 2 * pad - kh) / stride + 1;
+  const size_t out_w = (w + 2 * pad - kw) / stride + 1;
+  const size_t krows = channels * kh * kw;
+  // Same traversal as im2col, strided writes: element (pixel, row) lands at
+  // rows[pixel * krows + row], so each output pixel's patch is k-contiguous.
+  size_t row = 0;
+  for (size_t c = 0; c < channels; ++c) {
+    for (size_t ki = 0; ki < kh; ++ki) {
+      for (size_t kj = 0; kj < kw; ++kj, ++row) {
+        const auto [jlo, jhi] = valid_oj_span(out_w, w, kj, stride, pad);
+        for (size_t oi = 0; oi < out_h; ++oi) {
+          T* dst = rows + (oi * out_w) * krows + row;
+          const long ii = static_cast<long>(oi * stride + ki) - static_cast<long>(pad);
+          if (ii < 0 || ii >= static_cast<long>(h)) {
+            for (size_t oj = 0; oj < out_w; ++oj) dst[oj * krows] = T(0);
+            continue;
+          }
+          const T* src_row = img + (c * h + static_cast<size_t>(ii)) * w;
+          const long off = static_cast<long>(kj) - static_cast<long>(pad);
+          for (size_t oj = 0; oj < jlo; ++oj) dst[oj * krows] = T(0);
+          for (size_t oj = jlo; oj < jhi; ++oj)
+            dst[oj * krows] = src_row[static_cast<long>(oj * stride) + off];
+          for (size_t oj = jhi; oj < out_w; ++oj) dst[oj * krows] = T(0);
+        }
+      }
+    }
+  }
+}
 }  // namespace
 
 void im2col(const double* img, size_t channels, size_t h, size_t w, size_t kh, size_t kw,
@@ -32,6 +158,8 @@ void im2col(const double* img, size_t channels, size_t h, size_t w, size_t kh, s
     for (size_t ki = 0; ki < kh; ++ki) {
       for (size_t kj = 0; kj < kw; ++kj, ++row) {
         double* dst = cols + row * plane;
+        const auto [jlo, jhi] = valid_oj_span(out_w, w, kj, stride, pad);
+        const long off = static_cast<long>(kj) - static_cast<long>(pad);
         for (size_t oi = 0; oi < out_h; ++oi) {
           const long ii = static_cast<long>(oi * stride + ki) - static_cast<long>(pad);
           if (ii < 0 || ii >= static_cast<long>(h)) {
@@ -39,11 +167,11 @@ void im2col(const double* img, size_t channels, size_t h, size_t w, size_t kh, s
             continue;
           }
           const double* src_row = img + (c * h + static_cast<size_t>(ii)) * w;
-          for (size_t oj = 0; oj < out_w; ++oj) {
-            const long jj = static_cast<long>(oj * stride + kj) - static_cast<long>(pad);
-            dst[oi * out_w + oj] =
-                (jj < 0 || jj >= static_cast<long>(w)) ? 0.0 : src_row[jj];
-          }
+          double* drow = dst + oi * out_w;
+          for (size_t oj = 0; oj < jlo; ++oj) drow[oj] = 0.0;
+          for (size_t oj = jlo; oj < jhi; ++oj)
+            drow[oj] = src_row[static_cast<long>(oj * stride) + off];
+          for (size_t oj = jhi; oj < out_w; ++oj) drow[oj] = 0.0;
         }
       }
     }
@@ -75,6 +203,11 @@ void col2im(const double* cols, size_t channels, size_t h, size_t w, size_t kh, 
   }
 }
 
+void im2col_rows(const double* img, size_t channels, size_t h, size_t w, size_t kh,
+                 size_t kw, size_t stride, size_t pad, double* rows) {
+  lower_rows<double>(img, channels, h, w, kh, kw, stride, pad, rows);
+}
+
 Conv2D::Conv2D(const Conv2DConfig& config)
     : cfg_(config),
       weight_({config.out_channels, config.in_channels * config.kernel_h * config.kernel_w}),
@@ -98,7 +231,7 @@ std::pair<size_t, size_t> Conv2D::out_dims(size_t h, size_t w) const {
           (w + 2 * cfg_.pad - cfg_.kernel_w) / cfg_.stride + 1};
 }
 
-Tensor& Conv2D::forward(ExecutionContext& ctx, const Tensor& input, bool /*training*/) {
+Tensor& Conv2D::forward(ExecutionContext& ctx, const Tensor& input, bool training) {
   if (input.rank() != 4 || input.dim(1) != cfg_.in_channels)
     throw std::invalid_argument("Conv2D::forward: expected [n, " +
                                 std::to_string(cfg_.in_channels) + ", h, w], got " +
@@ -110,6 +243,21 @@ Tensor& Conv2D::forward(ExecutionContext& ctx, const Tensor& input, bool /*train
   const auto [oh, ow] = out_dims(h, w);
   const size_t krows = cfg_.in_channels * cfg_.kernel_h * cfg_.kernel_w;
   const size_t plane = oh * ow;
+
+  if (is_quantized(ctx.precision())) {
+    if (training)
+      throw std::invalid_argument(
+          std::string("Conv2D::forward: ") + precision_name(ctx.precision()) +
+          " precision is inference-only (train at kF64)");
+    // Inference-only: no backward will follow, so skip the input caching and
+    // read `input` directly.
+    Tensor& out = ctx.workspace().tensor(this, kSlotOut, {n, cfg_.out_channels, oh, ow});
+    if (ctx.precision() == Precision::kInt8)
+      forward_quantized<int8_t>(ctx, input, out, h, w, oh, ow);
+    else
+      forward_quantized<int16_t>(ctx, input, out, h, w, oh, ow);
+    return out;
+  }
 
   Tensor& xc = ctx.workspace().tensor(this, kSlotInput, {n, cfg_.in_channels, h, w});
   detail::parallel_copy(input.data(), xc.data(), input.size());
@@ -139,6 +287,120 @@ Tensor& Conv2D::forward(ExecutionContext& ctx, const Tensor& input, bool /*train
     }
   });
   return out;
+}
+
+template <typename Code>
+void Conv2D::forward_quantized(ExecutionContext& ctx, const Tensor& input, Tensor& out,
+                               size_t h, size_t w, size_t oh, size_t ow) {
+  constexpr bool kIs8 = std::is_same_v<Code, int8_t>;
+  const size_t n = input.dim(0);
+  const size_t krows = cfg_.in_channels * cfg_.kernel_h * cfg_.kernel_w;
+  const size_t plane = oh * ow;
+  Workspace& ws = ctx.workspace();
+
+  // Check the GEMM depth bound up front so a violation throws here, on the
+  // caller's thread, rather than inside a pool task. Serving rejects such
+  // models at registration (validate_quantizable); this is the backstop for
+  // direct context users.
+  constexpr size_t kMaxDepth = kIs8 ? kQuantizedGemmMaxDepth : kQuantizedGemmInt16MaxDepth;
+  if (krows > kMaxDepth)
+    throw std::invalid_argument("Conv2D::forward: patch depth " + std::to_string(krows) +
+                                " exceeds the quantized GEMM bound " +
+                                std::to_string(kMaxDepth));
+
+  // Static side: precise filter codes from the serving cache when present
+  // (shape-checked: [oc, ic*kh*kw] row-major, k-contiguous rows), else one
+  // fast per-call quantization before the image loop.
+  const Code* w_codes = nullptr;
+  const double* w_scales = nullptr;
+  if (const QuantizedWeightCache* cache = ctx.weight_cache()) {
+    if constexpr (kIs8) {
+      if (const QuantizedMatrix* wq = cache->find(this)) {
+        if (wq->rows != cfg_.out_channels || wq->cols != krows)
+          throw std::logic_error("Conv2D::forward: quantized weight cache shape mismatch");
+        w_codes = wq->q.data();
+        w_scales = wq->scales.data();
+      }
+    } else {
+      if (const QuantizedMatrix16* wq = cache->find_i16(this)) {
+        if (wq->rows != cfg_.out_channels || wq->cols != krows)
+          throw std::logic_error("Conv2D::forward: quantized weight cache shape mismatch");
+        w_codes = wq->q.data();
+        w_scales = wq->scales.data();
+      }
+    }
+  }
+  if (w_codes == nullptr) {
+    std::vector<Code>& wqs =
+        scratch_codes<Code>(ws, this, kSlotQWeight, cfg_.out_channels * krows);
+    std::vector<double>& wss = ws.scratch(this, kSlotQWeightScale, cfg_.out_channels);
+    if constexpr (kIs8)
+      quantize_rows_fast(weight_.data(), cfg_.out_channels, krows, wqs.data(), wss.data());
+    else
+      quantize_rows_fast_i16(weight_.data(), cfg_.out_channels, krows, wqs.data(),
+                             wss.data());
+    w_codes = wqs.data();
+    w_scales = wss.data();
+  }
+
+  // Dynamic side, parallel over images exactly like the f64 path. Each
+  // worker fast-quantizes its whole image once — symmetric, one shared
+  // scale per image; the patch rows all draw from the same activation
+  // image, so the per-image absmax is within a hair of every per-patch
+  // absmax and costs almost no accuracy (the precision-ladder tests bound
+  // it) — then lowers the CODES into a private transposed-column buffer
+  // ([plane, krows], k-contiguous pixel rows). Quantize-then-lower touches
+  // each input element once at full width and moves only code-width bytes
+  // through the 9x-duplicating lowering, which is what makes the int8 path
+  // faster than the f64 forward instead of quantization-bound. One image =
+  // one task with fixed inner order and exact integer sums, so the output
+  // is bitwise invariant across backends, worker counts, and batch
+  // compositions.
+  const size_t chw = cfg_.in_channels * h * w;
+  const KernelBackend* be = &ctx.resolved_backend();
+  const size_t nworkers = util::worker_partition_count(n, 1);
+  const bool fast_lower = cfg_.stride == 1 && cfg_.kernel_w == 3;
+  // Per-worker column stride includes kLowerPad headroom so the fast
+  // lowering's one-element group overstore never crosses into the next
+  // worker's segment (which would race with that worker's own writes).
+  const size_t colstride = plane * krows + kLowerPad;
+  std::vector<Code>& qimg = scratch_codes<Code>(ws, this, kSlotQImg, nworkers * chw);
+  std::vector<Code>& qcols = scratch_codes<Code>(ws, this, kSlotQCols, nworkers * colstride);
+  std::vector<double>& qscales = ws.scratch(this, kSlotQColScale, nworkers * plane);
+  util::parallel_for_workers(0, n, [&](size_t worker, size_t lo, size_t hi) {
+    ScopedBackend worker_backend(be);
+    Code* myimg = qimg.data() + worker * chw;
+    Code* mycodes = qcols.data() + worker * colstride;
+    double* myscales = qscales.data() + worker * plane;
+    for (size_t b = lo; b < hi; ++b) {
+      double img_scale = 0.0;
+      if constexpr (kIs8)
+        quantize_rows_fast(input.data() + b * chw, 1, chw, myimg, &img_scale);
+      else
+        quantize_rows_fast_i16(input.data() + b * chw, 1, chw, myimg, &img_scale);
+      if (fast_lower)
+        lower_rows_s1k3<Code>(myimg, cfg_.in_channels, h, w, cfg_.kernel_h, cfg_.pad,
+                              mycodes);
+      else
+        lower_rows<Code>(myimg, cfg_.in_channels, h, w, cfg_.kernel_h, cfg_.kernel_w,
+                         cfg_.stride, cfg_.pad, mycodes);
+      std::fill(myscales, myscales + plane, img_scale);
+      double* dst = out.data() + b * cfg_.out_channels * plane;
+      // out[b] (oc x plane) = Wq (oc x krows) x colsq^T — the quantized GEMM
+      // nested under this parallel region degrades to serial, like math::gemm.
+      if constexpr (kIs8)
+        quantized_gemm(cfg_.out_channels, plane, krows, w_codes, w_scales, mycodes,
+                       myscales, dst, plane);
+      else
+        quantized_gemm_i16(cfg_.out_channels, plane, krows, w_codes, w_scales, mycodes,
+                           myscales, dst, plane);
+      for (size_t oc = 0; oc < cfg_.out_channels; ++oc) {
+        double* drow = dst + oc * plane;
+        const double bv = bias_[oc];
+        for (size_t i = 0; i < plane; ++i) drow[i] += bv;
+      }
+    }
+  });
 }
 
 Tensor& Conv2D::backward(ExecutionContext& ctx, const Tensor& grad_output) {

@@ -43,11 +43,23 @@ class Conv2D final : public Layer {
 
   [[nodiscard]] const Conv2DConfig& config() const { return cfg_; }
   [[nodiscard]] Tensor& weight() { return weight_; }
+  [[nodiscard]] const Tensor& weight() const { return weight_; }
   [[nodiscard]] Tensor& bias() { return bias_; }
+  [[nodiscard]] const Tensor& bias() const { return bias_; }
 
  private:
   /// Output spatial dims for an input of h x w.
   [[nodiscard]] std::pair<size_t, size_t> out_dims(size_t h, size_t w) const;
+
+  /// Quantized inference path (ctx.precision() == kInt8 / kInt16, Code =
+  /// int8_t / int16_t): fast symmetric quantization of the whole image
+  /// (one shared scale per image), transposed im2col lowering of the
+  /// CODES — quantized im2col, so the 9x-duplicating lowering moves
+  /// code-width bytes, not doubles — then an integer GEMM against the
+  /// cached (or fast-quantized) filter codes.
+  template <typename Code>
+  void forward_quantized(ExecutionContext& ctx, const Tensor& input, Tensor& out,
+                         size_t h, size_t w, size_t oh, size_t ow);
 
   Conv2DConfig cfg_;
   Tensor weight_, weight_grad_;  // [oc, ic*kh*kw]
@@ -60,6 +72,14 @@ class Conv2D final : public Layer {
 /// Lowers one image [C,H,W] into columns [C*kh*kw, out_h*out_w].
 void im2col(const double* img, size_t channels, size_t h, size_t w, size_t kh, size_t kw,
             size_t stride, size_t pad, double* cols);
+
+/// Transposed lowering: [out_h*out_w, C*kh*kw], one k-contiguous row per
+/// output pixel. This is the layout the quantized GEMM needs for its B
+/// operand; the quantized forward runs the identical traversal over
+/// int8/int16 code images (this f64 instantiation is the tested
+/// reference for the shared index math).
+void im2col_rows(const double* img, size_t channels, size_t h, size_t w, size_t kh,
+                 size_t kw, size_t stride, size_t pad, double* rows);
 
 /// Adjoint of im2col: scatters columns back into an image (accumulating).
 void col2im(const double* cols, size_t channels, size_t h, size_t w, size_t kh, size_t kw,

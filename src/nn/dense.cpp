@@ -21,6 +21,11 @@ constexpr int kSlotInt8In = 3;          // quantized activation rows
 constexpr int kSlotInt8InScale = 4;     // per-row activation scales
 constexpr int kSlotInt8Weight = 5;      // fast-quantized weights (cache miss)
 constexpr int kSlotInt8WeightScale = 6; // per-row weight scales (cache miss)
+// Int16-path staging slots (same roles at 16-bit code width).
+constexpr int kSlotInt16In = 7;
+constexpr int kSlotInt16InScale = 8;
+constexpr int kSlotInt16Weight = 9;
+constexpr int kSlotInt16WeightScale = 10;
 }  // namespace
 
 Dense::Dense(size_t in_features, size_t out_features, math::Rng& rng, bool linear_output)
@@ -52,11 +57,15 @@ Tensor& Dense::forward(ExecutionContext& ctx, const Tensor& input, bool training
   const size_t batch = input.dim(0);
   Tensor& out = ctx.workspace().tensor(this, kSlotOut, {batch, out_});
 
-  if (ctx.precision() == Precision::kInt8) {
+  if (is_quantized(ctx.precision())) {
     if (training)
       throw std::invalid_argument(
-          "Dense::forward: int8 precision is inference-only (train at kF64)");
-    forward_int8(ctx, input, out);
+          std::string("Dense::forward: ") + precision_name(ctx.precision()) +
+          " precision is inference-only (train at kF64)");
+    if (ctx.precision() == Precision::kInt8)
+      forward_int8(ctx, input, out);
+    else
+      forward_int16(ctx, input, out);
   } else {
     Tensor& xc = ctx.workspace().tensor(this, kSlotInput, {batch, in_});
     detail::parallel_copy(input.data(), xc.data(), input.size());
@@ -107,6 +116,34 @@ void Dense::forward_int8(ExecutionContext& ctx, const Tensor& input, Tensor& out
   // the result is bitwise invariant across backends and worker counts.
   quantized_gemm(batch, out_, in_, xq.data(), xs.data(), w_codes, w_scales, out.data(),
                  out_);
+}
+
+void Dense::forward_int16(ExecutionContext& ctx, const Tensor& input, Tensor& out) {
+  // Mirrors forward_int8 at 16-bit code width: same staging structure, same
+  // cache-then-fallback weight policy, exact int64 sums in the GEMM.
+  const size_t batch = input.dim(0);
+  Workspace& ws = ctx.workspace();
+  std::vector<int16_t>& xq = ws.scratch_i16(this, kSlotInt16In, batch * in_);
+  std::vector<double>& xs = ws.scratch(this, kSlotInt16InScale, batch);
+  quantize_rows_fast_i16(input.data(), batch, in_, xq.data(), xs.data());
+  const QuantizedMatrix16* wq =
+      ctx.weight_cache() != nullptr ? ctx.weight_cache()->find_i16(this) : nullptr;
+  const int16_t* w_codes;
+  const double* w_scales;
+  if (wq != nullptr) {
+    if (wq->rows != out_ || wq->cols != in_)
+      throw std::logic_error("Dense::forward: quantized weight cache shape mismatch");
+    w_codes = wq->q.data();
+    w_scales = wq->scales.data();
+  } else {
+    std::vector<int16_t>& wqs = ws.scratch_i16(this, kSlotInt16Weight, out_ * in_);
+    std::vector<double>& wss = ws.scratch(this, kSlotInt16WeightScale, out_);
+    quantize_rows_fast_i16(weight_.data(), out_, in_, wqs.data(), wss.data());
+    w_codes = wqs.data();
+    w_scales = wss.data();
+  }
+  quantized_gemm_i16(batch, out_, in_, xq.data(), xs.data(), w_codes, w_scales,
+                     out.data(), out_);
 }
 
 Tensor& Dense::backward(ExecutionContext& ctx, const Tensor& grad_output) {

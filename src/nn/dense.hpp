@@ -37,13 +37,17 @@ class Dense final : public Layer {
   [[nodiscard]] size_t in_features() const { return in_; }
   [[nodiscard]] size_t out_features() const { return out_; }
   [[nodiscard]] Tensor& weight() { return weight_; }
+  [[nodiscard]] const Tensor& weight() const { return weight_; }
   [[nodiscard]] Tensor& bias() { return bias_; }
+  [[nodiscard]] const Tensor& bias() const { return bias_; }
 
  private:
-  /// The quantized inference path (ctx.precision() == kInt8): fast-quantize
-  /// the activation rows, fetch (or fast-quantize) the weights, run the
-  /// int8 GEMM into `out`. The caller adds the f64 bias afterwards.
+  /// The quantized inference paths (ctx.precision() == kInt8 / kInt16):
+  /// fast-quantize the activation rows, fetch (or fast-quantize) the
+  /// weights, run the integer GEMM into `out`. The caller adds the f64
+  /// bias afterwards.
   void forward_int8(ExecutionContext& ctx, const Tensor& input, Tensor& out);
+  void forward_int16(ExecutionContext& ctx, const Tensor& input, Tensor& out);
 
   size_t in_, out_;
   Tensor weight_, weight_grad_;  // [out, in]

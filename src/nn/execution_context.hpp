@@ -57,6 +57,10 @@ class Workspace {
   /// steady-state batch loop quantizes without allocating.
   std::vector<int8_t>& scratch_i8(const void* owner, int slot, size_t n);
 
+  /// Reusable raw int16 scratch of at least `n` elements (grow-only) — the
+  /// int16 tier's staging buffers, same contract as scratch_i8.
+  std::vector<int16_t>& scratch_i16(const void* owner, int slot, size_t n);
+
   /// Reusable index scratch of exactly `n` elements (grow-only capacity).
   std::vector<size_t>& indices(const void* owner, int slot, size_t n);
 
@@ -92,6 +96,7 @@ class Workspace {
   std::unordered_map<Key, Tensor, KeyHash> tensors_;
   std::unordered_map<Key, std::vector<double>, KeyHash> scratch_;
   std::unordered_map<Key, std::vector<int8_t>, KeyHash> scratch_i8_;
+  std::unordered_map<Key, std::vector<int16_t>, KeyHash> scratch_i16_;
   std::unordered_map<Key, std::vector<size_t>, KeyHash> indices_;
 };
 
@@ -127,12 +132,13 @@ class ExecutionContext {
   }
 
   /// Numeric precision layer forwards on this context execute at (kF64
-  /// default). kInt8 routes every Dense GEMM through the quantized kernels
-  /// — inference only; Dense::forward throws when asked to train at kInt8.
+  /// default). kInt8/kInt16 route every Dense and Conv2D GEMM through the
+  /// quantized kernels — inference only; the layers throw when asked to
+  /// train at a quantized precision.
   [[nodiscard]] Precision precision() const { return precision_; }
   void set_precision(Precision precision) { precision_ = precision; }
 
-  /// Precise pre-quantized static weights consulted by the int8 path
+  /// Precise pre-quantized static weights consulted by the quantized paths
   /// (nullptr = none; layers fall back to fast per-call weight
   /// quantization). Not owned; the serving layer points this at the served
   /// bundle's cache before each batch.

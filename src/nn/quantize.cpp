@@ -5,6 +5,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "nn/conv2d.hpp"
 #include "nn/dense.hpp"
 #include "nn/residual.hpp"
 #include "nn/sequential.hpp"
@@ -14,25 +15,40 @@ namespace dlpic::nn {
 
 namespace {
 
-// Output-tile shape of the quantized GEMM driver. Smaller than the f64
+// Output-tile shape of the quantized GEMM drivers. Smaller than the f64
 // GEMM's blocks: there is no packing pass (both operands are already
-// k-contiguous), so the tile only has to bound the working set of int8 rows
-// touched per task and expose enough tasks for small serving batches.
+// k-contiguous), so the tile only has to bound the working set of integer
+// rows touched per task and expose enough tasks for small serving batches.
 constexpr size_t kQBlockM = 32;
 constexpr size_t kQBlockN = 64;
 
-/// Quantizes one row with scale `s` (s > 0), returning the codes' round-trip
-/// squared error. std::llround keeps the rounding mode fixed regardless of
-/// the FP environment, which the bitwise-reproducibility contract needs.
-double quantize_row(const double* x, size_t cols, double s, int8_t* q) {
+/// Round to nearest with halves away from zero — std::llround semantics for
+/// the |v| <= 2^51 domain every scaled code lives in (|x * inv| <= a few
+/// Limit), but inlineable arithmetic instead of a libm call: the add of
+/// +/-0.5 is exact below 2^51, so the truncating cast lands on the llround
+/// result independent of the FP rounding environment, which the bitwise-
+/// reproducibility contract needs.
+template <long long Limit>
+long long round_code(double v) {
+  long long code = static_cast<long long>(v + (v < 0.0 ? -0.5 : 0.5));
+  return std::max(-Limit, std::min(Limit, code));
+}
+
+/// Quantizes one row with scale `s` (s > 0) into codes clamped to
+/// [-Limit, Limit]. WithErr additionally returns the codes' round-trip
+/// squared error — the precise path's selection metric; the fast path
+/// skips it (the hot per-batch / per-image cost in quantized serving).
+template <typename Code, long long Limit, bool WithErr>
+double quantize_row(const double* x, size_t cols, double s, Code* q) {
   const double inv = 1.0 / s;
   double err = 0.0;
   for (size_t c = 0; c < cols; ++c) {
-    long long code = std::llround(x[c] * inv);
-    code = std::max(-127LL, std::min(127LL, code));
-    q[c] = static_cast<int8_t>(code);
-    const double d = x[c] - s * static_cast<double>(code);
-    err += d * d;
+    const long long code = round_code<Limit>(x[c] * inv);
+    q[c] = static_cast<Code>(code);
+    if constexpr (WithErr) {
+      const double d = x[c] - s * static_cast<double>(code);
+      err += d * d;
+    }
   }
   return err;
 }
@@ -43,70 +59,124 @@ double row_absmax(const double* x, size_t cols) {
   return m;
 }
 
-}  // namespace
-
-const char* precision_name(Precision p) {
-  return p == Precision::kInt8 ? "int8" : "f64";
-}
-
-Precision precision_from_name(const std::string& name) {
-  if (name == "f64") return Precision::kF64;
-  if (name == "int8") return Precision::kInt8;
-  throw std::invalid_argument("precision_from_name: unknown precision '" + name +
-                              "' (want f64|int8)");
-}
-
-void quantize_rows_fast(const double* src, size_t rows, size_t cols, int8_t* q,
-                        double* scales) {
+/// Shared fast-path body: scale = absmax / Limit, one quantize pass per row.
+template <typename Code, long long Limit>
+void quantize_rows_fast_impl(const double* src, size_t rows, size_t cols, Code* q,
+                             double* scales) {
   for (size_t r = 0; r < rows; ++r) {
     const double* x = src + r * cols;
-    int8_t* qr = q + r * cols;
+    Code* qr = q + r * cols;
     const double absmax = row_absmax(x, cols);
     if (absmax == 0.0) {
       scales[r] = 0.0;
-      std::memset(qr, 0, cols);
+      std::memset(qr, 0, cols * sizeof(Code));
       continue;
     }
-    const double s = absmax / 127.0;
+    const double s = absmax / static_cast<double>(Limit);
     scales[r] = s;
-    (void)quantize_row(x, cols, s, qr);
+    (void)quantize_row<Code, Limit, false>(x, cols, s, qr);
   }
 }
 
-void quantize_rows_precise(const double* src, size_t rows, size_t cols,
-                           QuantizedMatrix& out) {
+/// Shared precise-path body: candidate scales absmax/Limit .. absmax/TMin —
+/// a finer grid (larger t) trades clipping of the largest entries against
+/// resolution for the rest; keep whichever minimizes this row's round-trip
+/// error. t = Limit runs first so the fast path's result is the
+/// tie-breaking baseline.
+template <typename Code, long long Limit, long long TMin, typename Matrix>
+void quantize_rows_precise_impl(const double* src, size_t rows, size_t cols,
+                                Matrix& out) {
   out.rows = rows;
   out.cols = cols;
   out.q.resize(rows * cols);
   out.scales.resize(rows);
-  std::vector<int8_t> trial(cols);
+  std::vector<Code> trial(cols);
   for (size_t r = 0; r < rows; ++r) {
     const double* x = src + r * cols;
-    int8_t* qr = out.q.data() + r * cols;
+    Code* qr = out.q.data() + r * cols;
     const double absmax = row_absmax(x, cols);
     if (absmax == 0.0) {
       out.scales[r] = 0.0;
-      std::memset(qr, 0, cols);
+      std::memset(qr, 0, cols * sizeof(Code));
       continue;
     }
-    // Candidate scales absmax/127 .. absmax/96: a finer grid (larger t)
-    // trades clipping of the largest entries against resolution for the
-    // rest; keep whichever minimizes this row's round-trip error. t = 127
-    // runs first so the fast path's result is the tie-breaking baseline.
-    double best_err = quantize_row(x, cols, absmax / 127.0, qr);
-    double best_s = absmax / 127.0;
-    for (int t = 126; t >= 96 && best_err > 0.0; --t) {
+    double best_err = quantize_row<Code, Limit, true>(x, cols, absmax / Limit, qr);
+    double best_s = absmax / static_cast<double>(Limit);
+    for (long long t = Limit - 1; t >= TMin && best_err > 0.0; --t) {
       const double s = absmax / static_cast<double>(t);
-      const double err = quantize_row(x, cols, s, trial.data());
+      const double err = quantize_row<Code, Limit, true>(x, cols, s, trial.data());
       if (err < best_err) {
         best_err = err;
         best_s = s;
-        std::memcpy(qr, trial.data(), cols);
+        std::memcpy(qr, trial.data(), cols * sizeof(Code));
       }
     }
     out.scales[r] = best_s;
   }
 }
+
+}  // namespace
+
+const char* precision_name(Precision p) {
+  switch (p) {
+    case Precision::kInt8: return "int8";
+    case Precision::kInt16: return "int16";
+    default: return "f64";
+  }
+}
+
+Precision precision_from_name(const std::string& name) {
+  if (name == "f64") return Precision::kF64;
+  if (name == "int8") return Precision::kInt8;
+  if (name == "int16") return Precision::kInt16;
+  throw std::invalid_argument("precision_from_name: unknown precision '" + name +
+                              "' (want f64|int16|int8)");
+}
+
+void quantize_rows_fast(const double* src, size_t rows, size_t cols, int8_t* q,
+                        double* scales) {
+  quantize_rows_fast_impl<int8_t, 127>(src, rows, cols, q, scales);
+}
+
+void quantize_rows_fast_i16(const double* src, size_t rows, size_t cols, int16_t* q,
+                            double* scales) {
+  quantize_rows_fast_impl<int16_t, 32767>(src, rows, cols, q, scales);
+}
+
+void quantize_rows_precise(const double* src, size_t rows, size_t cols,
+                           QuantizedMatrix& out) {
+  quantize_rows_precise_impl<int8_t, 127, 96>(src, rows, cols, out);
+}
+
+void quantize_rows_precise_i16(const double* src, size_t rows, size_t cols,
+                               QuantizedMatrix16& out) {
+  quantize_rows_precise_impl<int16_t, 32767, 32736>(src, rows, cols, out);
+}
+
+namespace {
+
+/// Shared 2D-tile dispatch of both quantized GEMM drivers: resolve the
+/// backend on the calling thread and capture it (tile bodies run on pool
+/// workers, where the thread-local selection is not in scope), then hand
+/// each output tile to one task.
+template <typename Kernel>
+void quantized_gemm_tiles(size_t m, size_t n, Kernel&& kernel) {
+  if (m == 0 || n == 0) return;
+  const size_t m_blocks = (m + kQBlockM - 1) / kQBlockM;
+  const size_t n_blocks = (n + kQBlockN - 1) / kQBlockN;
+  util::parallel_for_chunks(
+      0, m_blocks * n_blocks,
+      [&](size_t tile_lo, size_t tile_hi) {
+        for (size_t t = tile_lo; t < tile_hi; ++t) {
+          const size_t i0 = (t / n_blocks) * kQBlockM;
+          const size_t j0 = (t % n_blocks) * kQBlockN;
+          kernel(i0, j0, std::min(kQBlockM, m - i0), std::min(kQBlockN, n - j0));
+        }
+      },
+      /*grain=*/1);
+}
+
+}  // namespace
 
 void quantized_gemm(size_t m, size_t n, size_t k, const int8_t* Aq,
                     const double* a_scales, const int8_t* Bq, const double* b_scales,
@@ -116,25 +186,70 @@ void quantized_gemm(size_t m, size_t n, size_t k, const int8_t* Aq,
         "quantized_gemm: k = " + std::to_string(k) + " exceeds the int32 " +
         "accumulator bound kQuantizedGemmMaxDepth = " +
         std::to_string(kQuantizedGemmMaxDepth));
-  if (m == 0 || n == 0) return;
-  const size_t m_blocks = (m + kQBlockM - 1) / kQBlockM;
-  const size_t n_blocks = (n + kQBlockN - 1) / kQBlockN;
-  // Resolve the backend on the calling thread and capture it: tile bodies
-  // run on pool workers, where the thread-local selection is not in scope.
   const KernelBackend* backend = &active_backend();
-  util::parallel_for_chunks(
-      0, m_blocks * n_blocks,
-      [&](size_t tile_lo, size_t tile_hi) {
-        for (size_t t = tile_lo; t < tile_hi; ++t) {
-          const size_t i0 = (t / n_blocks) * kQBlockM;
-          const size_t j0 = (t % n_blocks) * kQBlockN;
-          const size_t mb = std::min(kQBlockM, m - i0);
-          const size_t nb = std::min(kQBlockN, n - j0);
-          backend->gemm_int8(mb, nb, k, Aq + i0 * k, a_scales + i0, Bq + j0 * k,
-                             b_scales + j0, C + i0 * ldc + j0, ldc);
-        }
-      },
-      /*grain=*/1);
+  quantized_gemm_tiles(m, n, [&](size_t i0, size_t j0, size_t mb, size_t nb) {
+    backend->gemm_int8(mb, nb, k, Aq + i0 * k, a_scales + i0, Bq + j0 * k,
+                       b_scales + j0, C + i0 * ldc + j0, ldc);
+  });
+}
+
+void quantized_gemm_i16(size_t m, size_t n, size_t k, const int16_t* Aq,
+                        const double* a_scales, const int16_t* Bq,
+                        const double* b_scales, double* C, size_t ldc) {
+  if (k > kQuantizedGemmInt16MaxDepth)
+    throw std::invalid_argument(
+        "quantized_gemm_i16: k = " + std::to_string(k) + " exceeds the exact-" +
+        "double bound kQuantizedGemmInt16MaxDepth = " +
+        std::to_string(kQuantizedGemmInt16MaxDepth));
+  const KernelBackend* backend = &active_backend();
+  quantized_gemm_tiles(m, n, [&](size_t i0, size_t j0, size_t mb, size_t nb) {
+    backend->gemm_int16(mb, nb, k, Aq + i0 * k, a_scales + i0, Bq + j0 * k,
+                        b_scales + j0, C + i0 * ldc + j0, ldc);
+  });
+}
+
+namespace {
+
+/// Reduction depth of a layer's quantized GEMM, or 0 for layer types whose
+/// forward is precision-independent (elementwise / reshaping / pooling).
+/// Returns SIZE_MAX for types with no quantized path at all.
+size_t quantized_gemm_depth(const Layer& layer) {
+  if (const auto* dense = dynamic_cast<const Dense*>(&layer)) return dense->in_features();
+  if (const auto* conv = dynamic_cast<const Conv2D*>(&layer)) {
+    const Conv2DConfig& c = conv->config();
+    return c.in_channels * c.kernel_h * c.kernel_w;
+  }
+  if (const auto* res = dynamic_cast<const ResidualDense*>(&layer))
+    return std::max(res->inner().in_features(), res->outer().in_features());
+  const std::string t = layer.type();
+  if (t == "relu" || t == "leaky_relu" || t == "tanh" || t == "flatten" ||
+      t == "reshape4" || t == "maxpool2d")
+    return 0;  // runs on the dequantized f64 activations unchanged
+  return SIZE_MAX;
+}
+
+}  // namespace
+
+void validate_quantizable(const Sequential& model, Precision precision,
+                          const std::string& model_name) {
+  if (!is_quantized(precision)) return;
+  const size_t bound = precision == Precision::kInt8 ? kQuantizedGemmMaxDepth
+                                                     : kQuantizedGemmInt16MaxDepth;
+  for (size_t i = 0; i < model.layer_count(); ++i) {
+    const Layer& layer = model.layer(i);
+    const size_t depth = quantized_gemm_depth(layer);
+    if (depth == SIZE_MAX)
+      throw std::invalid_argument(
+          "validate_quantizable: model '" + model_name + "' layer " +
+          std::to_string(i) + " (" + layer.type() + ") has no " +
+          precision_name(precision) + " path");
+    if (depth > bound)
+      throw std::invalid_argument(
+          "validate_quantizable: model '" + model_name + "' layer " +
+          std::to_string(i) + " (" + layer.type() + ") has reduction depth " +
+          std::to_string(depth) + " exceeding the " + precision_name(precision) +
+          " accumulator bound " + std::to_string(bound));
+  }
 }
 
 void QuantizedWeightCache::put(const void* key, const double* rows, size_t nrows,
@@ -142,16 +257,32 @@ void QuantizedWeightCache::put(const void* key, const double* rows, size_t nrows
   quantize_rows_precise(rows, nrows, ncols, entries_[key]);
 }
 
-void QuantizedWeightCache::build(Sequential& model) {
+void QuantizedWeightCache::put_i16(const void* key, const double* rows, size_t nrows,
+                                   size_t ncols) {
+  quantize_rows_precise_i16(rows, nrows, ncols, entries16_[key]);
+}
+
+void QuantizedWeightCache::build(const Sequential& model, Precision precision) {
+  const auto add = [&](const void* key, const double* rows, size_t nrows,
+                       size_t ncols) {
+    if (precision == Precision::kInt16)
+      put_i16(key, rows, nrows, ncols);
+    else
+      put(key, rows, nrows, ncols);
+  };
   for (size_t i = 0; i < model.layer_count(); ++i) {
-    Layer& layer = model.layer(i);
-    if (auto* dense = dynamic_cast<Dense*>(&layer)) {
-      put(dense, dense->weight().data(), dense->out_features(), dense->in_features());
-    } else if (auto* res = dynamic_cast<ResidualDense*>(&layer)) {
-      Dense& inner = res->inner();
-      Dense& outer = res->outer();
-      put(&inner, inner.weight().data(), inner.out_features(), inner.in_features());
-      put(&outer, outer.weight().data(), outer.out_features(), outer.in_features());
+    const Layer& layer = model.layer(i);
+    if (const auto* dense = dynamic_cast<const Dense*>(&layer)) {
+      add(dense, dense->weight().data(), dense->out_features(), dense->in_features());
+    } else if (const auto* conv = dynamic_cast<const Conv2D*>(&layer)) {
+      const Conv2DConfig& c = conv->config();
+      add(conv, conv->weight().data(), c.out_channels,
+          c.in_channels * c.kernel_h * c.kernel_w);
+    } else if (const auto* res = dynamic_cast<const ResidualDense*>(&layer)) {
+      const Dense& inner = res->inner();
+      const Dense& outer = res->outer();
+      add(&inner, inner.weight().data(), inner.out_features(), inner.in_features());
+      add(&outer, outer.weight().data(), outer.out_features(), outer.in_features());
     }
   }
 }
@@ -159,6 +290,11 @@ void QuantizedWeightCache::build(Sequential& model) {
 const QuantizedMatrix* QuantizedWeightCache::find(const void* key) const {
   const auto it = entries_.find(key);
   return it != entries_.end() ? &it->second : nullptr;
+}
+
+const QuantizedMatrix16* QuantizedWeightCache::find_i16(const void* key) const {
+  const auto it = entries16_.find(key);
+  return it != entries16_.end() ? &it->second : nullptr;
 }
 
 }  // namespace dlpic::nn

@@ -1,27 +1,34 @@
 #pragma once
 /// \file quantize.hpp
-/// Per-row symmetric int8 quantization and the quantized GEMM driver — the
-/// int8 inference path behind the KernelBackend seam.
+/// Per-row symmetric quantization (int8 and int16 tiers) and the quantized
+/// GEMM drivers — the reduced-precision inference paths behind the
+/// KernelBackend seam.
 ///
 /// Scheme (the dlibx qmat idiom): every row is quantized independently with
-/// its own scale s so q[i] = clamp(round(x[i] / s), -127, 127) and
-/// x[i] ~= s * q[i]. Static operands (layer weights) go through the *precise*
-/// path once — a small scale search minimizing the round-trip error — while
-/// dynamic operands (activations) use the *fast* path, s = row_absmax / 127,
-/// a single pass per row. The GEMM accumulates exact int32 dot products and
-/// dequantizes with per-row LHS x per-row RHS scales:
+/// its own scale s so q[i] = clamp(round(x[i] / s), -Q, Q) and
+/// x[i] ~= s * q[i], with Q = 127 for int8 and Q = 32767 for int16. Static
+/// operands (layer weights) go through the *precise* path once — a small
+/// scale search minimizing the round-trip error — while dynamic operands
+/// (activations, im2col columns) use the *fast* path, s = row_absmax / Q,
+/// a single pass per row. The GEMMs accumulate exact integer dot products
+/// (int32 for int8 codes, int64 for int16 codes) and dequantize with
+/// per-row LHS x per-row RHS scales:
 ///
 ///   C[i,j] = (a_scales[i] * b_scales[j]) * sum_p Aq[i,p] * Bq[j,p]
 ///
 /// Determinism contract: integer sums are exact and the dequantization
-/// expression is fixed, so int8 results are bitwise identical across
-/// backends, worker counts and batch sizes — a *stronger* reproducibility
-/// guarantee than the f64 path (which is bitwise only within one backend).
-/// Accuracy versus the f64 reference is a budgeted contract, not bitwise
-/// (tests/nn/test_quantize.cpp pins both properties).
+/// expression is fixed, so int8 AND int16 results are bitwise identical
+/// across backends, worker counts and batch sizes — a *stronger*
+/// reproducibility guarantee than the f64 path (which is bitwise only
+/// within one backend). Accuracy versus the f64 reference is a budgeted
+/// contract, not bitwise, and int16 sits strictly between f64 and int8 on
+/// the accuracy/throughput ladder (tests/nn/test_quantize.cpp pins the
+/// bitwise, budget and monotonicity properties).
 ///
-/// Values never reach -128: the clamp to [-127, 127] is what lets the AVX2
-/// kernel use the abs/sign + maddubs trick without saturation.
+/// Values never reach the type minimum (-128 / -32768): the clamp to
+/// [-Q, Q] is what lets the AVX2 kernel use the abs/sign + maddubs trick
+/// and the AVX-512 kernel use abs/mask-negate + vpdpbusd without
+/// saturation, and keeps every int16 madd pair within int32.
 
 #include <cstddef>
 #include <cstdint>
@@ -35,18 +42,28 @@ namespace dlpic::nn {
 
 class Sequential;
 
-/// Numeric precision an ExecutionContext (and hence every Dense::forward it
-/// runs) executes at. kF64 is the full-precision reference; kInt8 routes
-/// dense GEMMs through the quantized kernels (inference only).
+/// Numeric precision an ExecutionContext (and hence every Dense/Conv2D
+/// forward it runs) executes at. kF64 is the full-precision reference; the
+/// quantized tiers route GEMMs through the integer kernels (inference
+/// only). The ladder: f64 (exact, 1x) > int16 (tight budget, ~1.5-2x GEMM)
+/// > int8 (looser budget, ~2-4x GEMM).
 enum class Precision : uint8_t {
-  kF64 = 0,  ///< full-precision double GEMM (training + inference)
-  kInt8 = 1, ///< per-row dynamic int8 GEMM (inference only)
+  kF64 = 0,   ///< full-precision double GEMM (training + inference)
+  kInt8 = 1,  ///< per-row dynamic int8 GEMM (inference only)
+  kInt16 = 2, ///< per-row dynamic int16 GEMM (inference only)
 };
 
-/// Stable identifier ("f64", "int8") — recorded in BENCH_*.json context.
+/// True for the integer inference tiers (kInt8, kInt16).
+[[nodiscard]] constexpr bool is_quantized(Precision p) {
+  return p != Precision::kF64;
+}
+
+/// Stable identifier ("f64", "int8", "int16") — recorded in BENCH_*.json
+/// context.
 [[nodiscard]] const char* precision_name(Precision p);
 
-/// Parses "f64" | "int8"; throws std::invalid_argument on anything else.
+/// Parses "f64" | "int8" | "int16"; throws std::invalid_argument on
+/// anything else.
 [[nodiscard]] Precision precision_from_name(const std::string& name);
 
 /// A row-major int8 matrix with one dequantization scale per row:
@@ -58,20 +75,41 @@ struct QuantizedMatrix {
   std::vector<double> scales;  ///< one scale per row (0.0 for all-zero rows)
 };
 
-/// Fast per-row quantization (one pass per row, scale = absmax / 127) into
-/// caller-provided storage: `q` holds rows*cols values, `scales` one entry
-/// per row. The runtime path for dynamic activations — callers stage `q` and
-/// `scales` in grow-only workspace scratch so steady state allocates nothing.
-/// An all-zero row quantizes to scale 0 with all-zero codes.
+/// A row-major int16 matrix with one dequantization scale per row:
+/// original[r][c] ~= scales[r] * q[r * cols + c].
+struct QuantizedMatrix16 {
+  size_t rows = 0;
+  size_t cols = 0;
+  std::vector<int16_t> q;      ///< rows * cols values in [-32767, 32767]
+  std::vector<double> scales;  ///< one scale per row (0.0 for all-zero rows)
+};
+
+/// Fast per-row int8 quantization (one pass per row, scale = absmax / 127)
+/// into caller-provided storage: `q` holds rows*cols values, `scales` one
+/// entry per row. The runtime path for dynamic activations — callers stage
+/// `q` and `scales` in grow-only workspace scratch so steady state
+/// allocates nothing. An all-zero row quantizes to scale 0 with all-zero
+/// codes.
 void quantize_rows_fast(const double* src, size_t rows, size_t cols, int8_t* q,
                         double* scales);
 
-/// Precise per-row quantization: searches a small set of candidate scales
-/// (absmax / t for t near 127) and keeps the one minimizing the row's
-/// round-trip squared error. ~30x the cost of the fast path — meant for
-/// static weights quantized once at registration time.
+/// Fast per-row int16 quantization (scale = absmax / 32767) — the int16
+/// tier's analogue of quantize_rows_fast, same storage contract.
+void quantize_rows_fast_i16(const double* src, size_t rows, size_t cols, int16_t* q,
+                            double* scales);
+
+/// Precise per-row int8 quantization: searches a small set of candidate
+/// scales (absmax / t for t near 127) and keeps the one minimizing the
+/// row's round-trip squared error. ~30x the cost of the fast path — meant
+/// for static weights quantized once at registration time.
 void quantize_rows_precise(const double* src, size_t rows, size_t cols,
                            QuantizedMatrix& out);
+
+/// Precise per-row int16 quantization (scale search near t = 32767). The
+/// refinement over the fast path is small at 15-bit resolution but free at
+/// registration time.
+void quantize_rows_precise_i16(const double* src, size_t rows, size_t cols,
+                               QuantizedMatrix16& out);
 
 /// C (m x n, row stride ldc, overwritten) = diag(a_scales) (Aq Bq^T)
 /// diag(b_scales): Aq is m x k row-major, Bq is n x k row-major (both
@@ -86,31 +124,63 @@ void quantized_gemm(size_t m, size_t n, size_t k, const int8_t* Aq,
                     const double* a_scales, const int8_t* Bq, const double* b_scales,
                     double* C, size_t ldc);
 
+/// Int16 variant of quantized_gemm: same layout, dispatch and bitwise
+/// contracts, exact int64 accumulation behind KernelBackend::gemm_int16.
+/// Throws std::invalid_argument when k > kQuantizedGemmInt16MaxDepth (the
+/// bound keeping the int64 sum exactly representable in a double).
+void quantized_gemm_i16(size_t m, size_t n, size_t k, const int16_t* Aq,
+                        const double* a_scales, const int16_t* Bq,
+                        const double* b_scales, double* C, size_t ldc);
+
+/// Throws std::invalid_argument when `model` cannot run at `precision`:
+/// a GEMM-bearing layer (dense / conv2d / residual_dense) whose reduction
+/// depth exceeds the precision's accumulator bound, or a layer type with
+/// neither a quantized GEMM path nor a precision-independent forward. The
+/// message names `model_name`, the offending layer (index + type) and the
+/// violated bound. kF64 accepts every model. ModelRegistry::add calls this
+/// so misconfigured bundles fail at registration, not mid-batch.
+void validate_quantizable(const Sequential& model, Precision precision,
+                          const std::string& model_name);
+
 /// Precise-path quantizations of a model's static weights, keyed by layer
 /// address — built once per model (ModelBundle does this at registration)
-/// and read lock-free by every batcher thread. Dense::forward consults the
-/// active context's cache; on a miss it falls back to fast-quantizing the
-/// weights per call, which is correct but slower and less accurate.
+/// and read lock-free by every batcher thread. Dense/Conv2D forwards
+/// consult the active context's cache; on a miss they fall back to
+/// fast-quantizing the weights per call, which is correct but slower and
+/// less accurate.
 class QuantizedWeightCache {
  public:
-  /// Precise-quantizes one weight matrix under `key` (replacing any
+  /// Precise-quantizes one weight matrix to int8 under `key` (replacing any
   /// previous entry). `key` is the owning layer's address.
   void put(const void* key, const double* rows, size_t nrows, size_t ncols);
 
-  /// Walks `model` and put()s every Dense weight matrix (including the
-  /// dense pair inside each ResidualDense block), keyed by layer address.
-  void build(Sequential& model);
+  /// Precise-quantizes one weight matrix to int16 under `key`.
+  void put_i16(const void* key, const double* rows, size_t nrows, size_t ncols);
 
-  /// The entry for `key`, or nullptr. Safe to call concurrently with other
-  /// readers; not with put()/build()/clear().
+  /// Walks `model` and put()s every GEMM weight matrix — each Dense, each
+  /// Conv2D filter matrix ([oc, ic*kh*kw], already k-contiguous), and the
+  /// dense pair inside each ResidualDense block — keyed by layer address,
+  /// at the code width `precision` selects (kInt8 entries serve find(),
+  /// kInt16 entries serve find_i16()). Read-only on the model.
+  void build(const Sequential& model, Precision precision = Precision::kInt8);
+
+  /// The int8 entry for `key`, or nullptr. Safe to call concurrently with
+  /// other readers; not with put()/build()/clear().
   [[nodiscard]] const QuantizedMatrix* find(const void* key) const;
 
-  void clear() { entries_.clear(); }
-  [[nodiscard]] size_t size() const { return entries_.size(); }
-  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  /// The int16 entry for `key`, or nullptr. Same concurrency contract.
+  [[nodiscard]] const QuantizedMatrix16* find_i16(const void* key) const;
+
+  void clear() {
+    entries_.clear();
+    entries16_.clear();
+  }
+  [[nodiscard]] size_t size() const { return entries_.size() + entries16_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty() && entries16_.empty(); }
 
  private:
   std::unordered_map<const void*, QuantizedMatrix> entries_;
+  std::unordered_map<const void*, QuantizedMatrix16> entries16_;
 };
 
 }  // namespace dlpic::nn

@@ -41,7 +41,9 @@ class ResidualDense final : public Layer {
   [[nodiscard]] size_t width() const { return width_; }
   [[nodiscard]] size_t hidden() const { return hidden_; }
   [[nodiscard]] Dense& inner() { return inner_; }
+  [[nodiscard]] const Dense& inner() const { return inner_; }
   [[nodiscard]] Dense& outer() { return outer_; }
+  [[nodiscard]] const Dense& outer() const { return outer_; }
 
  private:
   size_t width_, hidden_;

@@ -46,8 +46,10 @@ struct ServerConfig {
   uint32_t max_wait_us = 200;
   /// Default ModelConfig::pad_to_batch for models added without a config.
   size_t pad_to_batch = 0;
-  /// Default ModelConfig::precision for models added without a config
-  /// (kF64 = bitwise full-precision path; kInt8 = quantized dense GEMMs).
+  /// Default ModelConfig::precision for models added without a config.
+  /// Three-rung ladder: kF64 (bitwise full precision) > kInt16 (near-f64
+  /// accuracy, faster GEMMs) > kInt8 (fastest, loosest budget). One server
+  /// can host lanes at all three tiers side by side.
   nn::Precision precision = nn::Precision::kF64;
   /// Batcher threads, each with a private ExecutionContext. Must be >= 1.
   size_t worker_threads = 1;

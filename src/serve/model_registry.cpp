@@ -30,9 +30,9 @@ void ModelBundle::reset_stats() {
 }
 
 void ModelBundle::requantize_weights() {
-  if (config.precision != nn::Precision::kInt8 || model == nullptr) return;
+  if (!nn::is_quantized(config.precision) || model == nullptr) return;
   auto fresh = std::make_unique<nn::QuantizedWeightCache>();
-  fresh->build(*model);
+  fresh->build(*model, config.precision);
   quantized_weights = std::move(fresh);
 }
 
@@ -57,6 +57,10 @@ size_t ModelRegistry::add(std::string name, nn::Sequential* model,
   // Validates the model/batch-shape combination up front instead of failing
   // inside a worker thread on the first request.
   (void)model->output_shape({config.max_batch, input_dim});
+  // For quantized lanes, also reject unquantizable layers and GEMM-depth
+  // violations here — with the model and layer named — instead of throwing
+  // mid-batch on the first forward pass.
+  nn::validate_quantizable(*model, config.precision, name);
 
   auto bundle = std::make_unique<ModelBundle>();
   bundle->name = std::move(name);

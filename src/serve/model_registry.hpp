@@ -43,14 +43,17 @@ struct ModelConfig {
   /// computed independently); keeps the SIMD GEMM on full tiles and the
   /// workspace at one steady-state size.
   size_t pad_to_batch = 0;
-  /// Numeric precision this model's forward passes run at. kF64 (default)
-  /// is the full-precision path with the bitwise batched == serial
-  /// contract. kInt8 routes dense GEMMs through the per-row dynamic int8
-  /// kernels — ~2-4x GEMM throughput within a bounded accuracy budget vs
-  /// f64 (and still bitwise reproducible across backends/workers/batch
-  /// sizes). The registry builds the bundle's precise quantized weight
-  /// cache at add() time when this is kInt8. Pick kInt8 for bulk lanes
-  /// that tolerate the budget; keep interactive/validation lanes on kF64.
+  /// Numeric precision this model's forward passes run at — a three-rung
+  /// accuracy/throughput ladder. kF64 (default) is the full-precision path
+  /// with the bitwise batched == serial contract. kInt16 and kInt8 route
+  /// every Dense and Conv2D GEMM through the per-row dynamic quantized
+  /// kernels: int8 is the fastest with the loosest accuracy budget; int16
+  /// sits between — near-f64 accuracy at a still-substantial GEMM speedup.
+  /// Both quantized tiers stay bitwise reproducible across backends,
+  /// workers, and batch sizes. The registry validates the model is
+  /// quantizable and builds the bundle's precise quantized weight cache at
+  /// add() time for either quantized precision. Pick kInt8 for bulk lanes,
+  /// kInt16 for lanes needing tighter error, kF64 for validation lanes.
   nn::Precision precision = nn::Precision::kF64;
 };
 
@@ -90,9 +93,10 @@ struct ModelBundle {
   size_t input_dim = 0;                      ///< flattened sample width
   ModelConfig config;
 
-  /// Precise per-row int8 quantization of every dense weight matrix, built
-  /// at registration when config.precision == kInt8 (so batcher threads
-  /// read it lock-free) and null otherwise.
+  /// Precise per-row quantization of every Dense and Conv2D weight matrix
+  /// at the bundle's precision, built at registration when
+  /// config.precision is a quantized tier (so batcher threads read it
+  /// lock-free) and null otherwise.
   std::unique_ptr<nn::QuantizedWeightCache> quantized_weights;
 
   std::array<std::atomic<size_t>, kNumLanes> served{};
@@ -110,7 +114,7 @@ struct ModelBundle {
   void reset_stats();
 
   /// Rebuilds the quantized weight cache from the model's current weights —
-  /// call after hot-swapping weights of an int8 bundle. No-op for kF64
+  /// call after hot-swapping weights of a quantized bundle. No-op for kF64
   /// bundles. Not safe concurrently with serving traffic on this bundle;
   /// quiesce first.
   void requantize_weights();

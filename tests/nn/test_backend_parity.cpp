@@ -39,6 +39,13 @@ using namespace dlpic;
   const nn::KernelBackend* avx2 = nn::avx2_backend();                        \
   if (avx2 == nullptr) GTEST_SKIP() << "AVX2 backend unavailable on this host/build"
 
+// Declares `avx512` in the test body; skips on hosts/builds without the
+// AVX-512 VNNI feature set (the backend self-gates on cpuid).
+#define SKIP_WITHOUT_AVX512()                                                \
+  const nn::KernelBackend* avx512 = nn::avx512_backend();                    \
+  if (avx512 == nullptr)                                                     \
+  GTEST_SKIP() << "AVX-512 VNNI backend unavailable on this host/build"
+
 nn::Tensor random_tensor(std::vector<size_t> shape, uint64_t seed) {
   math::Rng rng(seed);
   nn::Tensor t(std::move(shape));
@@ -60,7 +67,29 @@ TEST(BackendSelection, ScalarAlwaysAvailableAndNamed) {
   EXPECT_STREQ(nn::scalar_backend().name(), "scalar");
   EXPECT_EQ(nn::backend_by_name("scalar"), &nn::scalar_backend());
   EXPECT_EQ(nn::backend_by_name("avx2"), nn::avx2_backend());
+  EXPECT_EQ(nn::backend_by_name("avx512"), nn::avx512_backend());
   EXPECT_EQ(nn::backend_by_name("no-such-backend"), nullptr);
+}
+
+TEST(BackendSelection, Avx512NamedAndDelegatesF64Kernels) {
+  SKIP_WITHOUT_AVX512();
+  SKIP_WITHOUT_AVX2();
+  EXPECT_STREQ(avx512->name(), "avx512");
+  // The VNNI backend overrides only gemm_int8: every f64 kernel delegates
+  // to the AVX2 backend, so results are BITWISE the AVX2 results (same
+  // code runs), not merely close.
+  const size_t n = 517;
+  const auto x = random_vec(n, 151, -2, 2);
+  std::vector<double> a(n), b(n);
+  avx2->relu_forward(n, x.data(), a.data());
+  avx512->relu_forward(n, x.data(), b.data());
+  EXPECT_EQ(a, b);
+  a = x;
+  b = x;
+  avx2->sgd_update(n, 1e-2, x.data(), a.data());
+  avx512->sgd_update(n, 1e-2, x.data(), b.data());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(avx2->dot(n, x.data(), x.data()), avx512->dot(n, x.data(), x.data()));
 }
 
 TEST(BackendSelection, ScopedBackendOverridesAndRestores) {
@@ -121,10 +150,14 @@ TEST(BackendParity, Int8GemmBitwiseAcrossTileRemainders) {
   SKIP_WITHOUT_AVX2();
   // Unlike the f64 GEMM (FMA reassociation => ulp tolerance above), the
   // int8 kernel's contract is BITWISE: exact int32 sums, one shared dequant
-  // expression. Sizes exercise the AVX2 4x2 tile remainders and k%32 tails.
+  // expression. Sizes exercise the AVX2 4x2 tile remainders, the k%32
+  // tails, and (when present) the AVX-512 kernel's 64-wide steps and tails.
+  const nn::KernelBackend* avx512 = nn::avx512_backend();  // may be null
   for (const size_t m : {size_t{1}, size_t{4}, size_t{7}}) {
     for (const size_t n : {size_t{1}, size_t{2}, size_t{9}}) {
-      for (const size_t k : {size_t{1}, size_t{31}, size_t{32}, size_t{97}}) {
+      for (const size_t k :
+           {size_t{1}, size_t{31}, size_t{32}, size_t{63}, size_t{64}, size_t{97},
+            size_t{200}}) {
         const auto Af = random_vec(m * k, 71 + m, -2, 2);
         const auto Bf = random_vec(n * k, 72 + n, -2, 2);
         std::vector<int8_t> Aq(m * k), Bq(n * k);
@@ -136,6 +169,61 @@ TEST(BackendParity, Int8GemmBitwiseAcrossTileRemainders) {
                                        sb.data(), Cs.data(), n);
         avx2->gemm_int8(m, n, k, Aq.data(), sa.data(), Bq.data(), sb.data(),
                         Cv.data(), n);
+        ASSERT_EQ(Cs, Cv) << "m=" << m << " n=" << n << " k=" << k;
+        if (avx512 != nullptr) {
+          std::vector<double> Cz(m * n);
+          avx512->gemm_int8(m, n, k, Aq.data(), sa.data(), Bq.data(), sb.data(),
+                            Cz.data(), n);
+          ASSERT_EQ(Cs, Cz) << "avx512 m=" << m << " n=" << n << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(BackendParity, Int8GemmVnniExtremesBitwise) {
+  SKIP_WITHOUT_AVX512();
+  // The vpdpbusd rewrite (|a| * sign-transfer(b, a)) must handle the code
+  // extremes and zeros exactly: all-±127 operands with zeros sprinkled in,
+  // at a depth covering several 64-wide steps plus a tail.
+  const size_t m = 5, n = 3, k = 200;
+  std::vector<int8_t> A(m * k), B(n * k);
+  math::Rng rng(153);
+  auto extreme = [&rng]() -> int8_t {
+    const double u = rng.uniform(0, 1);
+    if (u < 0.2) return 0;
+    return u < 0.6 ? int8_t{-127} : int8_t{127};
+  };
+  for (auto& v : A) v = extreme();
+  for (auto& v : B) v = extreme();
+  const std::vector<double> sa(m, 1.0), sb(n, 1.0);
+  std::vector<double> Cs(m * n), Cz(m * n);
+  nn::scalar_backend().gemm_int8(m, n, k, A.data(), sa.data(), B.data(), sb.data(),
+                                 Cs.data(), n);
+  avx512->gemm_int8(m, n, k, A.data(), sa.data(), B.data(), sb.data(), Cz.data(), n);
+  EXPECT_EQ(Cs, Cz);
+}
+
+TEST(BackendParity, Int16GemmBitwiseAcrossTileRemainders) {
+  SKIP_WITHOUT_AVX2();
+  // Same bitwise contract as the int8 kernel: exact int64 sums, shared
+  // dequant. Sizes exercise the AVX2 2x2 tile remainders and k%16 tails,
+  // with all-±32767 rows hitting the pairwise-madd ceiling.
+  for (const size_t m : {size_t{1}, size_t{2}, size_t{5}}) {
+    for (const size_t n : {size_t{1}, size_t{2}, size_t{9}}) {
+      for (const size_t k : {size_t{1}, size_t{15}, size_t{16}, size_t{49}}) {
+        const auto Af = random_vec(m * k, 75 + m, -2, 2);
+        const auto Bf = random_vec(n * k, 76 + n, -2, 2);
+        std::vector<int16_t> Aq(m * k), Bq(n * k);
+        std::vector<double> sa(m), sb(n);
+        nn::quantize_rows_fast_i16(Af.data(), m, k, Aq.data(), sa.data());
+        nn::quantize_rows_fast_i16(Bf.data(), n, k, Bq.data(), sb.data());
+        for (size_t p = 0; p < k; ++p) Aq[p] = (p % 2 == 0) ? 32767 : -32767;
+        std::vector<double> Cs(m * n), Cv(m * n);
+        nn::scalar_backend().gemm_int16(m, n, k, Aq.data(), sa.data(), Bq.data(),
+                                        sb.data(), Cs.data(), n);
+        avx2->gemm_int16(m, n, k, Aq.data(), sa.data(), Bq.data(), sb.data(),
+                         Cv.data(), n);
         ASSERT_EQ(Cs, Cv) << "m=" << m << " n=" << n << " k=" << k;
       }
     }

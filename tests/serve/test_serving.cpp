@@ -14,12 +14,14 @@
 #include <chrono>
 #include <cmath>
 #include <future>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/dl_field_solver.hpp"
 #include "math/rng.hpp"
+#include "nn/dense.hpp"
 #include "nn/execution_context.hpp"
 #include "nn/quantize.hpp"
 #include "nn/model_zoo.hpp"
@@ -571,6 +573,130 @@ TEST(InferenceServer, PerLanePrecisionServesInt8WithinBudgetAndBitwiseVsSerialIn
   rms = std::sqrt(rms / static_cast<double>(count));
   mae /= static_cast<double>(count);
   EXPECT_LE(mae, 0.03 * rms) << "int8 serving accuracy budget exceeded";
+}
+
+// ---------------------------------------------------------------------------
+// The full precision ladder on a conv-containing model: one server hosts
+// the SAME CNN through three bundles — f64, int16 and int8. Each quantized
+// lane is bitwise identical to its serial single-sample reference (batch
+// formation cannot change results), per-lane stats tick independently, and
+// the measured accuracy ladder holds: int16 MAE <= int8 MAE <= budget.
+
+TEST(InferenceServer, ThreeLanePrecisionLadderOnConvModel) {
+  nn::CnnSpec spec;
+  spec.input_h = 8;
+  spec.input_w = 8;  // 8*8 == kInputDim
+  spec.output_dim = kOutputDim;
+  spec.channels1 = 4;
+  spec.channels2 = 8;
+  spec.hidden = 32;
+  spec.seed = 313;
+  nn::Sequential model = nn::build_cnn(spec);
+  const size_t kSamples = 24;
+  auto samples = make_samples(kSamples, 317);
+  const auto expected_f64 = serial_reference(model, samples);
+
+  // Serial quantized references: the same precise cache construction the
+  // registry performs at add_model, on fully serial contexts.
+  auto serial_quantized = [&](nn::Precision precision) {
+    nn::QuantizedWeightCache cache;
+    cache.build(model, precision);
+    nn::ExecutionContext ctx(/*worker_cap=*/1);
+    ctx.set_precision(precision);
+    ctx.set_weight_cache(&cache);
+    std::vector<std::vector<double>> out(kSamples);
+    for (size_t i = 0; i < kSamples; ++i) {
+      nn::Tensor x({1, kInputDim});
+      std::copy(samples[i].begin(), samples[i].end(), x.data());
+      out[i] = model.predict(ctx, x).vec();
+    }
+    return out;
+  };
+  const auto expected_i16 = serial_quantized(nn::Precision::kInt16);
+  const auto expected_i8 = serial_quantized(nn::Precision::kInt8);
+
+  ServerConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_wait_us = 20'000;
+  cfg.worker_threads = 2;
+  InferenceServer server(cfg);
+  serve::ModelConfig mc = cfg.model_defaults();
+  const size_t id_f64 = server.add_model("cnn-f64", model, kInputDim, mc);
+  mc.precision = nn::Precision::kInt16;
+  const size_t id_i16 = server.add_model("cnn-int16", model, kInputDim, mc);
+  mc.precision = nn::Precision::kInt8;
+  const size_t id_i8 = server.add_model("cnn-int8", model, kInputDim, mc);
+
+  std::vector<std::future<std::vector<double>>> f64_fut, i16_fut, i8_fut;
+  for (size_t i = 0; i < kSamples; ++i) {
+    serve::SubmitOptions opt;
+    opt.model_id = id_f64;
+    f64_fut.push_back(server.submit(samples[i], opt));
+    opt.model_id = id_i16;
+    i16_fut.push_back(server.submit(samples[i], opt));
+    opt.model_id = id_i8;
+    i8_fut.push_back(server.submit(samples[i], opt));
+  }
+  for (size_t i = 0; i < kSamples; ++i) {
+    EXPECT_EQ(f64_fut[i].get(), expected_f64[i]) << "f64 lane, sample " << i;
+    EXPECT_EQ(i16_fut[i].get(), expected_i16[i])
+        << "int16 batched diverged from int16 serial at sample " << i;
+    EXPECT_EQ(i8_fut[i].get(), expected_i8[i])
+        << "int8 batched diverged from int8 serial at sample " << i;
+  }
+
+  // Per-lane stats: each bundle counted exactly its own traffic.
+  for (const size_t id : {id_f64, id_i16, id_i8})
+    EXPECT_EQ(server.model_stats(id).served, kSamples) << "model id " << id;
+
+  // The ladder, measured across every served sample.
+  double rms = 0.0, mae16 = 0.0, mae8 = 0.0;
+  size_t count = 0;
+  for (size_t i = 0; i < kSamples; ++i)
+    for (size_t k = 0; k < expected_f64[i].size(); ++k) {
+      rms += expected_f64[i][k] * expected_f64[i][k];
+      mae16 += std::abs(expected_f64[i][k] - expected_i16[i][k]);
+      mae8 += std::abs(expected_f64[i][k] - expected_i8[i][k]);
+      ++count;
+    }
+  rms = std::sqrt(rms / static_cast<double>(count));
+  mae16 /= static_cast<double>(count);
+  mae8 /= static_cast<double>(count);
+  ASSERT_GT(rms, 0.0);
+  EXPECT_LE(mae16, mae8) << "int16 lane less accurate than the int8 lane";
+  // Budget for this 8-quantized-stage CNN (see tests/nn/test_quantize.cpp's
+  // PrecisionLadder note): looser than the MLP's 3%.
+  EXPECT_LE(mae8, 0.10 * rms) << "int8 serving accuracy budget exceeded";
+  EXPECT_LE(mae16, 0.01 * rms) << "int16 lane far looser than expected";
+}
+
+// Registration-time validation of quantized lanes: a model whose GEMM depth
+// exceeds the int8 bound is rejected at add_model — model and layer named —
+// not mid-batch on the first request; the same model registers fine at
+// int16 (larger bound) and f64 (no bound).
+
+TEST(InferenceServer, AddModelRejectsUnquantizableModelAtRegistration) {
+  const size_t deep = nn::kQuantizedGemmMaxDepth + 1;
+  nn::Sequential model;
+  model.add(std::make_unique<nn::Dense>(deep, 4));
+  InferenceServer server;
+
+  serve::ModelConfig int8_cfg;
+  int8_cfg.precision = nn::Precision::kInt8;
+  try {
+    server.add_model("too-deep", model, deep, int8_cfg);
+    FAIL() << "int8 registration of an over-deep Dense was accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("too-deep"), std::string::npos) << what;
+    EXPECT_NE(what.find("dense"), std::string::npos) << what;
+  }
+  EXPECT_THROW((void)server.model_id("too-deep"), std::out_of_range);
+
+  serve::ModelConfig int16_cfg;
+  int16_cfg.precision = nn::Precision::kInt16;
+  EXPECT_NO_THROW(server.add_model("deep-int16", model, deep, int16_cfg));
+  EXPECT_NO_THROW(server.add_model("deep-f64", model, deep));
 }
 
 // ---------------------------------------------------------------------------

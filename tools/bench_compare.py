@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Compare two Google Benchmark JSON files and flag regressions.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [--threshold 0.10] [--warn-only]
+
+Reads the JSON emitted by the bench_* binaries (see bench/bench_json.hpp) and
+compares every benchmark present in both files, metric by metric:
+
+  lower is better:  real_time, ns_per_* counters, *_us latency percentiles
+  higher is better: GFLOPS, items_per_second, bytes_per_second, *_per_s
+
+A metric regresses when it moves more than --threshold (default 10%) in the
+bad direction relative to the baseline. Regressions print one line each; the
+exit code is 1 if any were found, unless --warn-only is given, in which case
+they print as GitHub ::warning:: annotations and the exit code stays 0 (the
+mode CI uses: shared runners are not the baseline host, so a hard gate on
+absolute numbers would flake).
+
+Rows that only one file has, and rows that errored or were skipped (e.g. the
+avx512 backend on a machine without VNNI), are reported as info and never
+count as regressions. Aggregate rows (_mean/_median/_stddev/_cv from
+--benchmark_repetitions) are ignored so a repetition run can be compared
+against a plain one.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    """Return {name: benchmark-dict} for comparable rows of one JSON file."""
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    skipped = []
+    for b in doc.get("benchmarks", []):
+        if b.get("aggregate_name"):
+            continue
+        if b.get("error_occurred"):
+            skipped.append(b["name"])
+            continue
+        rows[b["name"]] = b
+    return rows, skipped, doc.get("context", {})
+
+
+def metric_direction(key):
+    """'down' if lower is better, 'up' if higher is better, None to ignore."""
+    if key in ("real_time", "cpu_time") or key.startswith("ns_per_") or key.endswith("_us"):
+        return "down"
+    if key in ("GFLOPS", "items_per_second", "bytes_per_second") or key.endswith("_per_s"):
+        return "up"
+    return None  # iterations, axis echoes (workers/precision/avx2), etc.
+
+
+def compare(base, cur, threshold):
+    """Yield (name, metric, base_value, cur_value, rel_change) regressions."""
+    for name in sorted(base.keys() & cur.keys()):
+        for key, bval in base[name].items():
+            direction = metric_direction(key)
+            if direction is None or not isinstance(bval, (int, float)) or bval <= 0:
+                continue
+            cval = cur[name].get(key)
+            if not isinstance(cval, (int, float)):
+                continue
+            rel = (cval - bval) / bval
+            if (direction == "down" and rel > threshold) or (
+                direction == "up" and rel < -threshold
+            ):
+                yield name, key, bval, cval, rel
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="baseline BENCH_*.json")
+    ap.add_argument("current", help="current BENCH_*.json")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative change that counts as a regression (default 0.10)",
+    )
+    ap.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="print ::warning:: annotations and exit 0 even on regressions",
+    )
+    args = ap.parse_args()
+
+    base, base_skipped, base_ctx = load_rows(args.baseline)
+    cur, cur_skipped, cur_ctx = load_rows(args.current)
+
+    for key in ("dlpic_git_sha", "dlpic_build_type", "dlpic_avx512_available"):
+        b, c = base_ctx.get(key), cur_ctx.get(key)
+        if b != c:
+            print(f"note: {key}: baseline={b} current={c}")
+    for name in sorted(base.keys() - cur.keys()):
+        print(f"note: only in baseline: {name}")
+    for name in sorted(cur.keys() - base.keys()):
+        print(f"note: only in current:  {name}")
+    for name in sorted(set(base_skipped) | set(cur_skipped)):
+        print(f"note: skipped/errored row not compared: {name}")
+
+    regressions = list(compare(base, cur, args.threshold))
+    prefix = "::warning::" if args.warn_only else "REGRESSION: "
+    for name, key, bval, cval, rel in regressions:
+        print(f"{prefix}{name} {key}: {bval:g} -> {cval:g} ({rel:+.1%})")
+    compared = len(base.keys() & cur.keys())
+    print(
+        f"{compared} benchmarks compared, {len(regressions)} metric regressions "
+        f"beyond {args.threshold:.0%}"
+    )
+    return 0 if (args.warn_only or not regressions) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
