@@ -95,7 +95,11 @@ void bench_serve_serial_single(benchmark::State& state) {
 /// burst > 1 a client keeps several requests outstanding and the batcher
 /// can actually fill batches instead of waiting on client round-trips.
 /// Client-observed latencies (submit -> result) aggregate into p50/p99.
-void bench_serve_batched(benchmark::State& state) {
+/// With `observability` every request is traced into a live trace ring and
+/// a scraper renders the full Prometheus exposition once per iteration —
+/// the bench_serve_batched_obs twin rows measure that overhead against the
+/// plain rows (the acceptance budget is < 3% on p50).
+void run_serve_batched(benchmark::State& state, bool observability) {
   const size_t clients = static_cast<size_t>(state.range(0));
   const size_t max_batch = static_cast<size_t>(state.range(1));
   const size_t worker_threads = static_cast<size_t>(state.range(2));
@@ -112,12 +116,17 @@ void bench_serve_batched(benchmark::State& state) {
   cfg.precision = state.range(5) == 1   ? nn::Precision::kInt8
                   : state.range(5) == 2 ? nn::Precision::kInt16
                                         : nn::Precision::kF64;
+  if (observability) cfg.trace_capacity = 4096;
   state.counters["precision"] =
       benchmark::Counter(static_cast<double>(state.range(5)));
   serve::InferenceServer server(model, kInputDim, cfg);
 
+  serve::SubmitOptions options;
+  options.trace = observability;
+
   std::mutex latency_mutex;
   std::vector<double> latencies_us;
+  size_t scrape_bytes = 0;
 
   for (auto _ : state) {
     std::vector<std::thread> threads;
@@ -137,7 +146,7 @@ void bench_serve_batched(benchmark::State& state) {
           futures.clear();
           for (size_t b = 0; b < wave; ++b) {
             t0.push_back(std::chrono::steady_clock::now());
-            futures.push_back(server.submit(sample));
+            futures.push_back(server.submit(sample, options));
           }
           for (size_t b = 0; b < wave; ++b) {
             auto result = futures[b].get();
@@ -152,6 +161,13 @@ void bench_serve_batched(benchmark::State& state) {
       });
     }
     for (auto& t : threads) t.join();
+    if (observability) {
+      // One full scrape per iteration — far more aggressive than any real
+      // scrape cadence, so the measured overhead is an upper bound.
+      const std::string text = server.metrics_prometheus();
+      benchmark::DoNotOptimize(text.data());
+      scrape_bytes = text.size();
+    }
   }
 
   const auto stats = server.stats();
@@ -164,7 +180,19 @@ void bench_serve_batched(benchmark::State& state) {
   state.counters["p99_us"] = percentile(latencies_us, 0.99);
   state.counters["mean_batch"] = stats.mean_batch();
   state.counters["max_batch_observed"] = static_cast<double>(stats.max_batch_observed);
+  if (observability) {
+    state.counters["scrape_bytes"] = static_cast<double>(scrape_bytes);
+    state.counters["traces_dropped"] = static_cast<double>(server.trace_ring().dropped());
+  }
 }
+
+void bench_serve_batched(benchmark::State& state) { run_serve_batched(state, false); }
+
+/// The same serving sweep with the full observability surface hot: trace
+/// ring enabled, every request traced, one Prometheus scrape per iteration.
+/// Compare a row's p50_us against the bench_serve_batched row with the same
+/// args to read the observability overhead (budget: < 3% on p50).
+void bench_serve_batched_obs(benchmark::State& state) { run_serve_batched(state, true); }
 
 /// Priority-lane / multi-model saturation sweep: `bulk_clients` keep a deep
 /// pipelined backlog outstanding on the bulk lane while
@@ -298,6 +326,16 @@ BENCHMARK(bench_serve_batched)
     ->Args({8, 8, 2, 8, 0, 0})    // two serial-context workers, pipelined
     ->Args({16, 32, 2, 8, 1, 0})
     ->Args({16, 32, 2, 8, 1, 1})  // padded int8 at the deepest sweep point
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+// Observability-enabled twins of two plain rows above (same args, separate
+// benchmark name so existing row names stay stable for cross-commit
+// comparison): p50_us here vs the matching bench_serve_batched row is the
+// metrics+tracing overhead.
+BENCHMARK(bench_serve_batched_obs)
+    ->Args({8, 8, 1, 8, 0, 0})
+    ->Args({8, 8, 2, 8, 0, 0})
     ->Unit(benchmark::kMicrosecond)
     ->UseRealTime();
 

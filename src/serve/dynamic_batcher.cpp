@@ -1,10 +1,12 @@
 #include "serve/dynamic_batcher.hpp"
 
 #include <algorithm>
-#include <array>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <string>
+
+#include "util/fault_injection.hpp"
 
 namespace dlpic::serve {
 
@@ -38,78 +40,83 @@ size_t DynamicBatcher::serve_once(RequestQueue& queue) {
   const size_t n = queue.pop_batch(batch_, policies_.data(), policies_.size());
   if (n == 0) return 0;
 
-  // Count the popped requests before fulfilling (or rejecting) any promise
-  // so a client that has just observed its future resolve also sees its
-  // request in the stats.
-  requests_.fetch_add(n, std::memory_order_relaxed);
-  size_t prev = max_batch_observed_.load(std::memory_order_relaxed);
-  while (n > prev &&
-         !max_batch_observed_.compare_exchange_weak(prev, n, std::memory_order_relaxed)) {
-  }
-
   // pop_batch never mixes models: every request carries the same model_id.
   ModelBundle* bundle = registry_.get(batch_.front().model_id);
 
-  // Reject requests individually so one bad sample cannot poison the rest
-  // of the batch: expired deadlines get the distinct DeadlineExpired error
-  // BEFORE any forward-pass work, unknown models and malformed inputs get
-  // descriptive failures (submit() validates, but the queue is a public
-  // API). The deadline is checked once here — inference that has started by
-  // the deadline is allowed to finish.
+  // Stamp traced requests' pop time with one shared clock read.
+  {
+    int64_t pop_ns = 0;
+    for (Request& request : batch_) {
+      if (request.trace == nullptr) continue;
+      if (pop_ns == 0) pop_ns = trace_now_ns();
+      request.trace->stamp(TraceStage::kPop, pop_ns);
+    }
+  }
+
+  // Classify every popped request WITHOUT touching its promise: kept
+  // requests compact to the front of batch_, failures move to failed_. The
+  // deadline is checked once here — inference that has started by the
+  // deadline is allowed to finish.
   const auto now = std::chrono::steady_clock::now();
+  BatchAccounting accounting;
+  accounting.popped = n;
+  failed_.clear();
   size_t keep = 0;
-  std::array<size_t, kNumLanes> lane_kept{};
   for (size_t i = 0; i < batch_.size(); ++i) {
     Request& request = batch_[i];
     const size_t lane = static_cast<size_t>(request.priority);
-    if (bundle == nullptr) {
-      request.result.set_exception(std::make_exception_ptr(std::runtime_error(
-          "DynamicBatcher: no model registered for id " +
-          std::to_string(request.model_id))));
+    if (bundle == nullptr || request.input.size() != bundle->input_dim) {
+      ++accounting.rejected;
+      failed_.push_back(std::move(request));
     } else if (request.deadline <= now) {
-      expired_.fetch_add(1, std::memory_order_relaxed);
-      bundle->expired[lane].fetch_add(1, std::memory_order_relaxed);
-      request.result.set_exception(std::make_exception_ptr(DeadlineExpired()));
-    } else if (request.input.size() != bundle->input_dim) {
-      request.result.set_exception(std::make_exception_ptr(std::invalid_argument(
-          "DynamicBatcher: request input size " + std::to_string(request.input.size()) +
-          " != model input dim " + std::to_string(bundle->input_dim))));
+      ++accounting.expired[lane];
+      failed_.push_back(std::move(request));
     } else {
-      ++lane_kept[lane];
+      ++accounting.served[lane];
       if (keep != i) batch_[keep] = std::move(batch_[i]);
       ++keep;
     }
   }
   batch_.resize(keep);
+  accounting.batch_size = keep;
+  accounting.forward_pass = keep > 0 && bundle != nullptr;
 
-  // batches_ counts forward passes, so a batch emptied by validation or
-  // expiry does not count.
-  if (!batch_.empty() && bundle != nullptr) {
-    batches_.fetch_add(1, std::memory_order_relaxed);
-    served_.fetch_add(keep, std::memory_order_relaxed);
-    bundle->batches.fetch_add(1, std::memory_order_relaxed);
-    size_t bundle_prev = bundle->max_batch_observed.load(std::memory_order_relaxed);
-    while (keep > bundle_prev && !bundle->max_batch_observed.compare_exchange_weak(
-                                     bundle_prev, keep, std::memory_order_relaxed)) {
+  // Commit the whole batch's accounting in ONE coherent write per counter
+  // group BEFORE resolving any promise, so a client that has just observed
+  // its future also sees its request in closed stats totals.
+  metrics_.record(accounting);
+  if (bundle != nullptr && bundle->metrics != nullptr)
+    bundle->metrics->record(accounting);
+
+  // Now fail the requests that never reach assembly: expired deadlines get
+  // the distinct DeadlineExpired error, unknown models and malformed inputs
+  // get descriptive failures (submit() validates, but the queue is a public
+  // API). One bad sample never poisons the rest of the batch.
+  for (Request& request : failed_) {
+    if (bundle == nullptr) {
+      request.result.set_exception(std::make_exception_ptr(std::runtime_error(
+          "DynamicBatcher: no model registered for id " +
+          std::to_string(request.model_id))));
+      if (request.trace) request.trace->finish(TraceOutcome::kError);
+    } else if (request.input.size() != bundle->input_dim) {
+      request.result.set_exception(std::make_exception_ptr(std::invalid_argument(
+          "DynamicBatcher: request input size " + std::to_string(request.input.size()) +
+          " != model input dim " + std::to_string(bundle->input_dim))));
+      if (request.trace) request.trace->finish(TraceOutcome::kError);
+    } else {
+      request.result.set_exception(std::make_exception_ptr(DeadlineExpired()));
+      if (request.trace) request.trace->finish(TraceOutcome::kExpired);
     }
-    for (size_t lane = 0; lane < kNumLanes; ++lane) {
-      if (lane_kept[lane] == 0) continue;
-      bundle->served[lane].fetch_add(lane_kept[lane], std::memory_order_relaxed);
-      bundle->lane_batches[lane].fetch_add(1, std::memory_order_relaxed);
-    }
-    run_batch(*bundle);
+    request.trace = nullptr;
   }
+  failed_.clear();
+
+  if (!batch_.empty() && bundle != nullptr) run_batch(*bundle);
   batch_.clear();
   return n;
 }
 
-void DynamicBatcher::reset_stats() {
-  batches_.store(0, std::memory_order_relaxed);
-  requests_.store(0, std::memory_order_relaxed);
-  served_.store(0, std::memory_order_relaxed);
-  max_batch_observed_.store(0, std::memory_order_relaxed);
-  expired_.store(0, std::memory_order_relaxed);
-}
+void DynamicBatcher::reset_stats() { metrics_.reset(); }
 
 void DynamicBatcher::run_batch(ModelBundle& bundle) {
   const size_t b = batch_.size();
@@ -118,6 +125,18 @@ void DynamicBatcher::run_batch(ModelBundle& bundle) {
   const size_t rows = bundle.config.pad_to_batch > b ? bundle.config.pad_to_batch : b;
   const size_t input_dim = bundle.input_dim;
   try {
+    // Chaos seam: an injected fault here takes the exact path of a real
+    // forward-pass failure — every promise of the batch receives it.
+    util::fault_point(util::FaultSite::kBatcherRunBatch);
+
+    {
+      int64_t assemble_ns = 0;
+      for (Request& request : batch_) {
+        if (request.trace == nullptr) continue;
+        if (assemble_ns == 0) assemble_ns = trace_now_ns();
+        request.trace->stamp(TraceStage::kAssemble, assemble_ns);
+      }
+    }
     // Assemble [rows, input_dim] in the workspace: steady-state
     // reacquisition at the same shape is allocation-free.
     nn::Tensor& x = ctx_.workspace().tensor(this, kSlotBatchInput, {rows, input_dim});
@@ -134,16 +153,40 @@ void DynamicBatcher::run_batch(ModelBundle& bundle) {
     ctx_.set_weight_cache(nn::is_quantized(bundle.config.precision)
                               ? bundle.quantized_weights.get()
                               : nullptr);
+    {
+      int64_t forward_ns = 0;
+      for (Request& request : batch_) {
+        if (request.trace == nullptr) continue;
+        if (forward_ns == 0) forward_ns = trace_now_ns();
+        request.trace->stamp(TraceStage::kForward, forward_ns);
+      }
+    }
     const nn::Tensor& y = bundle.model->predict(ctx_, x);
     if (y.rank() != 2 || y.dim(0) != rows)
       throw std::runtime_error("DynamicBatcher: expected [batch, out] model output, got " +
                                y.shape_string());
+    // One clock read stamps every scatter and feeds every latency sample of
+    // the batch.
+    const int64_t scatter_ns = trace_now_ns();
     std::vector<double> row;
     for (size_t i = 0; i < b; ++i) {
+      Request& request = batch_[i];
       nn::get_row(y, i, row);
-      batch_[i].result.set_value(std::move(row));
+      request.result.set_value(std::move(row));
+      if (bundle.metrics != nullptr && scatter_ns > request.submit_ns &&
+          request.submit_ns > 0)
+        bundle.metrics->record_latency(
+            static_cast<size_t>(request.priority),
+            static_cast<uint64_t>(scatter_ns - request.submit_ns) / 1000);
+      if (request.trace) {
+        request.trace->stamp(TraceStage::kScatter, scatter_ns);
+        request.trace->finish(TraceOutcome::kServed);
+        request.trace = nullptr;
+      }
     }
   } catch (...) {
+    metrics_.record_forward_error();
+    if (bundle.metrics != nullptr) bundle.metrics->record_forward_error();
     // Deliver the failure to every request of the batch that has not been
     // answered yet (set_value may have run for a prefix of the rows).
     const auto error = std::current_exception();
@@ -152,6 +195,10 @@ void DynamicBatcher::run_batch(ModelBundle& bundle) {
         request.result.set_exception(error);
       } catch (const std::future_error&) {
         // Already satisfied — keep the delivered value.
+      }
+      if (request.trace) {
+        request.trace->finish(TraceOutcome::kError);
+        request.trace = nullptr;
       }
     }
   }

@@ -14,7 +14,6 @@
 /// model and backend (tests/serve/test_serving.cpp and
 /// tests/serve/test_serving_stress.cpp enforce this).
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -23,6 +22,7 @@
 #include "data/normalizer.hpp"
 #include "nn/execution_context.hpp"
 #include "nn/sequential.hpp"
+#include "serve/metrics.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/request_queue.hpp"
 
@@ -60,26 +60,24 @@ class DynamicBatcher {
   /// drained — the consumer loop's exit signal.
   size_t serve_once(RequestQueue& queue);
 
-  /// Batches served so far (atomic; readable from other threads).
-  [[nodiscard]] size_t batches_served() const {
-    return batches_.load(std::memory_order_relaxed);
-  }
-  /// Requests popped so far, including expired/rejected ones (atomic).
-  [[nodiscard]] size_t requests_popped() const {
-    return requests_.load(std::memory_order_relaxed);
-  }
-  /// Requests that went through a forward pass so far (atomic).
-  [[nodiscard]] size_t requests_served() const {
-    return served_.load(std::memory_order_relaxed);
-  }
-  /// Largest batch observed so far (atomic; readable from other threads).
+  /// This batcher's coherent counter block: one seqlock-guarded write per
+  /// popped batch, so any snapshot closes exactly (requests == served +
+  /// expired + rejected). Register it with a MetricsRegistry for
+  /// server-level aggregation.
+  [[nodiscard]] const BatcherMetrics& metrics() const { return metrics_; }
+
+  /// Batches served so far (coherent snapshot; readable from any thread).
+  [[nodiscard]] size_t batches_served() const { return metrics_.snapshot().batches; }
+  /// Requests popped so far, including expired/rejected ones.
+  [[nodiscard]] size_t requests_popped() const { return metrics_.snapshot().requests; }
+  /// Requests that went through a forward pass so far.
+  [[nodiscard]] size_t requests_served() const { return metrics_.snapshot().served; }
+  /// Largest batch observed so far.
   [[nodiscard]] size_t max_batch_observed() const {
-    return max_batch_observed_.load(std::memory_order_relaxed);
+    return metrics_.snapshot().max_batch_observed;
   }
-  /// Requests rejected with DeadlineExpired so far (atomic).
-  [[nodiscard]] size_t requests_expired() const {
-    return expired_.load(std::memory_order_relaxed);
-  }
+  /// Requests rejected with DeadlineExpired so far.
+  [[nodiscard]] size_t requests_expired() const { return metrics_.snapshot().expired; }
 
   /// Zeroes every counter above. Meant for server restart cycles; call
   /// while the batcher is not serving for an exact reset.
@@ -88,19 +86,16 @@ class DynamicBatcher {
  private:
   /// Serves `batch_` (never empty, all requests of `bundle`'s model): one
   /// forward pass + row scatter. On failure every request in the batch
-  /// receives the exception.
+  /// receives the exception (and its trace, if any, finishes kError).
   void run_batch(ModelBundle& bundle);
 
   std::unique_ptr<ModelRegistry> owned_registry_;  // single-model ctor only
   const ModelRegistry& registry_;
   nn::ExecutionContext& ctx_;
   std::vector<Request> batch_;      // reused across serve_once calls
+  std::vector<Request> failed_;     // reused: requests failed pre-assembly
   std::vector<PopPolicy> policies_; // reused policy snapshot
-  std::atomic<size_t> batches_{0};
-  std::atomic<size_t> requests_{0};  // popped (served + expired + rejected)
-  std::atomic<size_t> served_{0};    // carried by a forward pass
-  std::atomic<size_t> max_batch_observed_{0};
-  std::atomic<size_t> expired_{0};
+  BatcherMetrics metrics_;
 };
 
 }  // namespace dlpic::serve

@@ -5,6 +5,9 @@
 #include <string>
 #include <utility>
 
+#include "util/fault_injection.hpp"
+#include "util/log.hpp"
+
 namespace dlpic::serve {
 
 namespace {
@@ -20,7 +23,10 @@ ServerConfig validated(ServerConfig config) {
 }  // namespace
 
 InferenceServer::InferenceServer(const ServerConfig& config)
-    : config_(validated(config)), queue_(config_.queue_capacity) {
+    : config_(validated(config)),
+      queue_(config_.queue_capacity),
+      trace_ring_(config_.trace_capacity) {
+  register_gauges();
   start_workers();
 }
 
@@ -41,6 +47,25 @@ InferenceServer::InferenceServer(nn::Sequential&& model, size_t input_dim,
                 normalizer);
 }
 
+void InferenceServer::register_gauges() {
+  // Callback gauges: evaluated at scrape time, so exposition always shows
+  // live queue depths / worker liveness without any hot-path bookkeeping.
+  MetricsRegistry& metrics = registry_.metrics();
+  metrics.register_gauge("dlpic_queue_depth", "lane",
+                         lane_name(static_cast<size_t>(Priority::kInteractive)),
+                         [this] { return queue_.size(Priority::kInteractive); });
+  metrics.register_gauge("dlpic_queue_depth", "lane",
+                         lane_name(static_cast<size_t>(Priority::kBulk)),
+                         [this] { return queue_.size(Priority::kBulk); });
+  metrics.register_gauge("dlpic_live_workers", "", "", [this] { return live_workers(); });
+  metrics.register_gauge("dlpic_requests_drained_total", "", "", [this] {
+    return drained_.load(std::memory_order_relaxed);
+  });
+  metrics.register_gauge("dlpic_traces_dropped_total", "", "", [this] {
+    return static_cast<size_t>(trace_ring_.dropped());
+  });
+}
+
 void InferenceServer::start_workers() {
   contexts_.reserve(config_.worker_threads);
   batchers_.reserve(config_.worker_threads);
@@ -54,15 +79,37 @@ void InferenceServer::start_workers() {
     contexts_.push_back(
         std::make_unique<nn::ExecutionContext>(config_.context_worker_cap, backend));
     batchers_.push_back(std::make_unique<DynamicBatcher>(registry_, *contexts_.back()));
+    registry_.metrics().register_batcher(&batchers_.back()->metrics());
   }
   try {
     for (size_t w = 0; w < config_.worker_threads; ++w) {
       DynamicBatcher* batcher = batchers_[w].get();
-      workers_.emplace_back([this, batcher] {
-        // serve_once returns 0 only when the queue is closed and drained.
-        while (batcher->serve_once(queue_) > 0) {
-        }
-      });
+      live_workers_.fetch_add(1, std::memory_order_relaxed);
+      try {
+        workers_.emplace_back([this, batcher, w] {
+          // serve_once returns 0 only when the queue is closed and drained.
+          // Any exception that escapes it — an injected worker-death or
+          // pop fault, or a real bug — kills THIS worker only: deaths are
+          // batch-atomic (every fault point fires before a request is in
+          // hand or delivers to every promise of the batch), survivors keep
+          // draining, and shutdown() fails whatever is left. No promise is
+          // ever lost to a dead worker.
+          try {
+            for (;;) {
+              util::fault_point(util::FaultSite::kServerWorker);
+              if (batcher->serve_once(queue_) == 0) break;
+            }
+          } catch (const std::exception& e) {
+            DLPIC_LOG_WARN("InferenceServer: worker %zu died: %s", w, e.what());
+          } catch (...) {
+            DLPIC_LOG_WARN("InferenceServer: worker %zu died to a non-std exception", w);
+          }
+          live_workers_.fetch_sub(1, std::memory_order_relaxed);
+        });
+      } catch (...) {
+        live_workers_.fetch_sub(1, std::memory_order_relaxed);
+        throw;
+      }
     }
   } catch (...) {
     // A failed thread spawn (e.g. EAGAIN) must not leave joinable threads
@@ -112,7 +159,25 @@ std::future<std::vector<double>> InferenceServer::submit(std::vector<double> inp
                                 std::to_string(input.size()) + " != input dim " +
                                 std::to_string(bundle->input_dim) + " of model '" +
                                 bundle->name + "'");
-  return queue_.push(std::move(input), options);
+  SubmitOptions forwarded = options;
+  TraceSlot* claimed = nullptr;
+  if (options.trace && forwarded.trace_slot == nullptr && trace_ring_.enabled()) {
+    claimed = trace_ring_.try_claim(trace_seq_.fetch_add(1, std::memory_order_relaxed),
+                                    options.model_id,
+                                    static_cast<uint32_t>(options.priority));
+    if (claimed != nullptr) {
+      claimed->stamp(TraceStage::kSubmit);
+      forwarded.trace_slot = claimed;
+    }
+  }
+  try {
+    return queue_.push(std::move(input), forwarded);
+  } catch (...) {
+    // Never admitted (queue closed, injected push fault, ...): the trace we
+    // claimed must still complete so the slot can be reclaimed.
+    if (claimed != nullptr) claimed->finish(TraceOutcome::kRejected);
+    throw;
+  }
 }
 
 std::future<std::vector<double>> InferenceServer::submit(std::vector<double> input) {
@@ -125,7 +190,32 @@ void InferenceServer::shutdown() {
   queue_.close();  // wakes every batcher; they drain the queue, then exit
   for (auto& worker : workers_)
     if (worker.joinable()) worker.join();
+  drain_leftovers_locked();
   stopped_ = true;
+}
+
+void InferenceServer::drain_leftovers_locked() {
+  // The workers are joined. The queue is normally empty here, but workers
+  // that died mid-run (chaos faults, real bugs) leave requests behind —
+  // fail them now so every submitted future resolves. drain() carries no
+  // fault-injection point, so this path always makes progress.
+  std::vector<Request> leftovers;
+  if (queue_.drain(leftovers) == 0) return;
+  const auto error = std::make_exception_ptr(std::runtime_error(
+      "InferenceServer: request unserved at shutdown (worker pool died)"));
+  for (Request& request : leftovers) {
+    try {
+      request.result.set_exception(error);
+    } catch (const std::future_error&) {
+    }
+    if (request.trace) {
+      request.trace->finish(TraceOutcome::kError);
+      request.trace = nullptr;
+    }
+  }
+  drained_.fetch_add(leftovers.size(), std::memory_order_relaxed);
+  DLPIC_LOG_WARN("InferenceServer: failed %zu unserved requests at shutdown",
+                 leftovers.size());
 }
 
 bool InferenceServer::running() const {
@@ -138,12 +228,16 @@ void InferenceServer::restart() {
   if (!stopped_) return;
   // The old workers are joined (shutdown() did that); rebuilding the
   // batcher/context pool rather than reusing it re-pins the contexts to the
-  // backend active on the calling thread, mirroring construction.
+  // backend active on the calling thread, mirroring construction. The old
+  // batcher metric blocks must leave the registry BEFORE the batchers are
+  // destroyed — a concurrent scrape walks the registered blocks.
+  registry_.metrics().clear_batchers();
   workers_.clear();
   batchers_.clear();
   contexts_.clear();
   queue_.reopen();
   reset_stats_locked();  // close()/restart cycles must not leak stale stats
+  trace_ring_.clear();
   start_workers();
   stopped_ = false;
 }
@@ -158,21 +252,28 @@ void InferenceServer::reset_stats_locked() {
   const size_t models = registry_.size();
   for (size_t id = 0; id < models; ++id)
     if (ModelBundle* bundle = registry_.get(id)) bundle->reset_stats();
+  drained_.store(0, std::memory_order_relaxed);
 }
 
 ServerStats InferenceServer::stats() const {
   // The lock serializes against restart() swapping the batcher pool out
   // underneath the sum; it is never held across a forward pass, so stats()
-  // stays safe (and cheap) while serving.
+  // stays safe (and cheap) while serving. Each batcher contributes one
+  // coherent seqlock snapshot, so requests == served + expired + rejected
+  // closes exactly even mid-traffic.
   std::lock_guard<std::mutex> lock(shutdown_mutex_);
   ServerStats s;
   for (const auto& batcher : batchers_) {
-    s.requests += batcher->requests_popped();
-    s.served += batcher->requests_served();
-    s.batches += batcher->batches_served();
-    s.expired += batcher->requests_expired();
-    s.max_batch_observed = std::max(s.max_batch_observed, batcher->max_batch_observed());
+    const BatcherCounters c = batcher->metrics().snapshot();
+    s.requests += c.requests;
+    s.served += c.served;
+    s.batches += c.batches;
+    s.expired += c.expired;
+    s.rejected += c.rejected;
+    s.forward_errors += c.forward_errors;
+    s.max_batch_observed = std::max(s.max_batch_observed, c.max_batch_observed);
   }
+  s.drained = drained_.load(std::memory_order_relaxed);
   return s;
 }
 

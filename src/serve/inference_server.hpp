@@ -17,6 +17,7 @@
 ///   - many workers x serial contexts (context_worker_cap = 1): independent
 ///     batches run truly concurrently, one core each.
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -31,8 +32,10 @@
 #include "nn/execution_context.hpp"
 #include "nn/sequential.hpp"
 #include "serve/dynamic_batcher.hpp"
+#include "serve/metrics.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/request_queue.hpp"
+#include "serve/trace.hpp"
 
 namespace dlpic::serve {
 
@@ -59,6 +62,10 @@ struct ServerConfig {
   /// Bounded queue capacity across all lanes; submit() blocks while full.
   /// 0 = unbounded.
   size_t queue_capacity = 0;
+  /// Trace ring slots shared by every traced request (see serve/trace.hpp).
+  /// 0 (default) disables tracing entirely: SubmitOptions::trace is ignored
+  /// and nothing is allocated.
+  size_t trace_capacity = 0;
 
   /// The per-model policy implied by the batching fields above.
   [[nodiscard]] ModelConfig model_defaults() const {
@@ -74,12 +81,18 @@ struct ServerConfig {
 using SubmitOptions = RequestOptions;
 
 /// Aggregate serving counters (summed over all batcher threads and models).
+/// Each batcher contributes one coherent seqlock snapshot, so the
+/// accounting invariant `requests == served + expired + rejected` closes
+/// exactly in EVERY stats() result, even under full concurrent traffic.
 struct ServerStats {
   size_t requests = 0;            ///< requests popped (served + expired + rejected)
   size_t served = 0;              ///< requests that went through a forward pass
   size_t batches = 0;             ///< forward passes run
   size_t max_batch_observed = 0;  ///< largest coalesced batch seen
   size_t expired = 0;             ///< requests rejected with DeadlineExpired
+  size_t rejected = 0;            ///< malformed requests failed before assembly
+  size_t forward_errors = 0;      ///< forward passes that threw
+  size_t drained = 0;             ///< leftover requests failed at shutdown
   /// Mean served requests per forward pass — the batching amortization
   /// factor (expired/rejected requests never ride a batch, so they do not
   /// count).
@@ -198,6 +211,41 @@ class InferenceServer {
   /// Number of registered models.
   [[nodiscard]] size_t model_count() const { return registry_.size(); }
 
+  /// Batcher threads still alive. Equals config().worker_threads in normal
+  /// operation; drops when a worker dies to an injected (or real) fault —
+  /// the survivors keep draining the queue, and shutdown() fails whatever
+  /// the pool could no longer serve.
+  [[nodiscard]] size_t live_workers() const {
+    return live_workers_.load(std::memory_order_relaxed);
+  }
+
+  /// The metrics hub: per-model counter blocks, this server's batcher
+  /// blocks, and queue-depth gauges. Safe to scrape while serving.
+  [[nodiscard]] MetricsRegistry& metrics() { return registry_.metrics(); }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return registry_.metrics(); }
+
+  /// Prometheus text exposition of the full metrics surface (convenience
+  /// for metrics().to_prometheus()). Safe while serving.
+  [[nodiscard]] std::string metrics_prometheus() const {
+    return registry_.metrics().to_prometheus();
+  }
+
+  /// JSON snapshot of the full metrics surface. Safe while serving.
+  [[nodiscard]] std::string metrics_json() const {
+    return registry_.metrics().to_json();
+  }
+
+  /// The server's trace ring (disabled unless ServerConfig::trace_capacity
+  /// is non-zero). Request traces are claimed by submit() when
+  /// SubmitOptions::trace is set.
+  [[nodiscard]] const TraceRing& trace_ring() const { return trace_ring_; }
+
+  /// Completed trace records currently held by the ring. Safe while
+  /// serving; in-flight requests are skipped.
+  [[nodiscard]] std::vector<TraceRecord> trace_snapshot() const {
+    return trace_ring_.snapshot();
+  }
+
   /// The configuration the server was started with.
   [[nodiscard]] const ServerConfig& config() const { return config_; }
 
@@ -208,14 +256,20 @@ class InferenceServer {
 
  private:
   void start_workers();
-  void reset_stats_locked();  // pre: shutdown_mutex_ held
+  void reset_stats_locked();   // pre: shutdown_mutex_ held
+  void drain_leftovers_locked();  // pre: shutdown_mutex_ held, workers joined
+  void register_gauges();
 
   ServerConfig config_;
   ModelRegistry registry_;
   RequestQueue queue_;
+  TraceRing trace_ring_;
   std::vector<std::unique_ptr<nn::ExecutionContext>> contexts_;
   std::vector<std::unique_ptr<DynamicBatcher>> batchers_;
   std::vector<std::thread> workers_;
+  std::atomic<size_t> live_workers_{0};
+  std::atomic<size_t> drained_{0};   // leftover requests failed at shutdown
+  std::atomic<uint64_t> trace_seq_{0};  // ids traced submissions
   mutable std::mutex shutdown_mutex_;
   bool stopped_ = false;
 };

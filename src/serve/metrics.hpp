@@ -1,0 +1,284 @@
+#pragma once
+/// \file metrics.hpp
+/// Observability surface of the serving stack: lock-free per-model/per-lane
+/// counters and log-bucketed latency histograms, a registry that aggregates
+/// them, and Prometheus-style text / JSON snapshot exposition.
+///
+/// Coherency model. The counters of one batch (popped, served-per-lane,
+/// expired-per-lane, rejected, batch size) are committed in ONE seqlock
+/// write (BatcherMetrics::record / ModelMetrics::record), and snapshots
+/// retry until they observe a quiescent version — so the accounting
+/// invariant `requests == served + expired + rejected` holds in EVERY
+/// snapshot, even mid-traffic, not just after quiesce. All fields are
+/// atomics, so the scheme is data-race-free under TSan; writers never
+/// block readers and vice versa (readers spin, writers CAS the version).
+/// Latency histograms are independent monotone atomics outside the seqlock:
+/// a histogram's count may trail the served counter by the requests
+/// currently between forward pass and scatter, and matches it exactly once
+/// traffic quiesces.
+///
+/// Exposition: MetricsRegistry::to_prometheus() renders the classic
+/// text format (counters, gauges, `_bucket`/`_sum`/`_count` histogram
+/// series with powers-of-two `le` bounds in microseconds); to_json()
+/// renders the same data as one nested JSON object for programmatic
+/// scraping. Both are deterministic given the counter values (models in id
+/// order, lanes in lane order, gauges in registration order).
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/request_queue.hpp"
+
+namespace dlpic::serve {
+
+/// Display name of a priority lane ("interactive" / "bulk").
+const char* lane_name(size_t lane);
+
+/// Lock-free log2-bucketed latency histogram (microseconds). Bucket i
+/// counts samples with `us <= 2^i` (and above the previous bound); the last
+/// bucket is the +Inf overflow. 22 finite buckets cover 1 us .. ~2.1 s,
+/// which spans a sub-millisecond forward pass and a multi-second stall.
+/// record() is two relaxed fetch_adds — safe from any number of threads.
+class LatencyHistogram {
+ public:
+  /// Finite buckets (upper bounds 2^0 .. 2^21 microseconds).
+  static constexpr size_t kNumFiniteBuckets = 22;
+  /// Finite buckets + the +Inf overflow bucket.
+  static constexpr size_t kNumBuckets = kNumFiniteBuckets + 1;
+
+  /// The bucket a latency falls into: smallest i with us <= 2^i, clamped to
+  /// the overflow bucket.
+  [[nodiscard]] static size_t bucket_index(uint64_t us);
+
+  /// Upper bound of a finite bucket in microseconds (2^bucket); UINT64_MAX
+  /// for the overflow bucket.
+  [[nodiscard]] static uint64_t bucket_upper_bound_us(size_t bucket);
+
+  /// Adds one sample.
+  void record(uint64_t us);
+
+  /// Plain-value copy of the histogram (per-bucket counts, total count,
+  /// sum of samples). Relaxed reads — exact once writers quiesce.
+  struct Snapshot {
+    std::array<uint64_t, kNumBuckets> buckets{};
+    uint64_t count = 0;
+    uint64_t sum_us = 0;
+    /// Mean sample in microseconds (0 when empty).
+    [[nodiscard]] double mean_us() const {
+      return count > 0 ? static_cast<double>(sum_us) / static_cast<double>(count) : 0.0;
+    }
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// Zeroes every bucket. Quiesce writers first for an exact reset.
+  void reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_us_{0};
+};
+
+using HistogramSnapshot = LatencyHistogram::Snapshot;
+
+/// Snapshot of one lane's serving counters for one model.
+struct LaneStats {
+  size_t served = 0;   ///< requests that went through a forward pass
+  size_t expired = 0;  ///< requests rejected with DeadlineExpired
+  size_t batches = 0;  ///< forward passes that carried >= 1 request of this lane
+  /// Submit-to-scatter latency of served requests of this lane.
+  HistogramSnapshot latency;
+  /// Mean requests of this lane per forward pass that carried the lane.
+  [[nodiscard]] double mean_batch() const {
+    return batches > 0 ? static_cast<double>(served) / static_cast<double>(batches) : 0.0;
+  }
+};
+
+/// Snapshot of one model's serving counters (aggregate + per lane).
+struct ModelStats {
+  std::string name;
+  size_t served = 0;              ///< requests that went through a forward pass
+  size_t expired = 0;             ///< requests rejected with DeadlineExpired
+  size_t rejected = 0;            ///< malformed requests failed before assembly
+  size_t batches = 0;             ///< forward passes run for this model
+  size_t forward_errors = 0;      ///< forward passes that threw
+  size_t max_batch_observed = 0;  ///< largest coalesced batch seen
+  std::array<LaneStats, kNumLanes> lanes;
+  [[nodiscard]] double mean_batch() const {
+    return batches > 0 ? static_cast<double>(served) / static_cast<double>(batches) : 0.0;
+  }
+};
+
+/// One popped batch's complete counter delta, committed atomically (one
+/// seqlock write) so snapshots always see closed totals.
+struct BatchAccounting {
+  size_t popped = 0;                        ///< requests popped (all categories)
+  std::array<size_t, kNumLanes> served{};   ///< kept for the forward pass, per lane
+  std::array<size_t, kNumLanes> expired{};  ///< failed with DeadlineExpired, per lane
+  size_t rejected = 0;                      ///< failed for any other reason
+  bool forward_pass = false;                ///< a forward pass ran (batches += 1)
+  size_t batch_size = 0;                    ///< kept rows (max-batch candidate)
+  [[nodiscard]] size_t total_served() const {
+    size_t n = 0;
+    for (size_t lane = 0; lane < kNumLanes; ++lane) n += served[lane];
+    return n;
+  }
+  [[nodiscard]] size_t total_expired() const {
+    size_t n = 0;
+    for (size_t lane = 0; lane < kNumLanes; ++lane) n += expired[lane];
+    return n;
+  }
+};
+
+/// Coherent snapshot of one batcher's aggregate counters. The invariant
+/// `requests == served + expired + rejected` holds in every snapshot.
+struct BatcherCounters {
+  size_t requests = 0;            ///< requests popped (served + expired + rejected)
+  size_t served = 0;              ///< requests that rode a forward pass
+  size_t batches = 0;             ///< forward passes run
+  size_t expired = 0;             ///< requests rejected with DeadlineExpired
+  size_t rejected = 0;            ///< malformed requests failed before assembly
+  size_t forward_errors = 0;      ///< forward passes that threw
+  size_t max_batch_observed = 0;  ///< largest coalesced batch seen
+};
+
+/// Aggregate counters of one DynamicBatcher, written only through
+/// seqlock-guarded record() calls so snapshot() is a single coherent group
+/// read (the satellite fix for the old sum-of-independent-atomics stats()).
+class BatcherMetrics {
+ public:
+  /// Commits one batch's counters atomically (writer side of the seqlock).
+  void record(const BatchAccounting& accounting);
+  /// Counts one failed forward pass (its requests stay counted as served).
+  void record_forward_error();
+  /// Coherent group read (reader side of the seqlock; spins out writers).
+  [[nodiscard]] BatcherCounters snapshot() const;
+  /// Zeroes every counter. Quiesce the owning batcher first.
+  void reset();
+
+ private:
+  void write_locked(const BatchAccounting& accounting, size_t forward_errors);
+  uint64_t acquire_write();  // returns the pre-write (even) version
+
+  std::atomic<uint64_t> version_{0};
+  std::atomic<size_t> requests_{0};
+  std::atomic<size_t> served_{0};
+  std::atomic<size_t> batches_{0};
+  std::atomic<size_t> expired_{0};
+  std::atomic<size_t> rejected_{0};
+  std::atomic<size_t> forward_errors_{0};
+  std::atomic<size_t> max_batch_{0};
+};
+
+/// Per-model serving counters + per-lane latency histograms, shared by
+/// every batcher thread that serves the model. Counter groups commit under
+/// a multi-writer seqlock (CAS claims the version); histograms are
+/// independent monotone atomics.
+class ModelMetrics {
+ public:
+  /// Commits one batch's counters atomically.
+  void record(const BatchAccounting& accounting);
+  /// Counts one failed forward pass.
+  void record_forward_error();
+  /// Adds one served request's submit-to-scatter latency.
+  void record_latency(size_t lane, uint64_t us) { latency_[lane].record(us); }
+  /// Coherent group read of the counters + relaxed histogram copies.
+  /// `name` is left empty (the registry/bundle knows it).
+  [[nodiscard]] ModelStats snapshot() const;
+  /// Zeroes counters and histograms. Quiesce serving traffic first.
+  void reset();
+
+ private:
+  uint64_t acquire_write();
+
+  std::atomic<uint64_t> version_{0};
+  std::array<std::atomic<size_t>, kNumLanes> served_{};
+  std::array<std::atomic<size_t>, kNumLanes> expired_{};
+  std::array<std::atomic<size_t>, kNumLanes> lane_batches_{};
+  std::atomic<size_t> rejected_{0};
+  std::atomic<size_t> batches_{0};
+  std::atomic<size_t> forward_errors_{0};
+  std::atomic<size_t> max_batch_{0};
+  std::array<LatencyHistogram, kNumLanes> latency_;
+};
+
+/// Aggregation + exposition hub for one server: owns heap-pinned per-model
+/// metrics (stable pointers across add_model growth), references the
+/// batchers' counter blocks and any number of callback gauges (e.g. queue
+/// depths), and renders everything as Prometheus text or JSON.
+///
+/// Thread-safety: registration and exposition lock a registry mutex; the
+/// metric objects themselves are lock-free, so serving threads never touch
+/// that mutex.
+class MetricsRegistry {
+ public:
+  /// Registers a model's metrics block and returns its stable pointer.
+  ModelMetrics* add_model(std::string name);
+
+  /// Number of registered models.
+  [[nodiscard]] size_t model_count() const;
+
+  /// Snapshot of one model (with its name); throws std::out_of_range on an
+  /// unknown id.
+  [[nodiscard]] ModelStats model_snapshot(size_t id) const;
+
+  /// References a batcher's counter block for server-level aggregation.
+  /// The block must stay alive until clear_batchers().
+  void register_batcher(const BatcherMetrics* metrics);
+
+  /// Drops every batcher reference (call BEFORE destroying the batchers —
+  /// a concurrent scrape walks the registered blocks).
+  void clear_batchers();
+
+  /// Sum of every registered batcher's coherent snapshot. The accounting
+  /// invariant holds for the sum because it holds per snapshot.
+  [[nodiscard]] BatcherCounters batcher_totals() const;
+
+  /// Registers a callback gauge, rendered as
+  /// `name{label_key="label_value"} value` (labels omitted when empty).
+  /// The callback must stay valid until clear_gauges() and be safe to call
+  /// from any scraping thread.
+  void register_gauge(std::string name, std::string label_key, std::string label_value,
+                      std::function<size_t()> fn);
+
+  /// Drops every gauge.
+  void clear_gauges();
+
+  /// Prometheus text exposition of server totals, gauges, per-model
+  /// counters and latency histograms.
+  [[nodiscard]] std::string to_prometheus() const;
+
+  /// The same data as one nested JSON object.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Writes to_prometheus() / to_json() to a file (throws
+  /// std::runtime_error when the file cannot be written).
+  void write_prometheus(const std::string& path) const;
+  void write_json(const std::string& path) const;
+
+ private:
+  struct ModelEntry {
+    std::string name;
+    ModelMetrics metrics;
+  };
+  struct Gauge {
+    std::string name;
+    std::string label_key;
+    std::string label_value;
+    std::function<size_t()> fn;
+  };
+
+  mutable std::mutex mutex_;  // guards the tables below, not the counters
+  std::vector<std::unique_ptr<ModelEntry>> models_;
+  std::vector<const BatcherMetrics*> batchers_;
+  std::vector<Gauge> gauges_;
+};
+
+}  // namespace dlpic::serve

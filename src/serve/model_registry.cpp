@@ -5,28 +5,13 @@
 namespace dlpic::serve {
 
 ModelStats ModelBundle::stats() const {
-  ModelStats s;
+  ModelStats s = metrics != nullptr ? metrics->snapshot() : ModelStats{};
   s.name = name;
-  s.batches = batches.load(std::memory_order_relaxed);
-  s.max_batch_observed = max_batch_observed.load(std::memory_order_relaxed);
-  for (size_t lane = 0; lane < kNumLanes; ++lane) {
-    s.lanes[lane].served = served[lane].load(std::memory_order_relaxed);
-    s.lanes[lane].expired = expired[lane].load(std::memory_order_relaxed);
-    s.lanes[lane].batches = lane_batches[lane].load(std::memory_order_relaxed);
-    s.served += s.lanes[lane].served;
-    s.expired += s.lanes[lane].expired;
-  }
   return s;
 }
 
 void ModelBundle::reset_stats() {
-  for (size_t lane = 0; lane < kNumLanes; ++lane) {
-    served[lane].store(0, std::memory_order_relaxed);
-    expired[lane].store(0, std::memory_order_relaxed);
-    lane_batches[lane].store(0, std::memory_order_relaxed);
-  }
-  batches.store(0, std::memory_order_relaxed);
-  max_batch_observed.store(0, std::memory_order_relaxed);
+  if (metrics != nullptr) metrics->reset();
 }
 
 void ModelBundle::requantize_weights() {
@@ -81,6 +66,9 @@ size_t ModelRegistry::add(std::string name, nn::Sequential* model,
     if (existing->name == bundle->name)
       throw std::invalid_argument("ModelRegistry: duplicate model name '" + bundle->name +
                                   "'");
+  // The metrics block is created last, after every validation that can
+  // throw, so metrics model ids stay dense and aligned with bundle ids.
+  bundle->metrics = metrics_.add_model(bundle->name);
   bundles_.push_back(std::move(bundle));
   return bundles_.size() - 1;
 }

@@ -9,7 +9,6 @@
 /// soon as add() returns).
 
 #include <array>
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -20,6 +19,7 @@
 #include "data/normalizer.hpp"
 #include "nn/quantize.hpp"
 #include "nn/sequential.hpp"
+#include "serve/metrics.hpp"
 #include "serve/request_queue.hpp"
 
 namespace dlpic::serve {
@@ -57,34 +57,11 @@ struct ModelConfig {
   nn::Precision precision = nn::Precision::kF64;
 };
 
-/// Snapshot of one lane's serving counters for one model.
-struct LaneStats {
-  size_t served = 0;   ///< requests that went through a forward pass
-  size_t expired = 0;  ///< requests rejected with DeadlineExpired
-  size_t batches = 0;  ///< forward passes that carried >= 1 request of this lane
-  /// Mean requests of this lane per forward pass that carried the lane.
-  [[nodiscard]] double mean_batch() const {
-    return batches > 0 ? static_cast<double>(served) / static_cast<double>(batches) : 0.0;
-  }
-};
-
-/// Snapshot of one model's serving counters (aggregate + per lane).
-struct ModelStats {
-  std::string name;
-  size_t served = 0;             ///< requests that went through a forward pass
-  size_t expired = 0;            ///< requests rejected with DeadlineExpired
-  size_t batches = 0;            ///< forward passes run for this model
-  size_t max_batch_observed = 0; ///< largest coalesced batch seen
-  std::array<LaneStats, kNumLanes> lanes;
-  [[nodiscard]] double mean_batch() const {
-    return batches > 0 ? static_cast<double>(served) / static_cast<double>(batches) : 0.0;
-  }
-};
-
 /// One hosted model: identity, inference dependencies, batching policy and
-/// atomic serving counters (updated by any batcher thread, readable while
-/// serving). Immutable after registration except for the counters, which is
-/// what lets batchers use a bundle without locking.
+/// a pointer to its lock-free metrics block (updated by any batcher thread,
+/// readable while serving). Immutable after registration except through the
+/// metrics, which is what lets batchers use a bundle without locking.
+/// (LaneStats / ModelStats snapshot shapes live in serve/metrics.hpp.)
 struct ModelBundle {
   std::string name;
   nn::Sequential* model = nullptr;           ///< the network serving this bundle
@@ -99,18 +76,17 @@ struct ModelBundle {
   /// lock-free) and null otherwise.
   std::unique_ptr<nn::QuantizedWeightCache> quantized_weights;
 
-  std::array<std::atomic<size_t>, kNumLanes> served{};
-  std::array<std::atomic<size_t>, kNumLanes> expired{};
-  std::array<std::atomic<size_t>, kNumLanes> lane_batches{};
-  std::atomic<size_t> batches{0};
-  std::atomic<size_t> max_batch_observed{0};
+  /// This model's serving counters + latency histograms, owned by the
+  /// registry's MetricsRegistry (stable pointer, lives as long as the
+  /// registry). Batcher threads commit one coherent delta per batch.
+  ModelMetrics* metrics = nullptr;
 
-  /// Coherent-enough snapshot of the counters (relaxed reads; exact once the
-  /// traffic quiesces).
+  /// Coherent snapshot of the counters: the accounting invariant closes in
+  /// every snapshot, and histograms are exact once traffic quiesces.
   [[nodiscard]] ModelStats stats() const;
 
-  /// Zeroes every serving counter (aggregate and per-lane). Meant for
-  /// restart cycles; quiesce serving traffic first for an exact reset.
+  /// Zeroes every serving counter and histogram. Meant for restart cycles;
+  /// quiesce serving traffic first for an exact reset.
   void reset_stats();
 
   /// Rebuilds the quantized weight cache from the model's current weights —
@@ -146,9 +122,16 @@ class ModelRegistry {
   /// RequestQueue::pop_batch consumes). Reuses `out`'s storage.
   void snapshot_policies(std::vector<PopPolicy>& out) const;
 
+  /// The metrics hub holding every bundle's counter block (and, on a
+  /// server, the batcher blocks and queue-depth gauges). Scrape through
+  /// to_prometheus()/to_json(); safe while serving.
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+
  private:
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<ModelBundle>> bundles_;
+  MetricsRegistry metrics_;
 };
 
 }  // namespace dlpic::serve

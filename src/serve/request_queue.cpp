@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "util/fault_injection.hpp"
+
 namespace dlpic::serve {
 
 std::future<std::vector<double>> RequestQueue::push(std::vector<double> input,
@@ -14,6 +16,10 @@ std::future<std::vector<double>> RequestQueue::push(std::vector<double> input,
   if (static_cast<size_t>(options.priority) >= kNumLanes)
     throw std::invalid_argument("RequestQueue::push: invalid priority value " +
                                 std::to_string(static_cast<size_t>(options.priority)));
+  // Chaos seam: an injected push fault is indistinguishable from a closed
+  // queue to the caller — the request was never admitted, no promise exists.
+  util::fault_point(util::FaultSite::kQueuePush);
+  const int64_t now_ns = trace_now_ns();
   std::unique_lock<std::mutex> lock(mutex_);
   if (capacity_ > 0)
     cv_push_.wait(lock, [&] { return closed_ || total_ < capacity_; });
@@ -29,6 +35,9 @@ std::future<std::vector<double>> RequestQueue::push(std::vector<double> input,
   request.deadline = options.deadline;
   request.model_id = options.model_id;
   request.seq = next_seq_++;
+  request.submit_ns = now_ns;
+  request.trace = options.trace_slot;
+  if (request.trace) request.trace->stamp(TraceStage::kEnqueue, now_ns);
   ++lane.count;
   ++total_;
   auto future = request.result.get_future();
@@ -82,6 +91,9 @@ size_t RequestQueue::pop_batch(std::vector<Request>& out, const PopPolicy* polic
                                size_t num_policies) {
   out.clear();
   if (policies == nullptr || num_policies == 0) return 0;
+  // Chaos seam: a pop fault fires before any request is in hand, so a dying
+  // consumer never strands a popped-but-unanswered promise.
+  util::fault_point(util::FaultSite::kQueuePop);
   std::unique_lock<std::mutex> lock(mutex_);
   cv_pop_.wait(lock, [&] { return closed_ || total_ > 0; });
   if (total_ == 0) return 0;  // closed and fully drained
@@ -141,6 +153,24 @@ bool RequestQueue::closed() const {
 void RequestQueue::reopen() {
   std::lock_guard<std::mutex> lock(mutex_);
   closed_ = false;
+}
+
+size_t RequestQueue::drain(std::vector<Request>& out) {
+  out.clear();
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.reserve(total_);
+  for (Lane& lane : lanes_) {
+    for (auto& fifo : lane.per_model) {
+      while (!fifo.empty()) {
+        out.push_back(std::move(fifo.front()));
+        fifo.pop_front();
+      }
+    }
+    lane.count = 0;
+  }
+  total_ = 0;
+  cv_push_.notify_all();  // free any producer blocked on backpressure
+  return out.size();
 }
 
 size_t RequestQueue::size() const {

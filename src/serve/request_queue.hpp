@@ -37,6 +37,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "serve/trace.hpp"
+
 namespace dlpic::serve {
 
 /// Scheduling lane of a request. Strict priority: interactive requests are
@@ -84,6 +86,12 @@ struct Request {
   size_t model_id = 0;
   /// Arrival stamp assigned by the queue; orders requests within a lane.
   uint64_t seq = 0;
+  /// steady_clock nanoseconds at push() admission — the latency-histogram
+  /// origin for served requests. Stamped by the queue.
+  int64_t submit_ns = 0;
+  /// Trace slot claimed for this request, or null when untraced. The queue
+  /// stamps kEnqueue; downstream stages stamp the rest and finish the slot.
+  TraceSlot* trace = nullptr;
 };
 
 /// Per-request scheduling options accepted by RequestQueue::push.
@@ -91,6 +99,14 @@ struct RequestOptions {
   Priority priority = Priority::kBulk;
   std::chrono::steady_clock::time_point deadline = kNoDeadline;
   size_t model_id = 0;
+  /// Ask InferenceServer::submit to trace this request (needs the server's
+  /// trace ring enabled via ServerConfig::trace_capacity). Ignored by the
+  /// raw queue API.
+  bool trace = false;
+  /// Pre-claimed trace slot the request carries through the pipeline. Set
+  /// by InferenceServer::submit (or by a direct queue user that claimed a
+  /// slot from its own TraceRing).
+  TraceSlot* trace_slot = nullptr;
 };
 
 /// Per-model batch-formation policy applied by pop_batch: how many requests
@@ -150,6 +166,12 @@ class RequestQueue {
   /// closed queue has observed the drain (pop_batch returned 0) and exited
   /// — InferenceServer::restart() sequences exactly that. Idempotent.
   void reopen();
+
+  /// Moves every queued request (all lanes, all models) into `out` (cleared
+  /// first) and returns the count. Never blocks, never touches promises and
+  /// carries no fault-injection point — the shutdown path uses it to fail
+  /// leftover requests after workers died, so it must always make progress.
+  size_t drain(std::vector<Request>& out);
 
   /// Requests currently queued across all lanes (racy snapshot).
   [[nodiscard]] size_t size() const;

@@ -1,0 +1,171 @@
+#include "util/fault_injection.hpp"
+
+#include <algorithm>
+
+#include "util/env.hpp"
+#include "util/log.hpp"
+#include "util/string_util.hpp"
+
+namespace dlpic::util {
+
+namespace {
+
+constexpr const char* kSiteNames[kNumFaultSites] = {
+    "thread_pool.task", "queue.push", "queue.pop", "batcher.run_batch", "server.worker",
+};
+
+/// splitmix64 finalizer — a strong 64-bit mix, cheap enough for a hot path
+/// that is only reached when chaos is enabled.
+uint64_t mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* fault_site_name(FaultSite site) {
+  return kSiteNames[static_cast<size_t>(site)];
+}
+
+FaultSite parse_fault_site(const std::string& name) {
+  const std::string needle = to_lower(trim(name));
+  for (size_t i = 0; i < kNumFaultSites; ++i)
+    if (needle == kSiteNames[i]) return static_cast<FaultSite>(i);
+  throw std::invalid_argument("fault_injection: unknown site name '" + name + "'");
+}
+
+InjectedFault::InjectedFault(FaultSite site, uint64_t tick)
+    : std::runtime_error(std::string("injected fault at ") + fault_site_name(site) +
+                         " (tick " + std::to_string(tick) + ")"),
+      site_(site),
+      tick_(tick) {}
+
+FaultInjector::FaultInjector() { reload_from_env(); }
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+bool FaultInjector::decide(uint64_t seed, FaultSite site, uint64_t tick,
+                           double probability) {
+  if (probability <= 0.0) return false;
+  if (probability >= 1.0) return true;
+  // Per-site hash stream: the site index is folded into the seed so streams
+  // for different sites are independent even at the same tick.
+  const uint64_t h = mix64(mix64(seed ^ (static_cast<uint64_t>(site) << 32)) ^ tick);
+  // Compare in the integer domain: threshold = probability * 2^64.
+  const double scaled = probability * 18446744073709551616.0;  // 2^64
+  const uint64_t threshold =
+      scaled >= 18446744073709551615.0 ? UINT64_MAX : static_cast<uint64_t>(scaled);
+  return h < threshold;
+}
+
+void FaultInjector::set_seed(uint64_t seed) {
+  seed_.store(seed, std::memory_order_relaxed);
+  reset_counters();
+}
+
+void FaultInjector::set_probability(FaultSite site, double probability) {
+  probability = std::clamp(probability, 0.0, 1.0);
+  probability_[static_cast<size_t>(site)].store(probability, std::memory_order_relaxed);
+  refresh_enabled();
+}
+
+double FaultInjector::probability(FaultSite site) const {
+  return probability_[static_cast<size_t>(site)].load(std::memory_order_relaxed);
+}
+
+void FaultInjector::disable_all() {
+  for (auto& p : probability_) p.store(0.0, std::memory_order_relaxed);
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void FaultInjector::reset_counters() {
+  for (auto& c : calls_) c.store(0, std::memory_order_relaxed);
+  for (auto& c : injected_) c.store(0, std::memory_order_relaxed);
+}
+
+void FaultInjector::reload_from_env() {
+  seed_.store(static_cast<uint64_t>(env_int_or("DLPIC_FAULT_SEED", 0)),
+              std::memory_order_relaxed);
+  for (auto& p : probability_) p.store(0.0, std::memory_order_relaxed);
+  const std::string sites = env_string_or("DLPIC_FAULT_SITES", "");
+  if (!sites.empty()) {
+    for (const std::string& entry : split(sites, ',')) {
+      const auto kv = split(entry, '=');
+      if (kv.size() != 2) {
+        DLPIC_LOG_WARN("DLPIC_FAULT_SITES: malformed entry '%s' (want site=prob)",
+                       entry.c_str());
+        continue;
+      }
+      try {
+        const FaultSite site = parse_fault_site(kv[0]);
+        const double p = std::clamp(std::stod(trim(kv[1])), 0.0, 1.0);
+        probability_[static_cast<size_t>(site)].store(p, std::memory_order_relaxed);
+      } catch (const std::exception& e) {
+        DLPIC_LOG_WARN("DLPIC_FAULT_SITES: ignoring entry '%s': %s", entry.c_str(),
+                       e.what());
+      }
+    }
+  }
+  refresh_enabled();
+  reset_counters();
+}
+
+void FaultInjector::refresh_enabled() {
+  bool any = false;
+  for (const auto& p : probability_)
+    if (p.load(std::memory_order_relaxed) > 0.0) any = true;
+  enabled_.store(any, std::memory_order_relaxed);
+}
+
+bool FaultInjector::should_inject(FaultSite site) {
+  const size_t s = static_cast<size_t>(site);
+  const double p = probability_[s].load(std::memory_order_relaxed);
+  // Draw the tick even at probability 0 only when globally enabled — keeps
+  // schedules of active sites independent of inactive ones and the disabled
+  // path free of RMW traffic.
+  const uint64_t tick = calls_[s].fetch_add(1, std::memory_order_relaxed);
+  if (!decide(seed_.load(std::memory_order_relaxed), site, tick, p)) return false;
+  injected_[s].fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void FaultInjector::maybe_throw(FaultSite site) {
+  const size_t s = static_cast<size_t>(site);
+  const double p = probability_[s].load(std::memory_order_relaxed);
+  if (p <= 0.0) return;
+  const uint64_t tick = calls_[s].fetch_add(1, std::memory_order_relaxed);
+  if (!decide(seed_.load(std::memory_order_relaxed), site, tick, p)) return;
+  injected_[s].fetch_add(1, std::memory_order_relaxed);
+  DLPIC_LOG_DEBUG("fault_injection: firing at %s (tick %llu)", fault_site_name(site),
+                  static_cast<unsigned long long>(tick));
+  throw InjectedFault(site, tick);
+}
+
+uint64_t FaultInjector::calls(FaultSite site) const {
+  return calls_[static_cast<size_t>(site)].load(std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::injected(FaultSite site) const {
+  return injected_[static_cast<size_t>(site)].load(std::memory_order_relaxed);
+}
+
+ScopedFaultInjection::ScopedFaultInjection() {
+  FaultInjector& injector = FaultInjector::instance();
+  saved_seed_ = injector.seed();
+  for (size_t i = 0; i < kNumFaultSites; ++i)
+    saved_probability_[i] = injector.probability(static_cast<FaultSite>(i));
+}
+
+ScopedFaultInjection::~ScopedFaultInjection() {
+  FaultInjector& injector = FaultInjector::instance();
+  for (size_t i = 0; i < kNumFaultSites; ++i)
+    injector.set_probability(static_cast<FaultSite>(i), saved_probability_[i]);
+  injector.set_seed(saved_seed_);  // also resets counters
+}
+
+}  // namespace dlpic::util

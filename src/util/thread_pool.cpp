@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/env.hpp"
+#include "util/fault_injection.hpp"
 #include "util/log.hpp"
 
 namespace dlpic::util {
@@ -124,6 +125,10 @@ void ThreadPool::worker_loop() {
     }
     cv_space_.notify_one();
     try {
+      // Chaos seam: an injected fault takes the same escape path as a task
+      // that throws — logged, recorded as first_error_, rethrown from
+      // wait_idle() — so chaos tests exercise the real error plumbing.
+      fault_point(FaultSite::kThreadPoolTask);
       task.invoke(task.storage);
     } catch (const std::exception& e) {
       DLPIC_LOG_ERROR("ThreadPool: task failed with exception: %s", e.what());

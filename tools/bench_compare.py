@@ -3,6 +3,7 @@
 
 Usage:
     bench_compare.py BASELINE.json CURRENT.json [--threshold 0.10] [--warn-only]
+                     [--fail-on NAME_REGEX:METRIC:REL]...
 
 Reads the JSON emitted by the bench_* binaries (see bench/bench_json.hpp) and
 compares every benchmark present in both files, metric by metric:
@@ -22,10 +23,18 @@ avx512 backend on a machine without VNNI), are reported as info and never
 count as regressions. Aggregate rows (_mean/_median/_stddev/_cv from
 --benchmark_repetitions) are ignored so a repetition run can be compared
 against a plain one.
+
+--fail-on NAME_REGEX:METRIC:REL (repeatable) adds a HARD gate on top: rows
+whose name matches NAME_REGEX are checked on METRIC with the relative
+threshold REL, and a violation exits 1 even under --warn-only. This is how
+CI promotes a specific row/metric pair from advisory to enforced (e.g.
+--fail-on 'bench_serve_batched/.*:p50_us:0.25') while everything else stays
+warn-only on shared runners.
 """
 
 import argparse
 import json
+import re
 import sys
 
 
@@ -71,6 +80,36 @@ def compare(base, cur, threshold):
                 yield name, key, bval, cval, rel
 
 
+def parse_fail_on(spec):
+    """'NAME_REGEX:METRIC:REL' -> (compiled_regex, metric, rel_threshold)."""
+    try:
+        pattern, metric, rel = spec.rsplit(":", 2)
+        return re.compile(pattern), metric, float(rel)
+    except (ValueError, re.error) as e:
+        raise SystemExit(f"bad --fail-on spec {spec!r}: {e}")
+
+
+def hard_failures(base, cur, gates):
+    """Yield (name, metric, base_value, cur_value, rel, rel_threshold) for
+    rows matching a --fail-on gate that regressed beyond its threshold."""
+    for regex, metric, rel_threshold in gates:
+        for name in sorted(base.keys() & cur.keys()):
+            if not regex.fullmatch(name) and not regex.match(name):
+                continue
+            bval = base[name].get(metric)
+            cval = cur[name].get(metric)
+            if not isinstance(bval, (int, float)) or bval <= 0:
+                continue
+            if not isinstance(cval, (int, float)):
+                continue
+            direction = metric_direction(metric) or "down"
+            rel = (cval - bval) / bval
+            if (direction == "down" and rel > rel_threshold) or (
+                direction == "up" and rel < -rel_threshold
+            ):
+                yield name, metric, bval, cval, rel, rel_threshold
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("baseline", help="baseline BENCH_*.json")
@@ -86,7 +125,16 @@ def main():
         action="store_true",
         help="print ::warning:: annotations and exit 0 even on regressions",
     )
+    ap.add_argument(
+        "--fail-on",
+        action="append",
+        default=[],
+        metavar="NAME_REGEX:METRIC:REL",
+        help="hard gate: rows matching NAME_REGEX regressing beyond REL on "
+        "METRIC exit 1 even under --warn-only (repeatable)",
+    )
     args = ap.parse_args()
+    gates = [parse_fail_on(spec) for spec in args.fail_on]
 
     base, base_skipped, base_ctx = load_rows(args.baseline)
     cur, cur_skipped, cur_ctx = load_rows(args.current)
@@ -106,11 +154,19 @@ def main():
     prefix = "::warning::" if args.warn_only else "REGRESSION: "
     for name, key, bval, cval, rel in regressions:
         print(f"{prefix}{name} {key}: {bval:g} -> {cval:g} ({rel:+.1%})")
+    failures = list(hard_failures(base, cur, gates))
+    for name, key, bval, cval, rel, rel_threshold in failures:
+        print(
+            f"::error::HARD REGRESSION {name} {key}: {bval:g} -> {cval:g} "
+            f"({rel:+.1%}, gate {rel_threshold:.0%})"
+        )
     compared = len(base.keys() & cur.keys())
     print(
         f"{compared} benchmarks compared, {len(regressions)} metric regressions "
-        f"beyond {args.threshold:.0%}"
+        f"beyond {args.threshold:.0%}, {len(failures)} hard gate failures"
     )
+    if failures:
+        return 1
     return 0 if (args.warn_only or not regressions) else 1
 
 
