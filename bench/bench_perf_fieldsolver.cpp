@@ -8,11 +8,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <complex>
 #include <memory>
+#include <numbers>
 
 #include "bench_json.hpp"
 #include "core/dl_field_solver.hpp"
 #include "data/normalizer.hpp"
+#include "math/fft_plan.hpp"
 #include "math/rng.hpp"
 #include "nn/model_zoo.hpp"
 #include "pic/deposit.hpp"
@@ -97,12 +100,107 @@ void bench_spectral(benchmark::State& s) { bench_traditional_stage(s, "spectral"
 void bench_tridiag(benchmark::State& s) { bench_traditional_stage(s, "tridiag"); }
 void bench_cg(benchmark::State& s) { bench_traditional_stage(s, "cg"); }
 
+// ---------------------------------------------------------------------------
+// FFT-size x backend axis. Arg(0) = transform size, Arg(1) = backend id
+// (0 scalar, 1 avx2). `bench_fft_legacy_radix2` reconstructs the pre-plan
+// transform — per-call twiddle recomputation, std::complex arithmetic, a
+// scratch allocation per real transform — as the in-file speedup reference:
+// CI gates bench_fft_legacy_radix2/1024 >= 1.5x bench_fft_rfft_planned/1024.
+
+/// The textbook radix-2 the spectral solve used before plans: bit-reverse,
+/// then per-stage twiddles from std::polar on every call.
+void legacy_radix2(std::vector<std::complex<double>>& data) {
+  const size_t n = data.size();
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j |= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double ang = -2.0 * std::numbers::pi / static_cast<double>(len);
+    const std::complex<double> wlen = std::polar(1.0, ang);
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<double> random_signal(size_t n) {
+  math::Rng rng(777);
+  std::vector<double> sig(n);
+  for (auto& s : sig) s = rng.uniform(-1.0, 1.0);
+  return sig;
+}
+
+/// Legacy real transform: widen to complex (allocating) + per-call radix-2.
+void bench_fft_legacy_radix2(benchmark::State& state) {
+  benchjson::BackendGuard guard(state, 1);
+  if (!guard.run(state)) return;
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto sig = random_signal(n);
+  for (auto _ : state) {
+    std::vector<std::complex<double>> data(sig.begin(), sig.end());
+    legacy_radix2(data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+
+/// Planned packed real transform — the spectral solve's production path.
+void bench_fft_rfft_planned(benchmark::State& state) {
+  benchjson::BackendGuard guard(state, 1);
+  if (!guard.run(state)) return;
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto sig = random_signal(n);
+  const math::FftPlan& plan = math::get_fft_plan(n);
+  std::vector<math::cplx> spec(plan.spectrum_size());
+  for (auto _ : state) {
+    plan.rfft(sig.data(), spec.data());
+    benchmark::DoNotOptimize(spec.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+
+/// Planned complex transform (in-place), any size: the Bluestein sizes cost
+/// ~3 pow2 transforms of ~2n, visible as the n=1000 vs n=1024 gap.
+void bench_fft_forward_planned(benchmark::State& state) {
+  benchjson::BackendGuard guard(state, 1);
+  if (!guard.run(state)) return;
+  const size_t n = static_cast<size_t>(state.range(0));
+  const auto sig = random_signal(n);
+  const math::FftPlan& plan = math::get_fft_plan(n);
+  std::vector<math::cplx> data(n);
+  for (auto _ : state) {
+    for (size_t i = 0; i < n; ++i) data[i] = math::cplx(sig[i], 0.0);
+    plan.forward(data.data());
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+
 }  // namespace
 
-BENCHMARK(bench_spectral)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(bench_spectral)->Arg(64)->Arg(256)->Arg(1000)->Arg(1024);
 BENCHMARK(bench_tridiag)->Arg(64)->Arg(256)->Arg(1024);
 BENCHMARK(bench_cg)->Arg(64)->Arg(256)->Arg(1024);
 BENCHMARK(bench_dl_stage)->Arg(64)->Arg(256)->Arg(1024);
 BENCHMARK(bench_dl_stage_paper_scale);
+BENCHMARK(bench_fft_legacy_radix2)
+    ->ArgsProduct({{64, 256, 1024, 4096}, {0, 1}});
+BENCHMARK(bench_fft_rfft_planned)
+    ->ArgsProduct({{64, 256, 1000, 1024, 4096}, {0, 1}});
+BENCHMARK(bench_fft_forward_planned)
+    ->ArgsProduct({{64, 256, 1000, 1024, 4096}, {0, 1}});
 
 DLPIC_BENCHMARK_MAIN("perf_fieldsolver");

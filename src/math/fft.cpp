@@ -4,69 +4,20 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "math/fft_plan.hpp"
+
 namespace dlpic::math {
 
 bool is_pow2(size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
 
-namespace {
-
-void fft_radix2(std::vector<cplx>& a, bool inverse) {
-  const size_t n = a.size();
-  // Bit-reversal permutation.
-  for (size_t i = 1, j = 0; i < n; ++i) {
-    size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(a[i], a[j]);
-  }
-  for (size_t len = 2; len <= n; len <<= 1) {
-    const double ang = (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
-    const cplx wlen(std::cos(ang), std::sin(ang));
-    for (size_t i = 0; i < n; i += len) {
-      cplx w(1.0, 0.0);
-      for (size_t k = 0; k < len / 2; ++k) {
-        const cplx u = a[i + k];
-        const cplx v = a[i + k + len / 2] * w;
-        a[i + k] = u + v;
-        a[i + k + len / 2] = u - v;
-        w *= wlen;
-      }
-    }
-  }
-}
-
-void dft_direct(std::vector<cplx>& a, bool inverse) {
-  const size_t n = a.size();
-  std::vector<cplx> out(n, cplx(0.0, 0.0));
-  const double sign = inverse ? 2.0 : -2.0;
-  for (size_t k = 0; k < n; ++k) {
-    for (size_t j = 0; j < n; ++j) {
-      const double ang =
-          sign * std::numbers::pi * static_cast<double>(k * j) / static_cast<double>(n);
-      out[k] += a[j] * cplx(std::cos(ang), std::sin(ang));
-    }
-  }
-  a = std::move(out);
-}
-
-}  // namespace
-
 void fft(std::vector<cplx>& data) {
   if (data.empty()) throw std::invalid_argument("fft: empty input");
-  if (is_pow2(data.size()))
-    fft_radix2(data, /*inverse=*/false);
-  else
-    dft_direct(data, /*inverse=*/false);
+  get_fft_plan(data.size()).forward(data.data());
 }
 
 void ifft(std::vector<cplx>& data) {
   if (data.empty()) throw std::invalid_argument("ifft: empty input");
-  if (is_pow2(data.size()))
-    fft_radix2(data, /*inverse=*/true);
-  else
-    dft_direct(data, /*inverse=*/true);
-  const double inv_n = 1.0 / static_cast<double>(data.size());
-  for (auto& v : data) v *= inv_n;
+  get_fft_plan(data.size()).inverse(data.data());
 }
 
 std::vector<cplx> fft_real(const std::vector<double>& signal) {
@@ -79,18 +30,45 @@ std::vector<cplx> fft_real(const std::vector<double>& signal) {
 double mode_amplitude(const std::vector<double>& signal, size_t mode) {
   const size_t n = signal.size();
   if (mode >= n) throw std::invalid_argument("mode_amplitude: mode out of range");
-  // Reused transform buffer: this runs in the per-step diagnostics of the
-  // PIC hot loop, which must stay allocation-free in steady state (holds
-  // for power-of-two sizes; other sizes fall back to the allocating direct
-  // DFT inside fft()).
-  thread_local std::vector<cplx> spectrum;
-  spectrum.resize(n);
-  for (size_t i = 0; i < n; ++i) spectrum[i] = cplx(signal[i], 0.0);
-  fft(spectrum);
-  const double mag = std::abs(spectrum[mode]);
+  // Goertzel single-bin recurrence: |X_mode| in one O(n) pass with two
+  // state doubles — no transform buffer, so the per-step diagnostics stay
+  // allocation-free at every size.
+  const double w = 2.0 * std::numbers::pi * static_cast<double>(mode) /
+                   static_cast<double>(n);
+  const double coeff = 2.0 * std::cos(w);
+  double s1 = 0.0, s2 = 0.0;
+  for (const double x : signal) {
+    const double s0 = x + coeff * s1 - s2;
+    s2 = s1;
+    s1 = s0;
+  }
+  const double power = s1 * s1 + s2 * s2 - coeff * s1 * s2;
+  const double mag = std::sqrt(power > 0.0 ? power : 0.0);
   // One-sided amplitude: DC and Nyquist are not doubled.
   const bool two_sided = (mode != 0) && !(n % 2 == 0 && mode == n / 2);
   return (two_sided ? 2.0 : 1.0) * mag / static_cast<double>(n);
+}
+
+std::vector<cplx> dft_reference(const std::vector<cplx>& data, bool inverse) {
+  const size_t n = data.size();
+  std::vector<cplx> out(n, cplx(0.0, 0.0));
+  const double sign = inverse ? 2.0 : -2.0;
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t j = 0; j < n; ++j) {
+      // Reduce k*j mod n before the float cast: e^{±2πi kj/n} is periodic
+      // in kj with period n, and the reduced angle keeps full precision
+      // where the raw product would round (large n, high modes).
+      const size_t m = (k * j) % n;
+      const double ang =
+          sign * std::numbers::pi * static_cast<double>(m) / static_cast<double>(n);
+      out[k] += data[j] * cplx(std::cos(ang), std::sin(ang));
+    }
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& v : out) v *= inv_n;
+  }
+  return out;
 }
 
 }  // namespace dlpic::math

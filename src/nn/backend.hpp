@@ -141,6 +141,38 @@ class KernelBackend {
                            double bc2, double eps, const double* g, double* m, double* v,
                            double* w) const;
 
+  // -------------------------------------------------------- FFT kernels ----
+  // The plan-based FFT (math/fft_plan.hpp) routes its inner loops here.
+  // Layout: every buffer is interleaved complex doubles (re at 2i, im at
+  // 2i+1); `n` counts complex elements. Bitwise contract: the complex
+  // product is computed as re = vr*wr - vi*wi, im = vr*wi + vi*wr with no
+  // FP contraction, and the len == 2 butterfly skips the twiddle multiply
+  // entirely (both operands of the unit twiddle), so every backend produces
+  // bit-identical spectra (tests/nn/test_backend_parity.cpp).
+
+  /// One radix-2 Cooley-Tukey stage over `n` complex elements in place:
+  /// for every block of `len`, butterfly (u, v) pairs split at len/2 with
+  /// v scaled by tw[k] (interleaved, len/2 entries). len == 2 must skip the
+  /// multiply (the twiddle is exactly 1).
+  virtual void fft_radix2_pass(size_t n, size_t len, const double* tw,
+                               double* data) const;
+
+  /// Two fused radix-2 stages (spans len/2 then len) over `n` complex
+  /// elements: 4-point butterflies at strides q = len/4 using three
+  /// interleaved twiddle tables of q entries each — twA = tw_{len/2}[0..q),
+  /// twB = tw_len[0..q), twC = tw_len[q..2q). Must be bitwise identical to
+  /// fft_radix2_pass(len/2) followed by fft_radix2_pass(len) on the same
+  /// tables (q == 1 therefore skips the twA multiply like a len == 2 stage).
+  virtual void fft_radix4_pass(size_t n, size_t len, const double* twA,
+                               const double* twB, const double* twC,
+                               double* data) const;
+
+  /// Pointwise complex product out[i] = a[i] * b[i] over n interleaved
+  /// complex elements (the Bluestein chirp/convolution multiplies). out may
+  /// alias a.
+  virtual void cplx_mul(size_t n, const double* a, const double* b,
+                        double* out) const;
+
   // ------------------------------------------------------- PIC kernels ----
   // Shape index matches pic::Shape: 0 = NGP, 1 = CIC, 2 = TSC (kept as an
   // int so this header does not depend on the pic layer). The functions are

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "math/fft.hpp"
+#include "math/fft_plan.hpp"
 
 namespace dlpic::pic {
 
@@ -25,26 +26,24 @@ void efield_from_phi_spectral(const Grid1D& grid, const std::vector<double>& phi
   const size_t n = grid.ncells();
   if (phi.size() != n)
     throw std::invalid_argument("efield_from_phi_spectral: phi size mismatch");
-  // Reused transform buffer: part of the per-step field solve, which must
-  // stay allocation-free in steady state.
+  // Plan-based real transform over the packed n/2+1 bins. The spectrum
+  // buffer is grow-only per thread, so the per-step field solve stays
+  // allocation-free in steady state at every grid size.
+  const math::FftPlan& plan = math::get_fft_plan(n);
   thread_local std::vector<math::cplx> spec;
-  spec.resize(n);
-  for (size_t i = 0; i < n; ++i) spec[i] = math::cplx(phi[i], 0.0);
-  math::fft(spec);
-  for (size_t m = 0; m < n; ++m) {
-    const double mm = (m <= n / 2) ? static_cast<double>(m)
-                                   : static_cast<double>(m) - static_cast<double>(n);
+  spec.resize(plan.spectrum_size());
+  plan.rfft(phi.data(), spec.data());
+  for (size_t m = 0; m < spec.size(); ++m) {
     // Zero the Nyquist mode: its derivative is not representable on the grid.
     if (n % 2 == 0 && m == n / 2) {
       spec[m] = math::cplx(0.0, 0.0);
       continue;
     }
-    const double k = 2.0 * std::numbers::pi * mm / grid.length();
+    const double k = 2.0 * std::numbers::pi * static_cast<double>(m) / grid.length();
     spec[m] *= math::cplx(0.0, -k);  // E_k = -i k phi_k
   }
-  math::ifft(spec);
   E.resize(n);
-  for (size_t i = 0; i < n; ++i) E[i] = spec[i].real();
+  plan.irfft(spec.data(), E.data());
 }
 
 double field_energy(const Grid1D& grid, const std::vector<double>& E) {

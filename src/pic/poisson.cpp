@@ -29,16 +29,17 @@ void SpectralPoisson::solve(const Grid1D& grid, const std::vector<double>& rho,
   const size_t n = grid.ncells();
   if (rho.size() != n) throw std::invalid_argument("SpectralPoisson: rho size mismatch");
 
-  spec_.resize(n);
-  for (size_t i = 0; i < n; ++i) spec_[i] = math::cplx(rho[i], 0.0);
-  math::fft(spec_);
+  if (plan_ == nullptr || plan_->size() != n) plan_ = &math::get_fft_plan(n);
+  spec_.resize(plan_->spectrum_size());
+  plan_->rfft(rho.data(), spec_.data());
 
   spec_[0] = math::cplx(0.0, 0.0);  // gauge: drop the mean
   const double dx = grid.dx();
-  for (size_t m = 1; m < n; ++m) {
-    // Aliased mode index: modes above n/2 are negative wavenumbers.
-    const double mm = (m <= n / 2) ? static_cast<double>(m)
-                                   : static_cast<double>(m) - static_cast<double>(n);
+  for (size_t m = 1; m < spec_.size(); ++m) {
+    // Packed real spectrum: every stored bin is a non-negative wavenumber
+    // (the negative mirror is implied by conjugate symmetry, and k² is even
+    // in k anyway).
+    const double mm = static_cast<double>(m);
     double k2 = 0.0;
     if (discrete_k2_) {
       const double theta = 2.0 * std::numbers::pi * mm / static_cast<double>(n);
@@ -50,9 +51,8 @@ void SpectralPoisson::solve(const Grid1D& grid, const std::vector<double>& rho,
     spec_[m] /= k2;  // phi_k = rho_k / k²  (from -phi'' = rho)
   }
 
-  math::ifft(spec_);
   phi.resize(n);
-  for (size_t i = 0; i < n; ++i) phi[i] = spec_[i].real();
+  plan_->irfft(spec_.data(), phi.data());
   shift_to_zero_mean(phi);
 }
 

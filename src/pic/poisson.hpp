@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "math/fft.hpp"
+#include "math/fft_plan.hpp"
 #include "pic/grid.hpp"
 
 namespace dlpic::pic {
@@ -31,8 +32,8 @@ namespace dlpic::pic {
 ///
 /// Instances carry reusable work buffers so a steady-state solve at a fixed
 /// grid size performs no heap allocation — the PIC step's zero-allocation
-/// test depends on this (for the spectral solver the guarantee holds on
-/// power-of-two grids; other sizes fall back to the allocating direct DFT).
+/// test depends on this, and with the plan-based rfft engine the guarantee
+/// holds at every grid size, power of two or not.
 /// solve() is therefore non-const: one instance serves one thread at a
 /// time, and concurrent simulations each own their own solver (as
 /// make_poisson_solver-per-simulation already arranges).
@@ -49,7 +50,10 @@ class PoissonSolver {
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
-/// FFT-based spectral solver (default in simulations).
+/// FFT-based spectral solver (default in simulations). Owns the interned
+/// FftPlan for the grid size and solves through the real-to-complex path:
+/// rho --rfft--> n/2+1 bins --/k²--> --irfft--> phi, half the transform
+/// work of the old full-complex route.
 class SpectralPoisson final : public PoissonSolver {
  public:
   /// When `discrete_k2` is true, divides by the eigenvalue of the discrete
@@ -63,7 +67,8 @@ class SpectralPoisson final : public PoissonSolver {
 
  private:
   bool discrete_k2_;
-  std::vector<math::cplx> spec_;  // reused spectrum buffer
+  const math::FftPlan* plan_ = nullptr;  // interned; refreshed on size change
+  std::vector<math::cplx> spec_;         // reused packed real spectrum
 };
 
 /// Second-order finite-difference solver via the Thomas algorithm.

@@ -20,9 +20,10 @@
 /// Wired-in sites: ThreadPool task execution (the injected fault surfaces
 /// from wait_idle like any escaping task exception), RequestQueue push/pop,
 /// DynamicBatcher::run_batch (every promise of the batch receives the
-/// fault), and the InferenceServer worker loop (the worker dies; surviving
+/// fault), the InferenceServer worker loop (the worker dies; surviving
 /// workers keep draining, and shutdown() fails whatever is left so no
-/// promise is ever lost).
+/// promise is ever lost), and first-use FFT planning in math::get_fft_plan
+/// (the plan cache stays unchanged; the next call replans).
 
 #include <array>
 #include <atomic>
@@ -40,6 +41,10 @@ enum class FaultSite : size_t {
   kQueuePop,            ///< "queue.pop": serve::RequestQueue::pop_batch entry
   kBatcherRunBatch,     ///< "batcher.run_batch": before forward-pass assembly
   kServerWorker,        ///< "server.worker": InferenceServer worker loop (death)
+  kFftPlanCreate,       ///< "fft_plan.create": first-use FFT planning in
+                        ///< math::get_fft_plan (an allocation failure while
+                        ///< building twiddle/chirp tables; the cache stays
+                        ///< unchanged and the next call replans)
   kCount
 };
 

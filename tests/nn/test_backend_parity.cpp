@@ -11,6 +11,7 @@
 #include <cmath>
 #include <vector>
 
+#include "math/fft_plan.hpp"
 #include "math/linalg.hpp"
 #include "math/rng.hpp"
 #include "nn/activation.hpp"
@@ -349,6 +350,81 @@ TEST(BackendParity, OptimizerUpdatesBitwise) {
   EXPECT_EQ(ws, wv);
   EXPECT_EQ(ms, mv);
   EXPECT_EQ(vs, vv);
+}
+
+// ---------------------------------------------------------------------------
+// FFT kernels: bitwise identical across backends. The AVX2 butterflies mirror
+// the scalar complex-product order (re = ar*br - ai*bi, im = ar*bi + ai*br —
+// addsub only commutes the final addition), so whole transforms match bit for
+// bit, not merely to rounding.
+
+TEST(BackendParity, FftButterflyPassesBitwise) {
+  SKIP_WITHOUT_AVX2();
+  const nn::KernelBackend& scalar = nn::scalar_backend();
+  // The pass kernels only demand unit-stride interleaved data and a twiddle
+  // table per span — any complex values expose order-of-operations drift, so
+  // random "twiddles" are a stronger probe than actual roots of unity.
+  for (const size_t len : {size_t{2}, size_t{4}, size_t{8}, size_t{32}}) {
+    const size_t n = 128;  // several spans per pass
+    const auto tw = random_vec(len, 201 + len);  // len/2 complex entries
+    auto a = random_vec(2 * n, 202 + len);
+    auto b = a;
+    scalar.fft_radix2_pass(n, len, tw.data(), a.data());
+    avx2->fft_radix2_pass(n, len, tw.data(), b.data());
+    EXPECT_EQ(a, b) << "radix-2 pass len=" << len;
+  }
+  for (const size_t len : {size_t{4}, size_t{8}, size_t{16}, size_t{64}}) {
+    const size_t n = 256;
+    const size_t q = len / 4;
+    const auto twA = random_vec(2 * q, 211 + len);
+    const auto twB = random_vec(2 * q, 212 + len);
+    const auto twC = random_vec(2 * q, 213 + len);
+    auto a = random_vec(2 * n, 214 + len);
+    auto b = a;
+    scalar.fft_radix4_pass(n, len, twA.data(), twB.data(), twC.data(), a.data());
+    avx2->fft_radix4_pass(n, len, twA.data(), twB.data(), twC.data(), b.data());
+    EXPECT_EQ(a, b) << "radix-4 pass len=" << len;
+  }
+  const size_t n = 517;  // odd: exercises the cplx_mul vector tail
+  const auto x = random_vec(2 * n, 221);
+  const auto y = random_vec(2 * n, 222);
+  std::vector<double> a(2 * n), b(2 * n);
+  scalar.cplx_mul(n, x.data(), y.data(), a.data());
+  avx2->cplx_mul(n, x.data(), y.data(), b.data());
+  EXPECT_EQ(a, b);
+}
+
+TEST(BackendParity, FftPlanTransformsBitwise) {
+  SKIP_WITHOUT_AVX2();
+  // Whole planned transforms — radix-4/2 schedules, Bluestein convolutions,
+  // and the packed real paths — produce identical bits on both backends.
+  for (const size_t n : {size_t{4}, size_t{64}, size_t{100}, size_t{251},
+                         size_t{1000}, size_t{1024}}) {
+    const math::FftPlan& plan = math::get_fft_plan(n);
+    math::Rng rng(301 + n);
+    std::vector<math::cplx> sig(n);
+    for (auto& c : sig) c = math::cplx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+    const auto real = random_vec(n, 302 + n);
+
+    auto run = [&](const nn::KernelBackend* be) {
+      nn::ScopedBackend scope(be);
+      auto fwd = sig;
+      plan.forward(fwd.data());
+      auto inv = sig;
+      plan.inverse(inv.data());
+      std::vector<math::cplx> spec(plan.spectrum_size());
+      plan.rfft(real.data(), spec.data());
+      std::vector<double> back(n);
+      plan.irfft(spec.data(), back.data());
+      return std::make_tuple(fwd, inv, spec, back);
+    };
+    const auto s = run(&nn::scalar_backend());
+    const auto v = run(avx2);
+    EXPECT_EQ(std::get<0>(s), std::get<0>(v)) << "forward n=" << n;
+    EXPECT_EQ(std::get<1>(s), std::get<1>(v)) << "inverse n=" << n;
+    EXPECT_EQ(std::get<2>(s), std::get<2>(v)) << "rfft n=" << n;
+    EXPECT_EQ(std::get<3>(s), std::get<3>(v)) << "irfft n=" << n;
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -12,9 +12,11 @@
 #include <new>
 #include <thread>
 
+#include "math/fft.hpp"
 #include "math/linalg.hpp"
 #include "math/rng.hpp"
 #include "nn/conv2d.hpp"
+#include "pic/efield.hpp"
 #include "pic/simulation.hpp"
 #include "nn/dense.hpp"
 #include "nn/execution_context.hpp"
@@ -320,6 +322,37 @@ TEST(ZeroAllocation, PoissonSolversSteadyState) {
     for (int i = 0; i < 5; ++i) solver->solve(grid, rho, phi);
     const size_t after = g_alloc_count.load();
     EXPECT_EQ(after - before, 0u) << "steady-state " << name << " solve allocated";
+  }
+}
+
+// The plan-based FFT engine extends the spectral guarantee to every grid
+// size: non-power-of-two (Bluestein) solves, the spectral E-field
+// derivation, and the Goertzel mode diagnostic are all allocation-free once
+// plans and grow-only scratch are warm.
+TEST(ZeroAllocation, SpectralFieldSolveSteadyStateNonPow2) {
+  util::ScopedMaxWorkers cap(1);
+  math::Rng rng(5);
+  for (const size_t n : {size_t(96), size_t(100), size_t(128)}) {
+    pic::Grid1D grid(n, 2.0);
+    std::vector<double> rho(n), phi, E;
+    for (auto& r : rho) r = rng.uniform(-1.0, 1.0);
+    for (const char* name : {"spectral", "spectral-discrete"}) {
+      auto solver = dlpic::pic::make_poisson_solver(name);
+      for (int i = 0; i < 2; ++i) {  // warm plans + solver/thread scratch
+        solver->solve(grid, rho, phi);
+        pic::efield_from_phi_spectral(grid, phi, E);
+        (void)math::mode_amplitude(E, 1);
+      }
+      const size_t before = g_alloc_count.load();
+      for (int i = 0; i < 5; ++i) {
+        solver->solve(grid, rho, phi);
+        pic::efield_from_phi_spectral(grid, phi, E);
+        (void)math::mode_amplitude(E, 1);
+      }
+      const size_t after = g_alloc_count.load();
+      EXPECT_EQ(after - before, 0u)
+          << "steady-state " << name << " field solve at n=" << n << " allocated";
+    }
   }
 }
 #endif

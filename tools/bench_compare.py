@@ -30,6 +30,17 @@ threshold REL, and a violation exits 1 even under --warn-only. This is how
 CI promotes a specific row/metric pair from advisory to enforced (e.g.
 --fail-on 'bench_serve_batched/.*:p50_us:0.25') while everything else stays
 warn-only on shared runners.
+
+--assert-ratio / --warn-ratio NUM_NAME:DEN_NAME:METRIC:MIN (repeatable) gate
+a ratio of two rows WITHIN the current file: current[NUM].METRIC /
+current[DEN].METRIC must be >= MIN. Unlike the baseline comparison this is
+host-relative — both rows ran on the same machine in the same process — so it
+is stable on shared runners and suited to hard speedup contracts (e.g. the
+planned FFT must beat the legacy radix-2 it replaced:
+--assert-ratio 'bench_fft_legacy_radix2/1024/1:bench_fft_rfft_planned/1024/1:real_time:1.5').
+A violated --assert-ratio exits 1 even under --warn-only; --warn-ratio prints
+a ::warning:: annotation instead. A gate whose rows are missing or skipped
+(e.g. the avx2 rows on a scalar-only host) reports a note and does not fail.
 """
 
 import argparse
@@ -110,6 +121,31 @@ def hard_failures(base, cur, gates):
                 yield name, metric, bval, cval, rel, rel_threshold
 
 
+def parse_ratio_gate(spec):
+    """'NUM_NAME:DEN_NAME:METRIC:MIN' -> (num_name, den_name, metric, min_ratio)."""
+    try:
+        num, den, metric, minimum = spec.split(":")
+        return num, den, metric, float(minimum)
+    except ValueError as e:
+        raise SystemExit(f"bad ratio gate spec {spec!r}: {e}")
+
+
+def ratio_gate_results(cur, gates):
+    """Yield (num, den, metric, min_ratio, ratio-or-None) per gate; ratio is
+    None when either row/metric is missing (reported, never a failure)."""
+    for num, den, metric, min_ratio in gates:
+        nval = cur.get(num, {}).get(metric)
+        dval = cur.get(den, {}).get(metric)
+        if (
+            not isinstance(nval, (int, float))
+            or not isinstance(dval, (int, float))
+            or dval <= 0
+        ):
+            yield num, den, metric, min_ratio, None
+            continue
+        yield num, den, metric, min_ratio, nval / dval
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("baseline", help="baseline BENCH_*.json")
@@ -133,8 +169,27 @@ def main():
         help="hard gate: rows matching NAME_REGEX regressing beyond REL on "
         "METRIC exit 1 even under --warn-only (repeatable)",
     )
+    ap.add_argument(
+        "--assert-ratio",
+        action="append",
+        default=[],
+        metavar="NUM_NAME:DEN_NAME:METRIC:MIN",
+        help="hard gate on the CURRENT file: row NUM's METRIC divided by row "
+        "DEN's METRIC must be >= MIN; violation exits 1 even under "
+        "--warn-only (repeatable)",
+    )
+    ap.add_argument(
+        "--warn-ratio",
+        action="append",
+        default=[],
+        metavar="NUM_NAME:DEN_NAME:METRIC:MIN",
+        help="like --assert-ratio but a violation only prints a ::warning:: "
+        "annotation (repeatable)",
+    )
     args = ap.parse_args()
     gates = [parse_fail_on(spec) for spec in args.fail_on]
+    assert_ratios = [parse_ratio_gate(spec) for spec in args.assert_ratio]
+    warn_ratios = [parse_ratio_gate(spec) for spec in args.warn_ratio]
 
     base, base_skipped, base_ctx = load_rows(args.baseline)
     cur, cur_skipped, cur_ctx = load_rows(args.current)
@@ -160,12 +215,32 @@ def main():
             f"::error::HARD REGRESSION {name} {key}: {bval:g} -> {cval:g} "
             f"({rel:+.1%}, gate {rel_threshold:.0%})"
         )
+    ratio_failures = 0
+    for hard, gate_list in ((True, assert_ratios), (False, warn_ratios)):
+        for num, den, metric, min_ratio, ratio in ratio_gate_results(cur, gate_list):
+            if ratio is None:
+                print(f"note: ratio gate rows unavailable, not checked: {num} / {den}")
+            elif ratio < min_ratio:
+                if hard:
+                    ratio_failures += 1
+                    print(
+                        f"::error::RATIO GATE {num} / {den} {metric}: "
+                        f"{ratio:.2f}x < required {min_ratio:g}x"
+                    )
+                else:
+                    print(
+                        f"::warning::ratio below target: {num} / {den} {metric}: "
+                        f"{ratio:.2f}x < {min_ratio:g}x"
+                    )
+            else:
+                print(f"ratio gate ok: {num} / {den} {metric}: {ratio:.2f}x >= {min_ratio:g}x")
     compared = len(base.keys() & cur.keys())
     print(
         f"{compared} benchmarks compared, {len(regressions)} metric regressions "
-        f"beyond {args.threshold:.0%}, {len(failures)} hard gate failures"
+        f"beyond {args.threshold:.0%}, {len(failures)} hard gate failures, "
+        f"{ratio_failures} ratio gate failures"
     )
-    if failures:
+    if failures or ratio_failures:
         return 1
     return 0 if (args.warn_only or not regressions) else 1
 
