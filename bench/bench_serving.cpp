@@ -33,8 +33,13 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "bench_json.hpp"
 #include "math/rng.hpp"
+#include "net/client.hpp"
+#include "net/router.hpp"
+#include "net/server.hpp"
 #include "nn/execution_context.hpp"
 #include "nn/model_zoo.hpp"
 #include "nn/sequential.hpp"
@@ -304,6 +309,81 @@ void bench_serve_lanes(benchmark::State& state) {
   state.counters["mean_batch"] = stats.mean_batch();
 }
 
+/// Full network round trip: router + NetServer on a unix-domain socket,
+/// `clients` net::Client connections each pipelining `burst` requests.
+/// {clients, replicas, max_batch, burst}. Compare requests_per_s against
+/// the bench_serve_batched row with matching batching args to read the
+/// wire + framing + connection-handler overhead; p50_us/p99_us are
+/// client-observed (encode -> socket -> decode -> router -> reply).
+void bench_serve_net(benchmark::State& state) {
+  const size_t clients = static_cast<size_t>(state.range(0));
+  const size_t replicas = static_cast<size_t>(state.range(1));
+  const size_t max_batch = static_cast<size_t>(state.range(2));
+  const size_t burst = static_cast<size_t>(state.range(3));
+
+  auto model = serving_model();
+  net::RouterConfig rc;
+  rc.replicas = replicas;
+  rc.server.worker_threads = 1;
+  rc.server.context_worker_cap = 0;
+  net::Router router(rc);
+  serve::ModelConfig mc;
+  mc.max_batch = max_batch;
+  mc.max_wait_us = 200;
+  router.add_model("bundle", model, kInputDim, mc);
+
+  const std::string path =
+      "/tmp/dlpic_bench_net_" + std::to_string(::getpid()) + ".sock";
+  net::NetServer server(router, net::Address::unix_socket(path));
+
+  std::mutex latency_mutex;
+  std::vector<double> latencies_us;
+
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        net::Client client(server.address());
+        const auto sample = random_sample(c + 1);
+        std::vector<double> local_us;
+        local_us.reserve(kRequestsPerClient);
+        std::vector<std::chrono::steady_clock::time_point> t0;
+        std::vector<std::future<net::NetResponse>> futures;
+        for (size_t i = 0; i < kRequestsPerClient; i += burst) {
+          const size_t wave = std::min(burst, kRequestsPerClient - i);
+          t0.clear();
+          futures.clear();
+          for (size_t b = 0; b < wave; ++b) {
+            t0.push_back(std::chrono::steady_clock::now());
+            futures.push_back(client.submit_async("bundle", sample));
+          }
+          for (size_t b = 0; b < wave; ++b) {
+            const net::NetResponse response = futures[b].get();
+            benchmark::DoNotOptimize(response.payload.data());
+            local_us.push_back(std::chrono::duration<double, std::micro>(
+                                   std::chrono::steady_clock::now() - t0[b])
+                                   .count());
+          }
+        }
+        std::lock_guard<std::mutex> lock(latency_mutex);
+        latencies_us.insert(latencies_us.end(), local_us.begin(), local_us.end());
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const double total_requests =
+      static_cast<double>(state.iterations() * clients * kRequestsPerClient);
+  state.SetItemsProcessed(static_cast<int64_t>(total_requests));
+  state.counters["requests_per_s"] =
+      benchmark::Counter(total_requests, benchmark::Counter::kIsRate);
+  state.counters["p50_us"] = percentile(latencies_us, 0.50);
+  state.counters["p99_us"] = percentile(latencies_us, 0.99);
+  state.counters["replicas"] = static_cast<double>(replicas);
+}
+
 }  // namespace
 
 BENCHMARK(bench_serve_serial_single)->Unit(benchmark::kMicrosecond);
@@ -345,6 +425,18 @@ BENCHMARK(bench_serve_lanes)
     ->Args({4, 2, 1, 8})   // one bundle, saturated bulk + sparse interactive
     ->Args({4, 2, 2, 8})   // two bundles behind the same worker pool
     ->Args({8, 2, 2, 16})  // deeper saturation, larger batches
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+// {clients, replicas, max_batch, burst}: the wire-protocol round trip —
+// single replica vs sharded, pipelined clients so batches still form
+// through the socket. Compared warn-only across commits (wall-clock noise
+// on shared runners), with the matching in-process rows as the overhead
+// reference.
+BENCHMARK(bench_serve_net)
+    ->Args({4, 1, 8, 8})   // one replica: pure wire overhead vs in-process
+    ->Args({4, 2, 8, 8})   // sharded across two replicas
+    ->Args({8, 2, 8, 8})   // more connections than replicas
     ->Unit(benchmark::kMicrosecond)
     ->UseRealTime();
 

@@ -1,6 +1,8 @@
 #include "core/dl_field_solver.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <exception>
 #include <stdexcept>
 
 #include "util/binary_io.hpp"
@@ -28,17 +30,38 @@ DlFieldSolver::DlFieldSolver(nn::Sequential model, data::MinMaxNormalizer normal
   (void)model_.output_shape({1, input_dim});  // throws when incompatible
 }
 
+void DlFieldSolver::ensure_unregistered(const char* what) const noexcept {
+  if (shared_server_ == nullptr) return;
+  // A shared-server registration cannot be withdrawn: the server holds raw
+  // pointers into this solver's model and normalizer, so completing the
+  // move would leave it serving a moved-from (gutted) model. Corrupting a
+  // live serving bundle is unrecoverable — fail loudly instead.
+  std::fprintf(stderr,
+               "DlFieldSolver: %s while registered on a shared server (bundle id %zu) "
+               "would leave the server serving a moved-from model; shut the shared "
+               "server down first\n",
+               what, model_id_);
+  std::terminate();
+}
+
 DlFieldSolver::DlFieldSolver(DlFieldSolver&& other) noexcept
-    // A running server references other's members, so it must be drained
-    // and destroyed before any member is moved from (hence the comma
-    // expression in the first initializer); it cannot be transferred.
-    : model_((other.stop_serving(), std::move(other.model_))),
+    // A running private server references other's members, so it must be
+    // drained and destroyed before any member is moved from (hence the
+    // comma expression in the first initializer); it cannot be transferred.
+    // A shared registration cannot even be withdrawn — moving a registered
+    // solver terminates (see ensure_unregistered).
+    : model_((other.ensure_unregistered("moving a solver"), other.stop_serving(),
+              std::move(other.model_))),
       normalizer_(other.normalizer_),
       binner_(std::move(other.binner_)),
       ctx_(std::move(other.ctx_)) {}
 
 DlFieldSolver& DlFieldSolver::operator=(DlFieldSolver&& other) noexcept {
   if (this == &other) return *this;
+  // Both ends are hazards: moving *from* a registered solver guts the model
+  // the shared server serves; assigning *over* one replaces it just the same.
+  other.ensure_unregistered("moving a solver");
+  ensure_unregistered("assigning over a solver");
   stop_serving();
   other.stop_serving();
   model_ = std::move(other.model_);

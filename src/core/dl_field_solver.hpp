@@ -28,10 +28,12 @@ class DlFieldSolver {
 
   /// Moving a solver stops any serving session first (a private server
   /// holds references into the moved-from object); restart serving on the
-  /// destination if needed. Do NOT move a solver while it is registered on
-  /// a SHARED server: the registration cannot be withdrawn, so the shared
-  /// server would keep serving from the moved-from model. Shut the shared
-  /// server down first.
+  /// destination if needed. Moving a solver while it is registered on a
+  /// SHARED server — or move-assigning over one — is a hard error: the
+  /// registration cannot be withdrawn, so the shared server would keep
+  /// serving from the moved-from model. Both operations detect an active
+  /// shared registration and std::terminate with a diagnostic instead of
+  /// corrupting the live bundle. Shut the shared server down first.
   DlFieldSolver(DlFieldSolver&& other) noexcept;
   DlFieldSolver& operator=(DlFieldSolver&& other) noexcept;
   DlFieldSolver(const DlFieldSolver&) = delete;
@@ -119,6 +121,10 @@ class DlFieldSolver {
   static DlFieldSolver load(const std::string& path);
 
  private:
+  /// Terminates with a diagnostic when this solver is registered on a
+  /// shared server (the move guard; see the move ctor docs).
+  void ensure_unregistered(const char* what) const noexcept;
+
   nn::Sequential model_;
   data::MinMaxNormalizer normalizer_;
   phase_space::PhaseSpaceBinner binner_;

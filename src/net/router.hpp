@@ -1,0 +1,129 @@
+#pragma once
+/// \file router.hpp
+/// Shards decoded inference requests across N in-process InferenceServer
+/// replicas — the scale-out seam between the socket front end and the
+/// serving stack. One detection-API / N-engine shape: every replica is a
+/// complete deadline-aware multi-model server (own worker pool, own queue,
+/// own MetricsRegistry); the router owns the replicas, places each model on
+/// a per-model replica group, and picks the least-loaded group member
+/// (queue depth, round-robin tiebreak) per request.
+///
+/// Metrics roll-up: each replica keeps its full PR-8 metrics surface; the
+/// router aggregates ServerStats and per-model ModelStats across replicas
+/// for one-stop scraping, and metrics_json() emits every replica's own
+/// registry snapshot under a "replicas" array so per-replica skew stays
+/// visible.
+
+#include <atomic>
+#include <cstddef>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "data/normalizer.hpp"
+#include "nn/sequential.hpp"
+#include "serve/inference_server.hpp"
+
+namespace dlpic::net {
+
+/// Router tuning: replica count and the ServerConfig every replica starts
+/// with (worker topology, queue bounds, default batching policy).
+struct RouterConfig {
+  /// In-process InferenceServer replicas (>= 1).
+  size_t replicas = 1;
+  /// Configuration applied to every replica.
+  serve::ServerConfig server;
+};
+
+/// Aggregate + per-replica serving counters.
+struct RouterStats {
+  serve::ServerStats total;                       ///< summed over replicas
+  std::vector<serve::ServerStats> per_replica;    ///< index = replica id
+};
+
+/// Owns N InferenceServer replicas and routes by model name. Thread-safe:
+/// submit() may be called from any number of connection handler threads
+/// concurrently with add_model().
+class Router {
+ public:
+  explicit Router(const RouterConfig& config = {});
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Registers `model` on a replica group of `group_size` replicas (0 =
+  /// every replica), chosen round-robin so groups spread across replicas.
+  /// The model (and optional normalizer) are caller-owned and must outlive
+  /// the router. Throws std::invalid_argument on duplicate names or config
+  /// problems (the underlying add_model validation).
+  void add_model(std::string name, nn::Sequential& model, size_t input_dim,
+                 const serve::ModelConfig& config,
+                 const data::MinMaxNormalizer* normalizer = nullptr,
+                 size_t group_size = 0);
+
+  /// add_model with every replica in the group and the replicas' default
+  /// batching policy.
+  void add_model(std::string name, nn::Sequential& model, size_t input_dim,
+                 const data::MinMaxNormalizer* normalizer = nullptr);
+
+  /// Routes one request to the least-loaded replica of `model`'s group and
+  /// returns the future of its output row. Throws std::invalid_argument on
+  /// an unknown model name; everything else follows InferenceServer::submit
+  /// semantics (backpressure, DeadlineExpired, shutdown errors).
+  std::future<std::vector<double>> submit(
+      const std::string& model, std::vector<double> input,
+      serve::Priority priority = serve::Priority::kBulk,
+      std::chrono::steady_clock::time_point deadline = serve::kNoDeadline);
+
+  /// Drains and stops every replica (idempotent; the destructor calls it).
+  void shutdown();
+
+  /// Replicas hosted (== config().replicas).
+  [[nodiscard]] size_t replica_count() const { return replicas_.size(); }
+
+  /// Direct access to one replica (tests, per-replica scraping).
+  [[nodiscard]] serve::InferenceServer& replica(size_t i) { return *replicas_[i]; }
+
+  /// True when `name` is registered.
+  [[nodiscard]] bool has_model(const std::string& name) const;
+
+  /// Registered model names (insertion order not guaranteed).
+  [[nodiscard]] std::vector<std::string> model_names() const;
+
+  /// Replica ids serving `name`; throws std::invalid_argument when unknown.
+  [[nodiscard]] std::vector<size_t> replica_group(const std::string& name) const;
+
+  /// Aggregate + per-replica serving counters (safe while serving; each
+  /// replica contributes one coherent seqlock snapshot).
+  [[nodiscard]] RouterStats stats() const;
+
+  /// Per-model counters summed across the model's replica group.
+  [[nodiscard]] serve::ModelStats model_stats(const std::string& name) const;
+
+  /// JSON roll-up: {"replicas": [<replica 0 metrics_json>, ...]}.
+  [[nodiscard]] std::string metrics_json() const;
+
+  /// The configuration the router was built with.
+  [[nodiscard]] const RouterConfig& config() const { return config_; }
+
+ private:
+  /// One model's placement: which replicas serve it and the per-replica
+  /// model id handed to submit.
+  struct Group {
+    std::vector<size_t> replica_ids;
+    std::vector<size_t> model_ids;  // parallel to replica_ids
+    mutable std::atomic<size_t> next{0};  // round-robin tiebreak cursor
+  };
+
+  RouterConfig config_;
+  std::vector<std::unique_ptr<serve::InferenceServer>> replicas_;
+  mutable std::mutex models_mutex_;  // guards models_ growth
+  std::map<std::string, std::unique_ptr<Group>> models_;
+  std::atomic<size_t> next_group_start_{0};  // spreads groups over replicas
+};
+
+}  // namespace dlpic::net

@@ -211,6 +211,10 @@ class InferenceServer {
   /// Number of registered models.
   [[nodiscard]] size_t model_count() const { return registry_.size(); }
 
+  /// Requests currently queued across all lanes (racy snapshot) — the
+  /// load signal net::Router's least-loaded replica pick reads.
+  [[nodiscard]] size_t queue_depth() const { return queue_.size(); }
+
   /// Batcher threads still alive. Equals config().worker_threads in normal
   /// operation; drops when a worker dies to an injected (or real) fault —
   /// the survivors keep draining the queue, and shutdown() fails whatever

@@ -38,15 +38,32 @@ void BinaryWriter::flush() {
   if (!out_) throw std::runtime_error("BinaryWriter: write failure on " + path_);
 }
 
-BinaryReader::BinaryReader(const std::string& path)
-    : in_(path, std::ios::binary), path_(path) {
+BinaryReader::BinaryReader(const std::string& path, uint64_t max_alloc)
+    : in_(path, std::ios::binary), path_(path), max_alloc_(max_alloc) {
   if (!in_) throw std::runtime_error("BinaryReader: cannot open " + path);
 }
 
 void BinaryReader::require(size_t bytes) {
-  if (!in_ || in_.eof())
-    throw std::runtime_error("BinaryReader: truncated read of " + std::to_string(bytes) +
-                             " bytes from " + path_);
+  // gcount() is the byte count of the last unformatted read — the honest
+  // short-read signal. Stream state alone misses the case where read()
+  // delivered a partial tail before hitting EOF.
+  const size_t got = static_cast<size_t>(in_.gcount());
+  if (got != bytes || in_.bad()) {
+    throw std::runtime_error("BinaryReader: truncated read (wanted " +
+                             std::to_string(bytes) + " bytes, got " + std::to_string(got) +
+                             ") at offset " + std::to_string(offset_) + " in " + path_);
+  }
+  offset_ += bytes;
+}
+
+void BinaryReader::check_alloc(uint64_t bytes, const char* what) {
+  if (bytes > max_alloc_) {
+    throw std::runtime_error("BinaryReader: " + std::string(what) + " length " +
+                             std::to_string(bytes) + " bytes exceeds max_alloc " +
+                             std::to_string(max_alloc_) + " at offset " +
+                             std::to_string(offset_) + " in " + path_ +
+                             " (corrupt or hostile length field)");
+  }
 }
 
 uint32_t BinaryReader::read_u32() {
@@ -78,10 +95,11 @@ double BinaryReader::read_f64() {
 }
 
 std::string BinaryReader::read_string() {
-  uint64_t n = read_u64();
-  std::string s(n, '\0');
+  const uint64_t n = read_u64();
+  check_alloc(n, "string");
+  std::string s(static_cast<size_t>(n), '\0');
   in_.read(s.data(), static_cast<std::streamsize>(n));
-  require(n);
+  require(static_cast<size_t>(n));
   return s;
 }
 
@@ -91,15 +109,26 @@ void BinaryReader::read_f64_array(double* data, size_t n) {
 }
 
 std::vector<double> BinaryReader::read_f64_vector() {
-  uint64_t n = read_u64();
-  std::vector<double> v(n);
-  read_f64_array(v.data(), n);
+  const uint64_t n = read_u64();
+  // Compare in element space so an n*8 byte-count overflow cannot slip a
+  // huge length past the budget.
+  if (n > max_alloc_ / 8) {
+    throw std::runtime_error("BinaryReader: f64 vector length " + std::to_string(n) +
+                             " elements exceeds max_alloc " + std::to_string(max_alloc_) +
+                             " bytes at offset " + std::to_string(offset_) + " in " +
+                             path_ + " (corrupt or hostile length field)");
+  }
+  std::vector<double> v(static_cast<size_t>(n));
+  read_f64_array(v.data(), static_cast<size_t>(n));
   return v;
 }
 
 bool BinaryReader::at_eof() {
-  in_.peek();
-  return in_.eof();
+  // A failed stream (a read already threw) has nothing further to offer;
+  // peek() on it would not set eofbit, so check the state first instead of
+  // trusting a peek on a failed stream.
+  if (!in_.good()) return true;
+  return in_.peek() == std::char_traits<char>::eof();
 }
 
 }  // namespace dlpic::util

@@ -1,8 +1,10 @@
 #include "util/env.hpp"
 
-#include <algorithm>
-#include <cctype>
 #include <cstdlib>
+#include <stdexcept>
+
+#include "util/log.hpp"
+#include "util/string_util.hpp"
 
 namespace dlpic::util {
 
@@ -19,30 +21,48 @@ std::string env_string_or(const std::string& name, const std::string& fallback) 
 long env_int_or(const std::string& name, long fallback) {
   auto v = env_string(name);
   if (!v) return fallback;
+  // Strict full-string parse: std::stol alone would silently accept
+  // trailing garbage ("4x" -> 4), hiding typos in env config.
+  const std::string s = trim(*v);
   try {
-    return std::stol(*v);
-  } catch (...) {
-    return fallback;
+    size_t pos = 0;
+    const long parsed = std::stol(s, &pos);
+    if (!s.empty() && pos == s.size()) return parsed;
+  } catch (const std::exception&) {
+    // fall through to the warning
   }
+  DLPIC_LOG_WARN("env: %s='%s' is not a valid integer; using fallback %ld",
+                 name.c_str(), v->c_str(), fallback);
+  return fallback;
 }
 
 double env_double_or(const std::string& name, double fallback) {
   auto v = env_string(name);
   if (!v) return fallback;
+  const std::string s = trim(*v);
   try {
-    return std::stod(*v);
-  } catch (...) {
-    return fallback;
+    size_t pos = 0;
+    const double parsed = std::stod(s, &pos);
+    if (!s.empty() && pos == s.size()) return parsed;
+  } catch (const std::exception&) {
+    // fall through to the warning
   }
+  DLPIC_LOG_WARN("env: %s='%s' is not a valid number; using fallback %g",
+                 name.c_str(), v->c_str(), fallback);
+  return fallback;
 }
 
 bool env_bool_or(const std::string& name, bool fallback) {
   auto v = env_string(name);
   if (!v) return fallback;
-  std::string s = *v;
-  std::transform(s.begin(), s.end(), s.begin(),
-                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
-  return s == "1" || s == "true" || s == "yes" || s == "on";
+  const std::string s = to_lower(trim(*v));
+  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  // Anything else used to silently mean "false"; make the typo visible.
+  DLPIC_LOG_WARN("env: %s='%s' is not a recognized boolean "
+                 "(1/true/yes/on or 0/false/no/off); using fallback %s",
+                 name.c_str(), v->c_str(), fallback ? "true" : "false");
+  return fallback;
 }
 
 }  // namespace dlpic::util

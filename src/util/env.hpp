@@ -14,13 +14,18 @@ std::optional<std::string> env_string(const std::string& name);
 /// Lookup with default.
 std::string env_string_or(const std::string& name, const std::string& fallback);
 
-/// Integer lookup; returns fallback when unset or unparsable.
+/// Integer lookup. The whole value (modulo surrounding whitespace) must
+/// parse — trailing garbage ("4x") is rejected with a one-line warning and
+/// the fallback, not silently truncated to 4.
 long env_int_or(const std::string& name, long fallback);
 
-/// Double lookup; returns fallback when unset or unparsable.
+/// Double lookup; same strict full-string parse + warning as env_int_or.
 double env_double_or(const std::string& name, double fallback);
 
-/// Boolean lookup: "1", "true", "yes", "on" (case-insensitive) are true.
+/// Boolean lookup: "1"/"true"/"yes"/"on" are true, "0"/"false"/"no"/"off"
+/// are false (case-insensitive, whitespace-trimmed). Any other value logs a
+/// one-line warning and returns the fallback instead of silently mapping to
+/// false.
 bool env_bool_or(const std::string& name, bool fallback);
 
 }  // namespace dlpic::util

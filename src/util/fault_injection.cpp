@@ -11,8 +11,9 @@ namespace dlpic::util {
 namespace {
 
 constexpr const char* kSiteNames[kNumFaultSites] = {
-    "thread_pool.task", "queue.push",    "queue.pop",
-    "batcher.run_batch", "server.worker", "fft_plan.create",
+    "thread_pool.task", "queue.push",    "queue.pop",      "batcher.run_batch",
+    "server.worker",    "fft_plan.create", "net.accept",   "net.read",
+    "net.write",
 };
 
 /// splitmix64 finalizer — a strong 64-bit mix, cheap enough for a hot path

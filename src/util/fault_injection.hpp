@@ -22,8 +22,13 @@
 /// DynamicBatcher::run_batch (every promise of the batch receives the
 /// fault), the InferenceServer worker loop (the worker dies; surviving
 /// workers keep draining, and shutdown() fails whatever is left so no
-/// promise is ever lost), and first-use FFT planning in math::get_fft_plan
-/// (the plan cache stays unchanged; the next call replans).
+/// promise is ever lost), first-use FFT planning in math::get_fft_plan
+/// (the plan cache stays unchanged; the next call replans), and the socket
+/// boundary (net.accept / net.read / net.write in net::Listener / Socket —
+/// a fired site drops the accept or the connection; the NetServer keeps
+/// listening and every in-flight request still resolves, locally with an
+/// error or at the client when the dropped connection fails its pending
+/// futures).
 
 #include <array>
 #include <atomic>
@@ -45,6 +50,12 @@ enum class FaultSite : size_t {
                         ///< math::get_fft_plan (an allocation failure while
                         ///< building twiddle/chirp tables; the cache stays
                         ///< unchanged and the next call replans)
+  kNetAccept,           ///< "net.accept": net::Listener::accept (a failed
+                        ///< accept; the server's accept loop logs and keeps
+                        ///< listening)
+  kNetRead,             ///< "net.read": net::Socket::recv_all entry (the
+                        ///< connection drops; peers fail pending requests)
+  kNetWrite,            ///< "net.write": net::Socket::send_all entry (ditto)
   kCount
 };
 

@@ -117,4 +117,51 @@ TEST(DlFieldSolver, SaveLoadRoundTripPredictsIdentically) {
   std::remove((path + ".model").c_str());
 }
 
+// Moving a solver that is still registered on a SHARED server must fail
+// loudly (std::terminate with a diagnostic) instead of leaving the server
+// serving a moved-from model. threadsafe style: the death-test child
+// re-execs the binary, so worker threads spawned by earlier tests (thread
+// pool, serving workers) cannot wedge the fork.
+TEST(DlFieldSolverDeathTest, MoveWhileRegisteredOnSharedServerTerminates) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        dlpic::serve::InferenceServer shared;
+        DlFieldSolver solver(tiny_model(64, 16), MinMaxNormalizer(0.0, 1.0), tiny_binner());
+        solver.start_serving(shared, "bundle");
+        DlFieldSolver stolen(std::move(solver));
+      },
+      "registered on a shared server");
+}
+
+TEST(DlFieldSolverDeathTest, MoveAssignOverRegisteredSolverTerminates) {
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        dlpic::serve::InferenceServer shared;
+        DlFieldSolver registered(tiny_model(64, 16), MinMaxNormalizer(0.0, 1.0),
+                                 tiny_binner());
+        registered.start_serving(shared, "bundle");
+        DlFieldSolver other(tiny_model(64, 16, 8), MinMaxNormalizer(0.0, 1.0),
+                            tiny_binner());
+        registered = std::move(other);
+      },
+      "registered on a shared server");
+}
+
+// The legal moves keep working: an unregistered solver (including one whose
+// PRIVATE serving session is active — stop_serving() handles that) moves
+// freely and predicts identically afterwards.
+TEST(DlFieldSolver, MoveOfUnregisteredSolverStillWorks) {
+  DlFieldSolver solver(tiny_model(64, 16), MinMaxNormalizer(0.0, 10.0), tiny_binner());
+  std::vector<double> hist(64, 1.0);
+  const auto before = solver.solve_histogram(hist);
+  solver.start_serving();  // private mode: the move stops it first
+  DlFieldSolver moved(std::move(solver));
+  EXPECT_FALSE(moved.serving());
+  const auto after = moved.solve_histogram(hist);
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) EXPECT_EQ(before[i], after[i]);
+}
+
 }  // namespace

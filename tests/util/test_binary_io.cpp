@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 
 #include "util/binary_io.hpp"
 
@@ -51,6 +53,122 @@ TEST(BinaryIo, TruncatedReadThrows) {
 TEST(BinaryIo, OpenFailureThrows) {
   EXPECT_THROW(BinaryWriter("/nonexistent_dir/x.bin"), std::runtime_error);
   EXPECT_THROW(BinaryReader("/nonexistent_dir/x.bin"), std::runtime_error);
+}
+
+// Writes raw bytes so corruption shapes can be hand-crafted exactly.
+void write_raw(const std::string& path, const void* data, size_t n) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+}
+
+// Corruption shape 1: truncated header — the file ends inside the u64
+// length field itself.
+TEST(BinaryIo, TruncatedHeaderThrows) {
+  const std::string path = testing::TempDir() + "/dlpic_bin_trunc_header.bin";
+  const unsigned char bytes[3] = {0x05, 0x00, 0x00};  // 3 of 8 length bytes
+  write_raw(path, bytes, sizeof(bytes));
+  BinaryReader r(path);
+  try {
+    (void)r.read_f64_vector();
+    FAIL() << "truncated header did not throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos) << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+// Corruption shape 2: truncated payload — a valid length promises 4
+// doubles but the file is cut mid-f64-array. The short read must be
+// detected by bytes-actually-read (gcount), not just stream state.
+TEST(BinaryIo, TruncatedPayloadMidArrayThrows) {
+  const std::string path = testing::TempDir() + "/dlpic_bin_trunc_payload.bin";
+  {
+    BinaryWriter w(path);
+    w.write_f64_vector({1.0, 2.0, 3.0, 4.0});
+    w.flush();
+  }
+  // Cut the file mid-third-double: 8 (length) + 2.5 * 8 bytes kept.
+  std::filesystem::resize_file(path, 8 + 20);
+  BinaryReader r(path);
+  try {
+    (void)r.read_f64_vector();
+    FAIL() << "truncated payload did not throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+    EXPECT_NE(what.find("got 20"), std::string::npos) << what;
+  }
+  EXPECT_TRUE(r.at_eof()) << "a failed reader has no more bytes to offer";
+  std::remove(path.c_str());
+}
+
+// Corruption shape 3: oversized length — a hostile 0xFFFFFFFFFFFFFFFF
+// length field must throw a descriptive error BEFORE allocating, for both
+// vectors and strings.
+TEST(BinaryIo, OversizedLengthThrowsWithoutAllocating) {
+  const std::string path = testing::TempDir() + "/dlpic_bin_oversized.bin";
+  const uint64_t hostile = 0xFFFFFFFFFFFFFFFFull;
+  write_raw(path, &hostile, sizeof(hostile));
+  {
+    BinaryReader r(path);
+    try {
+      (void)r.read_f64_vector();
+      FAIL() << "oversized vector length did not throw";
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("max_alloc"), std::string::npos) << what;
+      EXPECT_NE(what.find(path), std::string::npos) << what;
+    }
+  }
+  {
+    BinaryReader r(path);
+    EXPECT_THROW((void)r.read_string(), std::runtime_error);
+  }
+  // A plausible-but-huge length (4 GiB) fails the same way — the budget is
+  // the gate, not overflow of the length arithmetic.
+  const uint64_t huge = 4ull << 30;
+  write_raw(path, &huge, sizeof(huge));
+  {
+    BinaryReader r(path);
+    EXPECT_THROW((void)r.read_f64_vector(), std::runtime_error);
+  }
+  // The budget is configurable: a tightened reader rejects lengths the
+  // default would accept...
+  const uint64_t small = 1024;
+  write_raw(path, &small, sizeof(small));
+  {
+    BinaryReader r(path, /*max_alloc=*/256);
+    EXPECT_EQ(r.max_alloc(), 256u);
+    EXPECT_THROW((void)r.read_string(), std::runtime_error);
+  }
+  // ...and a generous one still reads legitimate data.
+  {
+    BinaryWriter w(path);
+    w.write_string(std::string(1024, 'x'));
+    w.flush();
+    BinaryReader r(path);
+    EXPECT_EQ(r.read_string().size(), 1024u);
+  }
+  std::remove(path.c_str());
+}
+
+// Corruption shape 4: garbage tail — trailing bytes after the last valid
+// record are visible (at_eof() is false), so format-level consumers can
+// reject them.
+TEST(BinaryIo, GarbageTailVisibleViaAtEof) {
+  const std::string path = testing::TempDir() + "/dlpic_bin_tail.bin";
+  {
+    BinaryWriter w(path);
+    w.write_f64_vector({1.0, 2.0});
+    w.write_u32(0xabadcafe);  // tail garbage a well-formed file wouldn't have
+    w.flush();
+  }
+  BinaryReader r(path);
+  EXPECT_EQ(r.read_f64_vector().size(), 2u);
+  EXPECT_FALSE(r.at_eof()) << "garbage tail went unnoticed";
+  EXPECT_EQ(r.offset(), 8u + 16u);
+  std::remove(path.c_str());
 }
 
 TEST(BinaryIo, EmptyVectorRoundTrip) {

@@ -1,0 +1,73 @@
+/// \file test_env.cpp
+/// Strict env parsing: malformed values must fall back (with a warning)
+/// instead of being silently truncated (stol's "4x" -> 4) or silently
+/// mapped to false (env_bool_or's old behavior for any unrecognized token).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "util/env.hpp"
+
+namespace {
+
+using namespace dlpic::util;
+
+class EnvVar {
+ public:
+  EnvVar(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, /*overwrite=*/1);
+  }
+  ~EnvVar() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+constexpr const char* kVar = "DLPIC_TEST_ENV_VAR";
+
+TEST(Env, IntParsesCleanValues) {
+  { EnvVar v(kVar, "42"); EXPECT_EQ(env_int_or(kVar, -1), 42); }
+  { EnvVar v(kVar, "-7"); EXPECT_EQ(env_int_or(kVar, -1), -7); }
+  { EnvVar v(kVar, "  8  "); EXPECT_EQ(env_int_or(kVar, -1), 8); }
+  EXPECT_EQ(env_int_or(kVar, 5), 5) << "unset must use the fallback";
+}
+
+TEST(Env, IntRejectsTrailingGarbage) {
+  { EnvVar v(kVar, "4x"); EXPECT_EQ(env_int_or(kVar, 9), 9); }
+  { EnvVar v(kVar, "4 threads"); EXPECT_EQ(env_int_or(kVar, 9), 9); }
+  { EnvVar v(kVar, "3.5"); EXPECT_EQ(env_int_or(kVar, 9), 9); }
+  { EnvVar v(kVar, ""); EXPECT_EQ(env_int_or(kVar, 9), 9); }
+  { EnvVar v(kVar, "notanumber"); EXPECT_EQ(env_int_or(kVar, 9), 9); }
+  { EnvVar v(kVar, "99999999999999999999999"); EXPECT_EQ(env_int_or(kVar, 9), 9); }
+}
+
+TEST(Env, DoubleStrictParse) {
+  { EnvVar v(kVar, "2.5"); EXPECT_DOUBLE_EQ(env_double_or(kVar, -1.0), 2.5); }
+  { EnvVar v(kVar, "1e-3"); EXPECT_DOUBLE_EQ(env_double_or(kVar, -1.0), 1e-3); }
+  { EnvVar v(kVar, "2.5GB"); EXPECT_DOUBLE_EQ(env_double_or(kVar, -1.0), -1.0); }
+  { EnvVar v(kVar, "x"); EXPECT_DOUBLE_EQ(env_double_or(kVar, -1.0), -1.0); }
+}
+
+TEST(Env, BoolRecognizedTokens) {
+  for (const char* t : {"1", "true", "YES", "On", " true "}) {
+    EnvVar v(kVar, t);
+    EXPECT_TRUE(env_bool_or(kVar, false)) << t;
+  }
+  for (const char* f : {"0", "false", "NO", "Off", " off "}) {
+    EnvVar v(kVar, f);
+    EXPECT_FALSE(env_bool_or(kVar, true)) << f;
+  }
+}
+
+TEST(Env, BoolUnrecognizedFallsBackInsteadOfFalse) {
+  // The old behavior mapped any unrecognized token to false; a typo like
+  // "2" or "ture" must now keep the caller's default.
+  for (const char* bad : {"2", "ture", "enabled", ""}) {
+    EnvVar v(kVar, bad);
+    EXPECT_TRUE(env_bool_or(kVar, true)) << bad;
+    EXPECT_FALSE(env_bool_or(kVar, false)) << bad;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,239 @@
+/// \file loadgen.cpp
+/// Load generator for the network serving front end. Two modes:
+///
+///   --self-serve (default): starts a Router + NetServer in-process on a
+///     unix socket with a built-in MLP bundle, then drives it over the real
+///     wire — a one-command smoke/soak of the whole stack (protocol,
+///     framing, connection handlers, sharded router, batcher). This is what
+///     the CI bench job runs.
+///   --unix PATH / --tcp HOST:PORT without --self-serve: drives an external
+///     server speaking the dlpic protocol.
+///
+/// Prints a summary (requests, errors, req/s, p50/p99 latency) and exits 0
+/// only when every request succeeded and throughput was nonzero.
+///
+/// Usage:
+///   loadgen [--unix PATH | --tcp HOST:PORT] [--no-self-serve]
+///           [--clients N] [--requests N] [--burst N] [--replicas N]
+///           [--model NAME] [--input-dim N] [--deadline-us N]
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "math/rng.hpp"
+#include "net/client.hpp"
+#include "net/router.hpp"
+#include "net/server.hpp"
+#include "nn/model_zoo.hpp"
+#include "nn/sequential.hpp"
+
+namespace {
+
+using namespace dlpic;
+
+struct Options {
+  net::Address address;
+  bool address_set = false;
+  bool self_serve = true;
+  size_t clients = 4;
+  size_t requests = 64;  // per client
+  size_t burst = 8;
+  size_t replicas = 2;
+  std::string model = "bundle";
+  size_t input_dim = 256;
+  int64_t deadline_us = -1;
+};
+
+[[noreturn]] void usage_error(const char* message) {
+  std::fprintf(stderr,
+               "loadgen: %s\n"
+               "usage: loadgen [--unix PATH | --tcp HOST:PORT] [--no-self-serve]\n"
+               "               [--clients N] [--requests N] [--burst N] [--replicas N]\n"
+               "               [--model NAME] [--input-dim N] [--deadline-us N]\n",
+               message);
+  std::exit(2);
+}
+
+size_t positive_arg(const char* flag, const char* value) {
+  char* end = nullptr;
+  const long v = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || v <= 0)
+    usage_error((std::string(flag) + " needs a positive integer").c_str());
+  return static_cast<size_t>(v);
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage_error((arg + " needs a value").c_str());
+      return argv[++i];
+    };
+    if (arg == "--unix") {
+      opt.address = net::Address::unix_socket(next());
+      opt.address_set = true;
+    } else if (arg == "--tcp") {
+      const std::string hostport = next();
+      const size_t colon = hostport.rfind(':');
+      if (colon == std::string::npos) usage_error("--tcp needs HOST:PORT");
+      char* end = nullptr;
+      const long port = std::strtol(hostport.c_str() + colon + 1, &end, 10);
+      // Port 0 is legal with --self-serve: the kernel assigns one.
+      if (end == hostport.c_str() + colon + 1 || *end != '\0' || port < 0 ||
+          port > 65535)
+        usage_error("--tcp needs a port in [0, 65535]");
+      opt.address = net::Address::tcp(hostport.substr(0, colon),
+                                      static_cast<uint16_t>(port));
+      opt.address_set = true;
+    } else if (arg == "--no-self-serve") {
+      opt.self_serve = false;
+    } else if (arg == "--clients") {
+      opt.clients = positive_arg("--clients", next());
+    } else if (arg == "--requests") {
+      opt.requests = positive_arg("--requests", next());
+    } else if (arg == "--burst") {
+      opt.burst = positive_arg("--burst", next());
+    } else if (arg == "--replicas") {
+      opt.replicas = positive_arg("--replicas", next());
+    } else if (arg == "--model") {
+      opt.model = next();
+    } else if (arg == "--input-dim") {
+      opt.input_dim = positive_arg("--input-dim", next());
+    } else if (arg == "--deadline-us") {
+      opt.deadline_us = static_cast<int64_t>(positive_arg("--deadline-us", next()));
+    } else {
+      usage_error(("unknown argument " + arg).c_str());
+    }
+  }
+  if (!opt.address_set)
+    opt.address = net::Address::unix_socket("/tmp/dlpic_loadgen_" +
+                                            std::to_string(::getpid()) + ".sock");
+  else if (!opt.self_serve && opt.address.kind == net::Address::Kind::kTcp &&
+           opt.address.port == 0)
+    usage_error("--tcp port 0 only makes sense with --self-serve");
+  return opt;
+}
+
+double percentile(std::vector<double>& sorted_ascending, double p) {
+  if (sorted_ascending.empty()) return 0.0;
+  const size_t idx =
+      static_cast<size_t>(p * static_cast<double>(sorted_ascending.size() - 1));
+  return sorted_ascending[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse(argc, argv);
+
+  // Self-serve mode: the server half lives here, reached over the real wire.
+  std::unique_ptr<nn::Sequential> model;
+  std::unique_ptr<net::Router> router;
+  std::unique_ptr<net::NetServer> server;
+  net::Address target = opt.address;
+  if (opt.self_serve) {
+    nn::MlpSpec spec;
+    spec.input_dim = opt.input_dim;
+    spec.output_dim = 16;
+    spec.hidden = 64;
+    spec.depth = 2;
+    spec.seed = 2026;
+    model = std::make_unique<nn::Sequential>(nn::build_mlp(spec));
+    net::RouterConfig rc;
+    rc.replicas = opt.replicas;
+    rc.server.worker_threads = 1;
+    rc.server.context_worker_cap = 0;
+    router = std::make_unique<net::Router>(rc);
+    router->add_model(opt.model, *model, opt.input_dim);
+    server = std::make_unique<net::NetServer>(*router, opt.address);
+    target = server->address();  // TCP port 0 resolved here
+    std::printf("loadgen: self-serving %zu replica(s) on %s\n", opt.replicas,
+                target.to_string().c_str());
+  }
+
+  std::mutex mutex;
+  std::vector<double> latencies_us;
+  size_t ok = 0, failed = 0;
+
+  const auto t_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(opt.clients);
+  for (size_t c = 0; c < opt.clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<double> local_us;
+      size_t local_ok = 0, local_failed = 0;
+      try {
+        net::Client client(target);
+        math::Rng rng(1000 + c);
+        std::vector<double> sample(opt.input_dim);
+        for (auto& v : sample) v = rng.uniform(0.0, 1.0);
+        std::vector<std::chrono::steady_clock::time_point> t0;
+        std::vector<std::future<net::NetResponse>> futures;
+        for (size_t i = 0; i < opt.requests; i += opt.burst) {
+          const size_t wave = std::min(opt.burst, opt.requests - i);
+          t0.clear();
+          futures.clear();
+          for (size_t b = 0; b < wave; ++b) {
+            t0.push_back(std::chrono::steady_clock::now());
+            futures.push_back(
+                client.submit_async(opt.model, sample, 1, opt.deadline_us));
+          }
+          for (size_t b = 0; b < wave; ++b) {
+            const net::NetResponse response = futures[b].get();
+            if (response.status == net::Status::kOk) {
+              ++local_ok;
+              local_us.push_back(std::chrono::duration<double, std::micro>(
+                                     std::chrono::steady_clock::now() - t0[b])
+                                     .count());
+            } else {
+              ++local_failed;
+              std::fprintf(stderr, "loadgen: request %llu failed: %s\n",
+                           static_cast<unsigned long long>(response.request_id),
+                           response.error.c_str());
+            }
+          }
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "loadgen: client %zu died: %s\n", c, e.what());
+        local_failed += opt.requests - local_ok - local_failed;
+      }
+      std::lock_guard<std::mutex> lock(mutex);
+      ok += local_ok;
+      failed += local_failed;
+      latencies_us.insert(latencies_us.end(), local_us.begin(), local_us.end());
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
+          .count();
+
+  if (server) {
+    const net::NetServerStats stats = server->stats();
+    server->stop();
+    router->shutdown();
+    std::printf(
+        "loadgen: server saw %zu connection(s), %zu request(s) decoded, "
+        "%zu response(s) sent, %zu protocol error(s), %zu app error(s)\n",
+        stats.connections_accepted, stats.requests_decoded, stats.responses_sent,
+        stats.protocol_errors, stats.app_errors);
+  }
+
+  std::sort(latencies_us.begin(), latencies_us.end());
+  const double rate = elapsed_s > 0.0 ? static_cast<double>(ok) / elapsed_s : 0.0;
+  std::printf("loadgen: %zu ok, %zu failed in %.3f s -> %.1f req/s "
+              "(p50 %.1f us, p99 %.1f us)\n",
+              ok, failed, elapsed_s, rate, percentile(latencies_us, 0.50),
+              percentile(latencies_us, 0.99));
+  return (failed == 0 && ok > 0 && rate > 0.0) ? 0 : 1;
+}
